@@ -1,0 +1,38 @@
+// Ablation of §4.1.6: the gap-aware score-based eviction policy against
+// LRU / FIFO / greedy-gap window policies, on the hardest configuration
+// (variable sizes, irregular order, no flush barrier). Quantifies how much
+// of the Score approach's win comes from the eviction policy itself.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (core::EvictionKind kind :
+       {core::EvictionKind::kScore, core::EvictionKind::kLru,
+        core::EvictionKind::kFifo, core::EvictionKind::kGreedyGap}) {
+    for (rtm::HintMode hints : {rtm::HintMode::kNone, rtm::HintMode::kAll}) {
+      harness::ExperimentConfig cfg;
+      cfg.approach = harness::Approach::kScore;
+      cfg.eviction = kind;
+      cfg.shot.hint_mode = hints;
+      cfg.shot.read_order = rtm::ReadOrder::kIrregular;
+      cfg.shot.size_mode = rtm::SizeMode::kVariable;
+      ckpt::bench::ApplyBenchScale(cfg);
+      RegisterShot(std::string("ablation_eviction/") +
+                       std::string(core::to_string(kind)) + "/" +
+                       rtm::to_string(hints),
+                   std::string(core::to_string(kind)) + " " +
+                       rtm::to_string(hints),
+                   cfg);
+    }
+  }
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Ablation: eviction policy (score vs lru/fifo/greedy-gap), variable "
+      "sizes, irregular order");
+}

@@ -1,0 +1,35 @@
+// Ablation of the GPUDirect Storage extension (paper §6 future work):
+// staged flush/prefetch through the pinned host cache vs direct GPU<->SSD
+// DMA. GDS frees the host cache + DDR bandwidth but loses the host tier's
+// caching effect — the crossover depends on how much of the history the
+// host cache can hold.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (bool gds : {false, true}) {
+    for (rtm::ReadOrder order :
+         {rtm::ReadOrder::kReverse, rtm::ReadOrder::kIrregular}) {
+      harness::ExperimentConfig cfg;
+      cfg.approach = harness::Approach::kScore;
+      cfg.shot.hint_mode = rtm::HintMode::kAll;
+      cfg.shot.read_order = order;
+      cfg.shot.size_mode = rtm::SizeMode::kVariable;
+      ckpt::bench::ApplyBenchScale(cfg);
+      cfg.gpudirect = gds;
+      const std::string mode = gds ? "gpudirect" : "staged";
+      RegisterShot("ablation_gpudirect/" + mode + "/" + rtm::to_string(order),
+                   mode + " " + rtm::to_string(order), cfg);
+    }
+  }
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Ablation: staged host-cache pipeline vs GPUDirect Storage "
+      "(All hints, Score, variable sizes)");
+}

@@ -1,0 +1,40 @@
+// Ablation of §4.1.2: shared flush/prefetch cache space (the paper's design
+// choice) vs naive split partitions. The paper argues splitting wastes
+// scarce GPU cache and fails to control flush/prefetch competition; this
+// bench quantifies that claim under the interleaved (no-wait) protocol.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (bool split : {false, true}) {
+    for (rtm::ReadOrder order :
+         {rtm::ReadOrder::kReverse, rtm::ReadOrder::kIrregular}) {
+      for (rtm::SizeMode sizes :
+           {rtm::SizeMode::kUniform, rtm::SizeMode::kVariable}) {
+        harness::ExperimentConfig cfg;
+        cfg.approach = harness::Approach::kScore;
+        cfg.split_flush_prefetch = split;
+        cfg.shot.hint_mode = rtm::HintMode::kAll;
+        cfg.shot.read_order = order;
+        cfg.shot.size_mode = sizes;
+        ckpt::bench::ApplyBenchScale(cfg);
+        const std::string mode = split ? "split" : "shared";
+        RegisterShot("ablation_shared_cache/" + mode + "/" +
+                         rtm::to_string(order) + "/" + rtm::to_string(sizes),
+                     mode + " " + rtm::to_string(order) + " " +
+                         rtm::to_string(sizes),
+                     cfg);
+      }
+    }
+  }
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Ablation: shared vs split flush/prefetch cache space (All hints, "
+      "Score)");
+}

@@ -1,0 +1,71 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace ckpt::bench {
+
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+int ApplyBenchScale(harness::ExperimentConfig& cfg) {
+  const harness::BenchScale scale = harness::LoadBenchScale();
+  cfg.shot.num_ckpts = scale.num_ckpts;
+  cfg.shot.trace.num_snapshots = scale.num_ckpts;
+  cfg.shot.compute_interval = scale.interval;
+  cfg.num_ranks = scale.num_ranks;
+  return scale.num_ranks;
+}
+
+void RegisterShot(const std::string& bench_name, const std::string& variant,
+                  harness::ExperimentConfig cfg) {
+  benchmark::RegisterBenchmark(
+      bench_name.c_str(),
+      [variant, cfg](benchmark::State& state) {
+        for (auto _ : state) {
+          auto result = harness::RunExperiment(cfg);
+          if (!result.ok()) {
+            state.SkipWithError(result.status().ToString().c_str());
+            return;
+          }
+          state.SetIterationTime(result->shot.wall_s);
+          state.counters["ckpt_MBps"] = result->ckpt_MBps_mean;
+          state.counters["restore_MBps"] = result->restore_MBps_mean;
+          state.counters["agg_ckpt_MBps"] = result->ckpt_MBps_agg;
+          state.counters["agg_restore_MBps"] = result->restore_MBps_agg;
+          Rows().push_back(Row{result->config_name, variant,
+                               result->ckpt_MBps_mean, result->restore_MBps_mean,
+                               result->shot.wall_s,
+                               result->shot.verify_failures});
+        }
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+int BenchMain(int argc, char** argv, const std::string& title) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!Rows().empty()) {
+    harness::PrintTableHeader(title, "variant");
+    std::uint64_t failures = 0;
+    for (const Row& row : Rows()) {
+      harness::PrintTableRow(row.config, row.variant, row.ckpt_MBps,
+                             row.restore_MBps);
+      failures += row.verify_failures;
+    }
+    if (failures > 0) {
+      std::fprintf(stderr, "!! %llu data-verification failures\n",
+                   static_cast<unsigned long long>(failures));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ckpt::bench

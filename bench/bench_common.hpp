@@ -1,0 +1,44 @@
+// Shared plumbing for the figure-reproduction benches: registers one
+// google-benchmark entry per experiment cell, collects the rows, and prints
+// the figure's table after the run. Scale knobs come from the environment
+// (CKPT_BENCH_CKPTS / CKPT_BENCH_RANKS / CKPT_BENCH_INTERVAL_US) so the
+// suite can be run quick (CI) or paper-scale (384 checkpoints).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace ckpt::bench {
+
+struct Row {
+  std::string config;
+  std::string variant;
+  double ckpt_MBps = 0.0;
+  double restore_MBps = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t verify_failures = 0;
+};
+
+/// Rows accumulated by the registered benchmarks, in registration order.
+std::vector<Row>& Rows();
+
+/// Registers a single-shot benchmark named `bench_name` that runs `cfg`
+/// once, reports the figure metrics as counters, and appends a Row.
+/// `variant` labels the x-axis position (read order, interval, rank count).
+void RegisterShot(const std::string& bench_name, const std::string& variant,
+                  harness::ExperimentConfig cfg);
+
+/// Applies the environment scale to a shot config (checkpoint count,
+/// compute interval) and returns the rank count to use.
+int ApplyBenchScale(harness::ExperimentConfig& cfg);
+
+/// Runs google-benchmark, then prints the accumulated rows as the figure
+/// table. Returns the process exit code.
+int BenchMain(int argc, char** argv, const std::string& title);
+
+}  // namespace ckpt::bench

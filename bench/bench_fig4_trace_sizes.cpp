@@ -1,0 +1,74 @@
+// Figure 4: size distribution of 32 RTM shots — per-snapshot min/avg/max of
+// the synthetic trace model, plus generation-speed micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "rtm/trace.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using ckpt::rtm::TraceConfig;
+using ckpt::rtm::TraceModel;
+
+void BM_GenerateShot(benchmark::State& state) {
+  TraceConfig cfg;
+  cfg.num_snapshots = static_cast<int>(state.range(0));
+  const TraceModel model(cfg);
+  std::uint64_t shot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.GenerateShot(shot++));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateShot)->Arg(96)->Arg(384)->Arg(1536);
+
+void BM_SnapshotStats32Shots(benchmark::State& state) {
+  const TraceModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SnapshotStats(32));
+  }
+}
+BENCHMARK(BM_SnapshotStats32Shots);
+
+void PrintFigure4() {
+  const TraceModel model;
+  const auto stats = model.SnapshotStats(32);
+
+  std::printf("\n=== Fig. 4: size distribution of 32 RTM shots "
+              "(scaled /1000; paper reports MB, we report KB) ===\n");
+  std::printf("%-10s %12s %12s %12s\n", "snapshot", "min KB", "avg KB", "max KB");
+  std::printf("------------------------------------------------------\n");
+  // Print every 16th snapshot index (the figure is a 384-point series).
+  for (std::size_t i = 0; i < stats.size(); i += 16) {
+    std::printf("%-10zu %12.1f %12.1f %12.1f\n", i,
+                static_cast<double>(stats[i].min) / 1024.0, stats[i].avg / 1024.0,
+                static_cast<double>(stats[i].max) / 1024.0);
+  }
+
+  // Aggregate-per-shot band (paper: 38-50 GB -> scaled 38-50 MB).
+  double lo = 1e18, hi = 0;
+  for (std::uint64_t shot = 0; shot < 32; ++shot) {
+    const double mb = static_cast<double>(
+                          TraceModel::ShotBytes(model.GenerateShot(shot))) / 1e6;
+    lo = std::min(lo, mb);
+    hi = std::max(hi, mb);
+  }
+  std::printf("\naggregate checkpoint data per shot: %.1f - %.1f MB "
+              "(paper: 38 - 50 GB)\n", lo, hi);
+  std::printf("uniform comparison size: %s per snapshot (paper: 128 MB)\n",
+              ckpt::util::FormatBytes(
+                  static_cast<double>(model.config().uniform_size)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintFigure4();
+  return 0;
+}

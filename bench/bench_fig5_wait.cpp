@@ -1,0 +1,54 @@
+// Figures 5a/5b: average checkpoint+restore throughput across 8 GPUs when
+// the restore phase WAITS for all flushes (persistence scenario), for
+// uniform (5a) and variable trace (5b) checkpoint sizes, across the full
+// Table-1 approach/hint matrix and all three restore orders.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+using harness::Approach;
+using rtm::HintMode;
+using rtm::ReadOrder;
+using rtm::SizeMode;
+
+void RegisterMatrix(SizeMode sizes, const char* fig) {
+  const struct {
+    Approach approach;
+    HintMode hints;
+  } kConfigs[] = {
+      {Approach::kAdios, HintMode::kNone}, {Approach::kUvm, HintMode::kNone},
+      {Approach::kScore, HintMode::kNone}, {Approach::kUvm, HintMode::kSingle},
+      {Approach::kScore, HintMode::kSingle}, {Approach::kUvm, HintMode::kAll},
+      {Approach::kScore, HintMode::kAll},
+  };
+  for (ReadOrder order :
+       {ReadOrder::kSequential, ReadOrder::kReverse, ReadOrder::kIrregular}) {
+    for (const auto& c : kConfigs) {
+      harness::ExperimentConfig cfg;
+      cfg.approach = c.approach;
+      cfg.shot.hint_mode = c.hints;
+      cfg.shot.read_order = order;
+      cfg.shot.size_mode = sizes;
+      cfg.shot.wait_for_flush = true;
+      bench::ApplyBenchScale(cfg);
+      RegisterShot(std::string(fig) + "/" + harness::ConfigName(c.approach, c.hints) +
+                       "/" + rtm::to_string(order),
+                   std::string(rtm::to_string(order)) + " " +
+                       rtm::to_string(sizes),
+                   cfg);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterMatrix(SizeMode::kUniform, "fig5a");
+  RegisterMatrix(SizeMode::kVariable, "fig5b");
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Fig. 5: ckpt+restore throughput, WAIT for flushes before restore "
+      "(5a uniform / 5b variable)");
+}

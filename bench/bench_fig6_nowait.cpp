@@ -1,0 +1,53 @@
+// Figures 6a/6b: same matrix as Fig. 5 but the restore phase begins
+// immediately after the checkpoint phase (adjoint scenario, no persistence
+// barrier) — flushes, evictions and prefetches fully overlap.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+using harness::Approach;
+using rtm::HintMode;
+using rtm::ReadOrder;
+using rtm::SizeMode;
+
+void RegisterMatrix(SizeMode sizes, const char* fig) {
+  const struct {
+    Approach approach;
+    HintMode hints;
+  } kConfigs[] = {
+      {Approach::kAdios, HintMode::kNone}, {Approach::kUvm, HintMode::kNone},
+      {Approach::kScore, HintMode::kNone}, {Approach::kUvm, HintMode::kSingle},
+      {Approach::kScore, HintMode::kSingle}, {Approach::kUvm, HintMode::kAll},
+      {Approach::kScore, HintMode::kAll},
+  };
+  for (ReadOrder order :
+       {ReadOrder::kSequential, ReadOrder::kReverse, ReadOrder::kIrregular}) {
+    for (const auto& c : kConfigs) {
+      harness::ExperimentConfig cfg;
+      cfg.approach = c.approach;
+      cfg.shot.hint_mode = c.hints;
+      cfg.shot.read_order = order;
+      cfg.shot.size_mode = sizes;
+      cfg.shot.wait_for_flush = false;  // the one difference vs Fig. 5
+      bench::ApplyBenchScale(cfg);
+      RegisterShot(std::string(fig) + "/" + harness::ConfigName(c.approach, c.hints) +
+                       "/" + rtm::to_string(order),
+                   std::string(rtm::to_string(order)) + " " +
+                       rtm::to_string(sizes),
+                   cfg);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterMatrix(SizeMode::kUniform, "fig6a");
+  RegisterMatrix(SizeMode::kVariable, "fig6b");
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Fig. 6: ckpt+restore throughput, restore IMMEDIATELY follows "
+      "checkpoint phase (6a uniform / 6b variable)");
+}

@@ -1,0 +1,84 @@
+// Figures 8a/8b: impact of the compute interval (8a) and the GPU cache size
+// (8b) on checkpoint/restore throughput — variable-sized checkpoints,
+// irregular read order, No-hints vs All-hints, ADIOS2 for reference.
+// Paper sweeps 5-30 ms and 2-16 GB; scaled /10 and /1000 respectively.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+using harness::Approach;
+using rtm::HintMode;
+
+harness::ExperimentConfig Base() {
+  harness::ExperimentConfig cfg;
+  cfg.shot.read_order = rtm::ReadOrder::kIrregular;
+  cfg.shot.size_mode = rtm::SizeMode::kVariable;
+  cfg.shot.wait_for_flush = false;
+  bench::ApplyBenchScale(cfg);
+  return cfg;
+}
+
+void RegisterIntervalSweep() {
+  // Paper intervals {5, 10, 20, 30} ms -> scaled {0.5, 1, 2, 3} ms.
+  const struct {
+    int us;
+    const char* paper;
+  } kIntervals[] = {{500, "5ms"}, {1000, "10ms"}, {2000, "20ms"}, {3000, "30ms"}};
+  const struct {
+    Approach approach;
+    HintMode hints;
+  } kConfigs[] = {{Approach::kAdios, HintMode::kNone},
+                  {Approach::kUvm, HintMode::kNone},
+                  {Approach::kScore, HintMode::kNone},
+                  {Approach::kUvm, HintMode::kAll},
+                  {Approach::kScore, HintMode::kAll}};
+  for (const auto& interval : kIntervals) {
+    for (const auto& c : kConfigs) {
+      harness::ExperimentConfig cfg = Base();
+      cfg.approach = c.approach;
+      cfg.shot.hint_mode = c.hints;
+      cfg.shot.compute_interval = std::chrono::microseconds(interval.us);
+      RegisterShot(std::string("fig8a/") + harness::ConfigName(c.approach, c.hints) +
+                       "/interval=" + interval.paper,
+                   std::string("interval ") + interval.paper, cfg);
+    }
+  }
+}
+
+void RegisterCacheSweep() {
+  // Paper GPU caches {2, 4, 8, 16} GB -> scaled {2, 4, 8, 16} MB.
+  const struct {
+    Approach approach;
+    HintMode hints;
+  } kConfigs[] = {{Approach::kAdios, HintMode::kNone},
+                  {Approach::kUvm, HintMode::kNone},
+                  {Approach::kScore, HintMode::kNone},
+                  {Approach::kUvm, HintMode::kAll},
+                  {Approach::kScore, HintMode::kAll}};
+  for (std::uint64_t mb : {2, 4, 8, 16}) {
+    for (const auto& c : kConfigs) {
+      harness::ExperimentConfig cfg = Base();
+      cfg.approach = c.approach;
+      cfg.shot.hint_mode = c.hints;
+      cfg.gpu_cache_bytes = mb << 20;
+      RegisterShot(std::string("fig8b/") + harness::ConfigName(c.approach, c.hints) +
+                       "/gpu_cache=" + std::to_string(mb) + "MB",
+                   "gpu cache " + std::to_string(mb) + "MB (" +
+                       std::to_string(mb) + "GB paper)",
+                   cfg);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterIntervalSweep();
+  RegisterCacheSweep();
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Fig. 8: impact of compute interval (8a) and GPU cache size (8b), "
+      "variable sizes, irregular order");
+}

@@ -1,0 +1,58 @@
+// Figures 9a/9b: scalability study — stacked per-process checkpoint and
+// restore throughput for 8 -> 32 GPUs (1 -> 4 DGX nodes), variable-sized
+// checkpoints, in tightly-coupled (9a, barrier per iteration) and
+// embarrassingly-parallel (9b) modes.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ckpt;
+using bench::RegisterShot;
+using harness::Approach;
+using rtm::Coupling;
+using rtm::HintMode;
+
+void RegisterSweep(Coupling coupling, const char* fig) {
+  const struct {
+    Approach approach;
+    HintMode hints;
+  } kConfigs[] = {{Approach::kAdios, HintMode::kNone},
+                  {Approach::kUvm, HintMode::kNone},
+                  {Approach::kScore, HintMode::kNone},
+                  {Approach::kScore, HintMode::kSingle},
+                  {Approach::kScore, HintMode::kAll}};
+  for (int gpus : {8, 16, 24, 32}) {
+    for (const auto& c : kConfigs) {
+      harness::ExperimentConfig cfg;
+      cfg.approach = c.approach;
+      cfg.shot.hint_mode = c.hints;
+      cfg.shot.read_order = rtm::ReadOrder::kReverse;
+      cfg.shot.size_mode = rtm::SizeMode::kVariable;
+      cfg.shot.coupling = coupling;
+      bench::ApplyBenchScale(cfg);
+      // Scalability cells run at 4x the GPU count of the other figures;
+      // halve the shot length so the 40-cell sweep stays tractable (the
+      // flat-scaling trend does not depend on the history length).
+      cfg.shot.num_ckpts /= 2;
+      cfg.shot.trace.num_snapshots = cfg.shot.num_ckpts;
+      cfg.num_ranks = gpus;
+      cfg.topology.nodes = (gpus + cfg.topology.gpus_per_node - 1) /
+                           cfg.topology.gpus_per_node;
+      RegisterShot(std::string(fig) + "/" + harness::ConfigName(c.approach, c.hints) +
+                       "/gpus=" + std::to_string(gpus),
+                   std::to_string(gpus) + " GPUs", cfg);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterSweep(Coupling::kTightlyCoupled, "fig9a");
+  RegisterSweep(Coupling::kEmbarrassinglyParallel, "fig9b");
+  return ckpt::bench::BenchMain(
+      argc, argv,
+      "Fig. 9: scalability 8-32 GPUs, variable sizes "
+      "(9a tightly coupled / 9b embarrassingly parallel); "
+      "figure metric = stacked per-process throughput (agg counters)");
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks of the core data structures, including the §4.2 claim
+// that Algorithm 1 is O(N): time per Choose() call must grow linearly with
+// the number of cached fragments (check items_per_second stays flat).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/allocation_table.hpp"
+#include "core/eviction.hpp"
+#include "core/restore_queue.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/rate_limiter.hpp"
+
+namespace {
+
+using namespace ckpt;
+
+std::vector<core::FragmentView> RandomTable(std::int64_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<core::FragmentView> frags;
+  std::uint64_t offset = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    core::FragmentView v;
+    v.offset = offset;
+    v.size = 64 + rng() % 512;
+    const int kind = static_cast<int>(rng() % 10);
+    if (kind == 0) {
+      v.id = core::kGapId;
+    } else {
+      v.id = static_cast<core::EntryId>(i + 1);
+      v.excluded = kind == 1;
+      v.eta = kind == 2 ? 0.5 : 0.0;
+      v.distance = static_cast<double>(rng() % 1000);
+      v.lru_seq = rng() % 100000;
+      v.fifo_seq = static_cast<std::uint64_t>(i);
+    }
+    frags.push_back(v);
+    offset += v.size;
+  }
+  return frags;
+}
+
+/// §4.2 O(N) check: ns/op should scale ~linearly in range(0) (so
+/// items_per_second stays roughly constant across sizes).
+void BM_ScorePolicyChoose(benchmark::State& state) {
+  const auto table = RandomTable(state.range(0), 42);
+  const core::ScorePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Choose(table, 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScorePolicyChoose)->Range(64, 65536);
+
+void BM_LruPolicyChoose(benchmark::State& state) {
+  const auto table = RandomTable(state.range(0), 43);
+  const core::LruPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Choose(table, 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LruPolicyChoose)->Range(256, 16384);
+
+void BM_AllocationTableInsertErase(benchmark::State& state) {
+  core::AllocationTable table(1ull << 30);
+  std::mt19937_64 rng(7);
+  core::EntryId next = 1;
+  std::vector<core::EntryId> live;
+  for (auto _ : state) {
+    if (live.size() < 512 && (live.empty() || rng() % 2 == 0)) {
+      const auto snap = table.Snapshot();
+      for (const auto& f : snap) {
+        if (f.is_gap() && f.size >= 4096) {
+          const core::EntryId id = next++;
+          benchmark::DoNotOptimize(table.Insert(id, f.offset, 4096));
+          live.push_back(id);
+          break;
+        }
+      }
+    } else {
+      const std::size_t idx = rng() % live.size();
+      benchmark::DoNotOptimize(table.Erase(live[idx]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+}
+BENCHMARK(BM_AllocationTableInsertErase);
+
+void BM_RestoreQueueDistance(benchmark::State& state) {
+  core::RestoreQueue q;
+  const auto n = static_cast<core::Version>(state.range(0));
+  for (core::Version v = 0; v < n; ++v) q.Enqueue(v);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.DistanceOf(rng() % n));
+  }
+}
+BENCHMARK(BM_RestoreQueueDistance)->Range(64, 65536);
+
+void BM_RateLimiterUnlimitedAcquire(benchmark::State& state) {
+  util::RateLimiter rl(0);
+  for (auto _ : state) {
+    rl.Acquire(64 << 10);
+  }
+  state.SetBytesProcessed(state.iterations() * (64 << 10));
+}
+BENCHMARK(BM_RateLimiterUnlimitedAcquire);
+
+void BM_MpmcQueuePushPop(benchmark::State& state) {
+  util::MpmcQueue<std::uint64_t> q;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.Push(v++);
+    benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

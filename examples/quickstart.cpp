@@ -1,0 +1,97 @@
+// Quickstart: the smallest complete program using the checkpoint runtime.
+//
+// Mirrors Listing 1 of the paper: a forward pass writes a history of
+// checkpoints from (simulated) GPU memory, hints announce the reverse read
+// order, and a backward pass restores them — with the runtime caching,
+// flushing and prefetching across GPU cache -> pinned host cache -> SSD.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "api/veloc.hpp"
+#include "rtm/workload.hpp"  // FillPattern/CheckPattern demo payloads
+#include "storage/mem_store.hpp"
+#include "storage/throttled_store.hpp"
+#include "util/stats.hpp"
+
+using namespace ckpt;
+
+int main() {
+  // 1. The simulated machine: one DGX-like node (see DESIGN.md §2 for the
+  //    GPU-substitution rationale; on real hardware this layer would be
+  //    CUDA + the actual storage mounts).
+  sim::Cluster cluster(sim::TopologyConfig::Scaled());
+
+  // 2. Durable tiers: node-local SSD + parallel file system.
+  auto ssd = storage::MakeSsdStore(cluster.topology(),
+                                   std::make_shared<storage::MemStore>());
+  auto pfs = storage::MakePfsStore(cluster.topology(),
+                                   std::make_shared<storage::MemStore>());
+
+  // 3. The checkpoint engine: 4 MB GPU cache + 32 MB pinned host cache per
+  //    process (the paper's §5.3.4 configuration, scaled).
+  core::EngineOptions opts;
+  core::Engine engine(cluster, ssd, pfs, opts, /*num_ranks=*/1);
+
+  // 4. A VELOC-style client for process 0.
+  api::VelocClient veloc(engine, cluster, /*rank=*/0);
+
+  constexpr int kNumCkpts = 64;
+  constexpr std::uint64_t kSize = 128 << 10;  // 128 KB (128 MB paper-scale)
+
+  auto buf = cluster.device(0).Allocate(kSize);
+  if (!buf.ok()) {
+    std::fprintf(stderr, "device alloc failed: %s\n",
+                 buf.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Listing 1 ---------------------------------------------------------
+  for (int ver = kNumCkpts - 1; ver >= 0; --ver) {  // announce reverse order
+    veloc.PrefetchEnqueue(static_cast<core::Version>(ver));
+  }
+  veloc.MemProtect(1, *buf, kSize);
+  for (int ver = 0; ver < kNumCkpts; ++ver) {       // forward pass
+    rtm::FillPattern(0, static_cast<core::Version>(ver), *buf, kSize);
+    if (auto st = veloc.Checkpoint("quickstart", static_cast<core::Version>(ver));
+        !st.ok()) {
+      std::fprintf(stderr, "checkpoint %d failed: %s\n", ver,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  veloc.PrefetchStart();
+  int verified = 0;
+  for (int ver = kNumCkpts - 1; ver >= 0; --ver) {  // backward pass
+    auto size = veloc.RecoverSize(static_cast<core::Version>(ver), 1);
+    veloc.MemProtect(1, *buf, *size);
+    if (auto st = veloc.Restart(static_cast<core::Version>(ver)); !st.ok()) {
+      std::fprintf(stderr, "restore %d failed: %s\n", ver,
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (rtm::CheckPattern(0, static_cast<core::Version>(ver), *buf, *size)) {
+      ++verified;
+    }
+  }
+  // ------------------------------------------------------------------------
+
+  const auto& m = veloc.metrics();
+  std::printf("quickstart: %d/%d checkpoints restored and verified\n", verified,
+              kNumCkpts);
+  std::printf("  checkpoint throughput: %s\n",
+              util::FormatRate(m.CkptThroughput()).c_str());
+  std::printf("  restore throughput:    %s\n",
+              util::FormatRate(m.RestoreThroughput()).c_str());
+  std::printf("  restores served from:  GPU cache %llu, host cache %llu, "
+              "store %llu\n",
+              static_cast<unsigned long long>(m.restores_from_gpu),
+              static_cast<unsigned long long>(m.restores_from_host),
+              static_cast<unsigned long long>(m.restores_from_store));
+  std::printf("  prefetch promotions:   %llu (+%llu already on GPU)\n",
+              static_cast<unsigned long long>(m.prefetch_promotions),
+              static_cast<unsigned long long>(m.prefetch_gpu_hits));
+
+  (void)cluster.device(0).Free(*buf);
+  return verified == kNumCkpts ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+#include "api/veloc.hpp"
+
+#include "simgpu/copy.hpp"
+
+namespace ckpt::api {
+
+VelocClient::VelocClient(core::Engine& engine, sim::Cluster& cluster,
+                         sim::Rank rank)
+    : engine_(engine), cluster_(cluster), rank_(rank) {}
+
+VelocClient::~VelocClient() {
+  if (pack_buf_ != nullptr) {
+    (void)cluster_.device(rank_).Free(pack_buf_);
+  }
+}
+
+util::Status VelocClient::MemProtect(int region_id, sim::BytePtr ptr,
+                                     std::uint64_t size) {
+  if (ptr == nullptr || size == 0) {
+    return util::InvalidArgument("MemProtect: empty region");
+  }
+  regions_[region_id] = Region{ptr, size};
+  return util::OkStatus();
+}
+
+util::Status VelocClient::MemUnprotect(int region_id) {
+  if (regions_.erase(region_id) == 0) {
+    return util::NotFound("MemUnprotect: region " + std::to_string(region_id));
+  }
+  return util::OkStatus();
+}
+
+std::uint64_t VelocClient::ProtectedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, r] : regions_) total += r.size;
+  return total;
+}
+
+util::Status VelocClient::EnsurePackBuffer(std::uint64_t size) {
+  if (pack_capacity_ >= size) return util::OkStatus();
+  if (pack_buf_ != nullptr) {
+    CKPT_RETURN_IF_ERROR(cluster_.device(rank_).Free(pack_buf_));
+    pack_buf_ = nullptr;
+    pack_capacity_ = 0;
+  }
+  auto mem = cluster_.device(rank_).Allocate(size);
+  if (!mem.ok()) return mem.status();
+  pack_buf_ = *mem;
+  pack_capacity_ = size;
+  return util::OkStatus();
+}
+
+util::Status VelocClient::Checkpoint(const std::string& name, core::Version ver) {
+  (void)name;
+  if (regions_.empty()) {
+    return util::FailedPrecondition("Checkpoint: no protected regions");
+  }
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank_);
+
+  // Single region: zero-copy pass-through.
+  if (regions_.size() == 1) {
+    const Region& r = regions_.begin()->second;
+    manifest_[ver] = {{regions_.begin()->first, r.size}};
+    return engine_.Checkpoint(rank_, ver, r.ptr, r.size);
+  }
+
+  // Multiple regions: pack into a contiguous device buffer first.
+  const std::uint64_t total = ProtectedBytes();
+  CKPT_RETURN_IF_ERROR(EnsurePackBuffer(total));
+  std::uint64_t off = 0;
+  std::vector<std::pair<int, std::uint64_t>> manifest;
+  for (const auto& [id, r] : regions_) {
+    CKPT_RETURN_IF_ERROR(sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                              pack_buf_ + off, r.ptr, r.size,
+                                              sim::MemcpyKind::kD2D));
+    manifest.emplace_back(id, r.size);
+    off += r.size;
+  }
+  manifest_[ver] = std::move(manifest);
+  return engine_.Checkpoint(rank_, ver, pack_buf_, total);
+}
+
+util::Status VelocClient::Restart(core::Version ver) {
+  if (regions_.empty()) {
+    return util::FailedPrecondition("Restart: no protected regions");
+  }
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank_);
+
+  if (regions_.size() == 1) {
+    const Region& r = regions_.begin()->second;
+    return engine_.Restore(rank_, ver, r.ptr, r.size);
+  }
+
+  const std::uint64_t total = ProtectedBytes();
+  CKPT_RETURN_IF_ERROR(EnsurePackBuffer(total));
+  CKPT_RETURN_IF_ERROR(engine_.Restore(rank_, ver, pack_buf_, total));
+  std::uint64_t off = 0;
+  for (const auto& [id, r] : regions_) {
+    CKPT_RETURN_IF_ERROR(sim::ThrottledMemcpy(cluster_.topology(), gpu, r.ptr,
+                                              pack_buf_ + off, r.size,
+                                              sim::MemcpyKind::kD2D));
+    off += r.size;
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> VelocClient::RecoverSize(core::Version ver,
+                                                       int region_id) {
+  auto mit = manifest_.find(ver);
+  if (mit != manifest_.end()) {
+    for (const auto& [id, size] : mit->second) {
+      if (id == region_id) return size;
+    }
+    return util::NotFound("RecoverSize: region " + std::to_string(region_id) +
+                          " not in version " + std::to_string(ver));
+  }
+  // No manifest (restart from a durable store): the whole object is the
+  // single protected region.
+  return engine_.RecoverSize(rank_, ver);
+}
+
+util::Status VelocClient::PrefetchEnqueue(core::Version ver) {
+  return engine_.PrefetchEnqueue(rank_, ver);
+}
+
+util::Status VelocClient::PrefetchStart() { return engine_.PrefetchStart(rank_); }
+
+util::Status VelocClient::WaitForFlushes() { return engine_.WaitForFlushes(rank_); }
+
+}  // namespace ckpt::api

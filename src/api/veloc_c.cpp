@@ -1,0 +1,259 @@
+#include "api/veloc_c.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/veloc.hpp"
+#include "core/engine.hpp"
+#include "storage/file_store.hpp"
+#include "storage/mem_store.hpp"
+#include "storage/throttled_store.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace ckpt;
+
+struct GlobalContext {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::shared_ptr<storage::ObjectStore> ssd;
+  std::shared_ptr<storage::ObjectStore> pfs;
+  std::unique_ptr<core::Engine> engine;  // after cluster: destroyed first
+  std::vector<std::unique_ptr<api::VelocClient>> clients;
+};
+
+std::mutex g_mu;
+std::unique_ptr<GlobalContext> g_ctx;
+thread_local std::string t_error;
+
+int Fail(int code, std::string message) {
+  t_error = std::move(message);
+  return code;
+}
+
+int FromStatus(const util::Status& st) {
+  if (st.ok()) {
+    t_error.clear();
+    return VELOCX_SUCCESS;
+  }
+  t_error = st.ToString();
+  switch (st.code()) {
+    case util::ErrorCode::kInvalidArgument: return VELOCX_EINVAL;
+    case util::ErrorCode::kNotFound: return VELOCX_ENOTFOUND;
+    case util::ErrorCode::kAlreadyExists: return VELOCX_EEXIST;
+    case util::ErrorCode::kOutOfMemory:
+    case util::ErrorCode::kCapacityExceeded: return VELOCX_ENOMEM;
+    case util::ErrorCode::kIoError: return VELOCX_EIO;
+    case util::ErrorCode::kShutdown: return VELOCX_ESHUTDOWN;
+    default: return VELOCX_EINTERNAL;
+  }
+}
+
+/// Looks up the client for `rank`; nullptr (with t_error set) on failure.
+api::VelocClient* ClientFor(int rank) {
+  if (!g_ctx) {
+    t_error = "VELOCX_Init has not been called";
+    return nullptr;
+  }
+  if (rank < 0 || static_cast<std::size_t>(rank) >= g_ctx->clients.size()) {
+    t_error = "rank " + std::to_string(rank) + " out of range";
+    return nullptr;
+  }
+  return g_ctx->clients[static_cast<std::size_t>(rank)].get();
+}
+
+}  // namespace
+
+extern "C" {
+
+int VELOCX_Init(const char* config_text, int num_ranks) {
+  std::lock_guard lock(g_mu);
+  if (g_ctx) return Fail(VELOCX_EINVAL, "runtime already initialized");
+  if (num_ranks <= 0) return Fail(VELOCX_EINVAL, "num_ranks must be positive");
+
+  auto parsed = util::Config::Parse(config_text != nullptr ? config_text : "");
+  if (!parsed.ok()) return FromStatus(parsed.status());
+  const util::Config& cfg = *parsed;
+
+  auto ctx = std::make_unique<GlobalContext>();
+  ctx->cluster = std::make_unique<sim::Cluster>(sim::TopologyConfig::Scaled());
+  if (num_ranks > ctx->cluster->total_gpus()) {
+    return Fail(VELOCX_EINVAL, "num_ranks exceeds simulated GPUs");
+  }
+
+  const std::string ssd_dir = cfg.GetString("ssd_dir", "");
+  std::shared_ptr<storage::ObjectStore> ssd_raw;
+  if (ssd_dir.empty()) {
+    ssd_raw = std::make_shared<storage::MemStore>();
+  } else {
+    auto fs = storage::FileStore::Open(ssd_dir);
+    if (!fs.ok()) return FromStatus(fs.status());
+    ssd_raw = std::shared_ptr<storage::ObjectStore>(std::move(*fs));
+  }
+  ctx->ssd = storage::MakeSsdStore(ctx->cluster->topology(), std::move(ssd_raw));
+  ctx->pfs = storage::MakePfsStore(ctx->cluster->topology(),
+                                   std::make_shared<storage::MemStore>());
+
+  core::EngineOptions opts;
+  opts.gpu_cache_bytes =
+      static_cast<std::uint64_t>(cfg.GetInt("gpu_cache", 4ll << 20));
+  opts.host_cache_bytes =
+      static_cast<std::uint64_t>(cfg.GetInt("host_cache", 32ll << 20));
+  opts.discard_after_restore = cfg.GetBool("discard_after_restore", false);
+  opts.gpudirect = cfg.GetBool("gpudirect", false);
+  const std::string eviction = cfg.GetString("eviction", "score");
+  if (eviction == "score") {
+    opts.eviction = core::EvictionKind::kScore;
+  } else if (eviction == "lru") {
+    opts.eviction = core::EvictionKind::kLru;
+  } else if (eviction == "fifo") {
+    opts.eviction = core::EvictionKind::kFifo;
+  } else if (eviction == "greedy-gap") {
+    opts.eviction = core::EvictionKind::kGreedyGap;
+  } else {
+    return Fail(VELOCX_EINVAL, "unknown eviction policy '" + eviction + "'");
+  }
+  const std::string terminal = cfg.GetString("terminal_tier", "ssd");
+  if (terminal == "ssd") {
+    opts.terminal_tier = core::Tier::kSsd;
+  } else if (terminal == "pfs") {
+    opts.terminal_tier = core::Tier::kPfs;
+  } else {
+    return Fail(VELOCX_EINVAL, "unknown terminal tier '" + terminal + "'");
+  }
+
+  ctx->engine = std::make_unique<core::Engine>(*ctx->cluster, ctx->ssd, ctx->pfs,
+                                               opts, num_ranks);
+  for (int r = 0; r < num_ranks; ++r) {
+    ctx->clients.push_back(
+        std::make_unique<api::VelocClient>(*ctx->engine, *ctx->cluster, r));
+  }
+  g_ctx = std::move(ctx);
+  t_error.clear();
+  return VELOCX_SUCCESS;
+}
+
+int VELOCX_Finalize(void) {
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return VELOCX_SUCCESS;
+  for (auto& client : g_ctx->clients) {
+    (void)client->WaitForFlushes();
+  }
+  g_ctx->clients.clear();  // clients reference the engine: drop them first
+  g_ctx->engine->Shutdown();
+  g_ctx.reset();
+  t_error.clear();
+  return VELOCX_SUCCESS;
+}
+
+int VELOCX_Device_alloc(int rank, size_t size, void** out_ptr) {
+  if (out_ptr == nullptr) return Fail(VELOCX_EINVAL, "null out_ptr");
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  if (rank < 0 || static_cast<std::size_t>(rank) >= g_ctx->clients.size()) {
+    return Fail(VELOCX_EINVAL, "rank out of range");
+  }
+  auto ptr = g_ctx->cluster->device(rank).Allocate(size);
+  if (!ptr.ok()) return FromStatus(ptr.status());
+  *out_ptr = *ptr;
+  return VELOCX_SUCCESS;
+}
+
+int VELOCX_Device_free(int rank, void* ptr) {
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  if (rank < 0 || static_cast<std::size_t>(rank) >= g_ctx->clients.size()) {
+    return Fail(VELOCX_EINVAL, "rank out of range");
+  }
+  return FromStatus(
+      g_ctx->cluster->device(rank).Free(static_cast<sim::BytePtr>(ptr)));
+}
+
+int VELOCX_Mem_protect(int rank, int region_id, void* ptr, size_t size) {
+  std::lock_guard lock(g_mu);
+  api::VelocClient* c = ClientFor(rank);
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(
+      c->MemProtect(region_id, static_cast<sim::BytePtr>(ptr), size));
+}
+
+int VELOCX_Mem_unprotect(int rank, int region_id) {
+  std::lock_guard lock(g_mu);
+  api::VelocClient* c = ClientFor(rank);
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(c->MemUnprotect(region_id));
+}
+
+int VELOCX_Checkpoint(int rank, const char* name, uint64_t version) {
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  // No global lock across the blocking transfer: ranks checkpoint in
+  // parallel, as with the C++ API.
+  return FromStatus(c->Checkpoint(name != nullptr ? name : "", version));
+}
+
+int VELOCX_Restart(int rank, uint64_t version) {
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(c->Restart(version));
+}
+
+int VELOCX_Recover_size(int rank, uint64_t version, int region_id,
+                        size_t* out_size) {
+  if (out_size == nullptr) return Fail(VELOCX_EINVAL, "null out_size");
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  auto size = c->RecoverSize(version, region_id);
+  if (!size.ok()) return FromStatus(size.status());
+  *out_size = *size;
+  t_error.clear();
+  return VELOCX_SUCCESS;
+}
+
+int VELOCX_Checkpoint_wait(int rank) {
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(c->WaitForFlushes());
+}
+
+int VELOCX_Prefetch_enqueue(int rank, uint64_t version) {
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(c->PrefetchEnqueue(version));
+}
+
+int VELOCX_Prefetch_start(int rank) {
+  api::VelocClient* c;
+  {
+    std::lock_guard lock(g_mu);
+    c = ClientFor(rank);
+  }
+  if (c == nullptr) return VELOCX_EINVAL;
+  return FromStatus(c->PrefetchStart());
+}
+
+const char* VELOCX_Error_string(void) { return t_error.c_str(); }
+
+}  // extern "C"

@@ -1,0 +1,71 @@
+/* C API for the checkpoint runtime, mirroring the VELOC C interface the
+ * paper's Listing 1 is written against (VELOC_Init / VELOC_Mem_protect /
+ * VELOC_Checkpoint / VELOC_Restart / VELOC_Recover_size plus the paper's
+ * new VELOC_Prefetch_enqueue / VELOC_Prefetch_start). Prefixed VELOCX_ to
+ * avoid colliding with a real libveloc.
+ *
+ * The shim owns the whole stack (simulated cluster, durable stores, engine)
+ * as a process-global context configured from a key=value string:
+ *
+ *   gpu_cache = 4Mi, host_cache = 32Mi, eviction = score,
+ *   gpudirect = false, discard_after_restore = false,
+ *   terminal_tier = ssd | pfs, ssd_dir = /path  (empty = in-memory store)
+ *
+ * All functions return VELOCX_SUCCESS (0) or a negative error code;
+ * VELOCX_Error_string() describes the most recent failure on this thread.
+ */
+#ifndef CKPT_API_VELOC_C_H_
+#define CKPT_API_VELOC_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+enum {
+  VELOCX_SUCCESS = 0,
+  VELOCX_EINVAL = -1,      /* bad argument / bad config */
+  VELOCX_ENOTFOUND = -2,   /* unknown checkpoint version */
+  VELOCX_EEXIST = -3,      /* version already written */
+  VELOCX_ENOMEM = -4,      /* device allocation failure */
+  VELOCX_EIO = -5,         /* storage failure / corruption */
+  VELOCX_ESHUTDOWN = -6,   /* runtime finalized */
+  VELOCX_EINTERNAL = -7,   /* any other failure */
+};
+
+/* Builds the global runtime for `num_ranks` simulated GPU processes.
+ * `config_text` may be NULL for defaults. Fails if already initialized. */
+int VELOCX_Init(const char* config_text, int num_ranks);
+
+/* Tears the runtime down; waits for in-flight transfers. Idempotent. */
+int VELOCX_Finalize(void);
+
+/* Device memory helpers so pure-C clients can obtain "GPU" buffers. */
+int VELOCX_Device_alloc(int rank, size_t size, void** out_ptr);
+int VELOCX_Device_free(int rank, void* ptr);
+
+/* Classic VELOC primitives. */
+int VELOCX_Mem_protect(int rank, int region_id, void* ptr, size_t size);
+int VELOCX_Mem_unprotect(int rank, int region_id);
+int VELOCX_Checkpoint(int rank, const char* name, uint64_t version);
+int VELOCX_Restart(int rank, uint64_t version);
+int VELOCX_Recover_size(int rank, uint64_t version, int region_id,
+                        size_t* out_size);
+/* Blocks until every checkpoint of `rank` is durable (VELOC's
+ * VELOC_Checkpoint_wait). */
+int VELOCX_Checkpoint_wait(int rank);
+
+/* The paper's new primitives (Listing 1, highlighted). */
+int VELOCX_Prefetch_enqueue(int rank, uint64_t version);
+int VELOCX_Prefetch_start(int rank);
+
+/* Description of the most recent error on the calling thread ("" if none). */
+const char* VELOCX_Error_string(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CKPT_API_VELOC_C_H_ */

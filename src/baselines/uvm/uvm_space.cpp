@@ -1,0 +1,315 @@
+#include "baselines/uvm/uvm_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "simgpu/copy.hpp"
+#include "util/clock.hpp"
+
+namespace ckpt::uvm {
+
+UvmSpace::UvmSpace(sim::Cluster& cluster, sim::Rank rank, UvmConfig config)
+    : cluster_(cluster),
+      rank_(rank),
+      gpu_(cluster.topology().gpu_of_rank(rank)),
+      config_(config) {
+  assert(config_.page_size > 0 && config_.fault_batch_pages > 0);
+}
+
+std::uint64_t UvmSpace::MigrationBytes(std::uint64_t payload) const {
+  const double eff = config_.migration_efficiency;
+  if (eff <= 0.0 || eff >= 1.0) return payload;
+  return static_cast<std::uint64_t>(static_cast<double>(payload) / eff);
+}
+
+std::uint64_t UvmSpace::PagesOf(const Region& r) const {
+  return (r.backing.size() + config_.page_size - 1) / config_.page_size;
+}
+
+util::StatusOr<RegionId> UvmSpace::CreateRegion(std::uint64_t size) {
+  if (size == 0) return util::InvalidArgument("CreateRegion(0)");
+  std::lock_guard lock(mu_);
+  const RegionId id = next_id_++;
+  Region& r = regions_[id];
+  r.backing.resize(size);
+  const std::uint64_t pages = PagesOf(r);
+  r.resident.assign(pages, false);
+  r.dirty.assign(pages, false);
+  r.lru_pos.resize(pages);
+  return id;
+}
+
+util::Status UvmSpace::FreeRegion(RegionId id) {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  Region& r = it->second;
+  for (std::uint64_t p = 0; p < PagesOf(r); ++p) {
+    if (r.resident[p]) DropResident(r, p);
+  }
+  regions_.erase(it);
+  return util::OkStatus();
+}
+
+void UvmSpace::TouchLru(Region& r, RegionId id, std::uint64_t page) {
+  if (r.resident[page]) {
+    lru_.erase(r.lru_pos[page]);
+  }
+  lru_.push_back(Page{id, page});
+  r.lru_pos[page] = std::prev(lru_.end());
+}
+
+void UvmSpace::DropResident(Region& r, std::uint64_t page) {
+  lru_.erase(r.lru_pos[page]);
+  r.resident[page] = false;
+  r.dirty[page] = false;
+  device_used_ -= config_.page_size;
+  ++stats_.pages_evicted;
+}
+
+util::Status UvmSpace::MakeRoom(std::unique_lock<std::mutex>& lock,
+                                std::uint64_t needed) {
+  while (device_used_ + needed > config_.device_cache_bytes) {
+    if (lru_.empty()) {
+      return util::OutOfMemory("UVM device cache exhausted with no evictable page");
+    }
+    const Page victim = lru_.front();
+    Region& r = regions_.at(victim.region);
+    // Migrate-before-evict: dirty pages (and pages preferred on the device)
+    // pay a D2H migration on the way out; clean preferred-host pages leave
+    // for free — this is the asymmetry the paper exploits against UVM.
+    const bool writeback = r.dirty[victim.index] || r.prefer_device;
+    DropResident(r, victim.index);
+    if (writeback) {
+      ++stats_.pages_written_back;
+      lock.unlock();
+      sim::ChargePcie(cluster_.topology(), gpu_, MigrationBytes(config_.page_size),
+                      sim::Topology::LinkDir::kD2H);
+      lock.lock();
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::EnsureResident(std::unique_lock<std::mutex>& lock,
+                                      RegionId id, std::uint64_t first_page,
+                                      std::uint64_t last_page, bool write_alloc,
+                                      bool faulting) {
+  std::uint64_t page = first_page;
+  while (page <= last_page) {
+    auto rit = regions_.find(id);
+    if (rit == regions_.end()) return util::NotFound("region vanished");
+    Region& r = rit->second;
+    // Collect the next batch of non-resident pages. A batch may never
+    // exceed the device cache itself, or MakeRoom could not satisfy it.
+    const std::uint64_t max_batch = std::max<std::uint64_t>(
+        1, std::min(config_.fault_batch_pages,
+                    config_.device_cache_bytes / config_.page_size));
+    std::vector<std::uint64_t> batch;
+    while (page <= last_page && batch.size() < max_batch) {
+      if (!r.resident[page]) {
+        batch.push_back(page);
+      } else {
+        TouchLru(r, id, page);
+      }
+      ++page;
+    }
+    if (batch.empty()) continue;
+
+    CKPT_RETURN_IF_ERROR(
+        MakeRoom(lock, config_.page_size * batch.size()));
+    // MakeRoom may have dropped the lock; re-resolve and skip pages that
+    // became resident meanwhile (another thread may have faulted them in).
+    Region& r2 = regions_.at(id);
+    std::uint64_t migrate_pages = 0;
+    for (std::uint64_t p : batch) {
+      if (r2.resident[p]) continue;
+      r2.resident[p] = true;
+      device_used_ += config_.page_size;
+      lru_.push_back(Page{id, p});
+      r2.lru_pos[p] = std::prev(lru_.end());
+      if (write_alloc) r2.dirty[p] = true;
+      ++migrate_pages;
+    }
+    if (migrate_pages == 0) continue;
+    stats_.pages_migrated_in += migrate_pages;
+
+    // Pay the fault replay latency and (for reads) the H2D migration.
+    std::uint64_t latency = 0;
+    if (faulting) {
+      ++stats_.faults;
+      latency = r2.accessed_by ? config_.fault_latency_ns / 2
+                               : config_.fault_latency_ns;
+    } else {
+      stats_.prefetched_pages += migrate_pages;
+    }
+    const bool pay_migration = !write_alloc;  // first-touch writes allocate only
+    lock.unlock();
+    if (latency > 0) {
+      util::PreciseSleep(std::chrono::nanoseconds(latency));
+    }
+    if (pay_migration) {
+      sim::ChargePcie(cluster_.topology(), gpu_,
+                      MigrationBytes(config_.page_size * migrate_pages));
+    }
+    lock.lock();
+  }
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::DeviceWrite(RegionId id, std::uint64_t offset,
+                                   sim::ConstBytePtr src, std::uint64_t n) {
+  if (src == nullptr || n == 0) return util::InvalidArgument("DeviceWrite: empty");
+  std::unique_lock lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  if (offset + n > it->second.backing.size()) {
+    return util::InvalidArgument("DeviceWrite: out of region bounds");
+  }
+  const std::uint64_t first = offset / config_.page_size;
+  const std::uint64_t last = (offset + n - 1) / config_.page_size;
+  CKPT_RETURN_IF_ERROR(EnsureResident(lock, id, first, last,
+                                      /*write_alloc=*/true, /*faulting=*/true));
+  Region& r = regions_.at(id);
+  for (std::uint64_t p = first; p <= last; ++p) r.dirty[p] = true;
+  std::byte* dst = r.backing.data() + offset;
+  lock.unlock();
+  // The payload itself moves at on-device bandwidth (the pages are resident
+  // now); the bytes land in the host backing, which is the simulation's
+  // single source of truth.
+  sim::ChargeD2D(cluster_.topology(), gpu_, n);
+  std::memcpy(dst, src, n);
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::DeviceRead(RegionId id, std::uint64_t offset,
+                                  sim::BytePtr dst, std::uint64_t n) {
+  if (dst == nullptr || n == 0) return util::InvalidArgument("DeviceRead: empty");
+  std::unique_lock lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  if (offset + n > it->second.backing.size()) {
+    return util::InvalidArgument("DeviceRead: out of region bounds");
+  }
+  const std::uint64_t first = offset / config_.page_size;
+  const std::uint64_t last = (offset + n - 1) / config_.page_size;
+  CKPT_RETURN_IF_ERROR(EnsureResident(lock, id, first, last,
+                                      /*write_alloc=*/false, /*faulting=*/true));
+  const std::byte* src = regions_.at(id).backing.data() + offset;
+  lock.unlock();
+  sim::ChargeD2D(cluster_.topology(), gpu_, n);
+  std::memcpy(dst, src, n);
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::HostRead(RegionId id, std::uint64_t offset,
+                                sim::BytePtr dst, std::uint64_t n) {
+  if (dst == nullptr || n == 0) return util::InvalidArgument("HostRead: empty");
+  std::unique_lock lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  if (offset + n > it->second.backing.size()) {
+    return util::InvalidArgument("HostRead: out of region bounds");
+  }
+  const std::byte* src = it->second.backing.data() + offset;
+  lock.unlock();
+  sim::ChargeHostMem(cluster_.topology(), gpu_, n);
+  std::memcpy(dst, src, n);
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::Advise(RegionId id, Advice advice) {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  Region& r = it->second;
+  switch (advice) {
+    case Advice::kPreferredLocationHost:
+      r.prefer_host = true;
+      r.prefer_device = false;
+      // Demote resident pages to the LRU front so they evict first (the
+      // paper's consumed-checkpoint optimization). Dirty pages still pay
+      // the D2H writeback on the way out: advising a location never makes
+      // device-only data magically host-resident.
+      for (std::uint64_t p = 0; p < PagesOf(r); ++p) {
+        if (r.resident[p]) {
+          lru_.erase(r.lru_pos[p]);
+          lru_.push_front(Page{id, p});
+          r.lru_pos[p] = lru_.begin();
+        }
+      }
+      break;
+    case Advice::kPreferredLocationDevice:
+      r.prefer_device = true;
+      r.prefer_host = false;
+      break;
+    case Advice::kAccessedBy:
+      r.accessed_by = true;
+      break;
+    case Advice::kUnsetAccessedBy:
+      r.accessed_by = false;
+      break;
+  }
+  return util::OkStatus();
+}
+
+util::Status UvmSpace::PrefetchToDevice(RegionId id) {
+  std::unique_lock lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  const std::uint64_t pages = PagesOf(it->second);
+  return EnsureResident(lock, id, 0, pages - 1, /*write_alloc=*/false,
+                        /*faulting=*/false);
+}
+
+util::Status UvmSpace::EvictRegion(RegionId id) {
+  std::unique_lock lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return util::NotFound("region " + std::to_string(id));
+  Region& r = it->second;
+  std::uint64_t writeback_pages = 0;
+  for (std::uint64_t p = 0; p < PagesOf(r); ++p) {
+    if (!r.resident[p]) continue;
+    if (r.dirty[p] || r.prefer_device) ++writeback_pages;
+    DropResident(r, p);
+  }
+  stats_.pages_written_back += writeback_pages;
+  if (writeback_pages > 0) {
+    lock.unlock();
+    sim::ChargePcie(cluster_.topology(), gpu_,
+                    MigrationBytes(writeback_pages * config_.page_size),
+                    sim::Topology::LinkDir::kD2H);
+  }
+  return util::OkStatus();
+}
+
+std::uint64_t UvmSpace::device_bytes_used() const {
+  std::lock_guard lock(mu_);
+  return device_used_;
+}
+
+std::uint64_t UvmSpace::RegionSize(RegionId id) const {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(id);
+  return it == regions_.end() ? 0 : it->second.backing.size();
+}
+
+bool UvmSpace::FullyResident(RegionId id) const {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return false;
+  const Region& r = it->second;
+  for (std::uint64_t p = 0; p < PagesOf(r); ++p) {
+    if (!r.resident[p]) return false;
+  }
+  return true;
+}
+
+UvmStats UvmSpace::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace ckpt::uvm

@@ -1,0 +1,174 @@
+#include "compress/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace ckpt::compress {
+
+namespace {
+
+// --- RLE -------------------------------------------------------------------
+// Control byte c:
+//   c in [0, 127]   -> literal run: the next c+1 bytes are verbatim
+//   c in [128, 255] -> repeat run: the next byte repeats (c - 126) times,
+//                      i.e. runs of 2..129
+// Worst case: one control byte per 128 literals (+1 tail) -> n + n/128 + 1.
+
+class RleCodec final : public Codec {
+ public:
+  std::uint64_t MaxCompressedSize(std::uint64_t n) const override {
+    return n + n / 128 + 2;
+  }
+
+  util::StatusOr<std::uint64_t> Compress(const std::byte* src, std::uint64_t n,
+                                         std::byte* dst,
+                                         std::uint64_t cap) const override {
+    std::uint64_t in = 0;
+    std::uint64_t out = 0;
+    auto emit = [&](std::byte b) -> bool {
+      if (out >= cap) return false;
+      dst[out++] = b;
+      return true;
+    };
+    while (in < n) {
+      // Measure the run starting at `in`.
+      std::uint64_t run = 1;
+      while (in + run < n && run < 129 && src[in + run] == src[in]) ++run;
+      if (run >= 2) {
+        if (!emit(static_cast<std::byte>(126 + run))) {
+          return util::CapacityExceeded("RLE: output full");
+        }
+        if (!emit(src[in])) return util::CapacityExceeded("RLE: output full");
+        in += run;
+        continue;
+      }
+      // Literal run: scan until the next repeat of >= 3 (a 2-run inside
+      // literals is cheaper left literal) or 128 bytes.
+      std::uint64_t lit = 1;
+      while (in + lit < n && lit < 128) {
+        const std::uint64_t left = n - (in + lit);
+        if (left >= 3 && src[in + lit] == src[in + lit + 1] &&
+            src[in + lit] == src[in + lit + 2]) {
+          break;
+        }
+        ++lit;
+      }
+      if (!emit(static_cast<std::byte>(lit - 1))) {
+        return util::CapacityExceeded("RLE: output full");
+      }
+      if (out + lit > cap) return util::CapacityExceeded("RLE: output full");
+      std::memcpy(dst + out, src + in, lit);
+      out += lit;
+      in += lit;
+    }
+    return out;
+  }
+
+  util::StatusOr<std::uint64_t> Decompress(const std::byte* src, std::uint64_t n,
+                                           std::byte* dst,
+                                           std::uint64_t cap) const override {
+    std::uint64_t in = 0;
+    std::uint64_t out = 0;
+    while (in < n) {
+      const auto c = static_cast<std::uint8_t>(src[in++]);
+      if (c < 128) {
+        const std::uint64_t lit = c + 1u;
+        if (in + lit > n) return util::IoError("RLE: truncated literal run");
+        if (out + lit > cap) return util::CapacityExceeded("RLE: dst full");
+        std::memcpy(dst + out, src + in, lit);
+        in += lit;
+        out += lit;
+      } else {
+        const std::uint64_t run = static_cast<std::uint64_t>(c) - 126;
+        if (in >= n) return util::IoError("RLE: truncated repeat run");
+        if (out + run > cap) return util::CapacityExceeded("RLE: dst full");
+        std::memset(dst + out, static_cast<int>(src[in]), run);
+        ++in;
+        out += run;
+      }
+    }
+    return out;
+  }
+
+  std::string_view name() const override { return "rle"; }
+};
+
+// --- Delta + RLE ------------------------------------------------------------
+// XOR each 64-bit word with its predecessor, then RLE the result. Smooth
+// fields produce long zero runs after the delta. The delta is its own
+// inverse, so decompression is RLE-decode then prefix-XOR.
+
+class DeltaRleCodec final : public Codec {
+ public:
+  std::uint64_t MaxCompressedSize(std::uint64_t n) const override {
+    return rle_.MaxCompressedSize(n);
+  }
+
+  util::StatusOr<std::uint64_t> Compress(const std::byte* src, std::uint64_t n,
+                                         std::byte* dst,
+                                         std::uint64_t cap) const override {
+    std::vector<std::byte> delta(n);
+    ApplyDelta(src, delta.data(), n);
+    return rle_.Compress(delta.data(), n, dst, cap);
+  }
+
+  util::StatusOr<std::uint64_t> Decompress(const std::byte* src, std::uint64_t n,
+                                           std::byte* dst,
+                                           std::uint64_t cap) const override {
+    auto size = rle_.Decompress(src, n, dst, cap);
+    if (!size.ok()) return size;
+    UndoDelta(dst, *size);
+    return size;
+  }
+
+  std::string_view name() const override { return "delta-rle"; }
+
+ private:
+  static void ApplyDelta(const std::byte* src, std::byte* out, std::uint64_t n) {
+    std::uint64_t prev = 0;
+    std::uint64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, src + i, 8);
+      const std::uint64_t d = word ^ prev;
+      std::memcpy(out + i, &d, 8);
+      prev = word;
+    }
+    for (; i < n; ++i) out[i] = src[i];
+  }
+
+  static void UndoDelta(std::byte* buf, std::uint64_t n) {
+    std::uint64_t prev = 0;
+    std::uint64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t d = 0;
+      std::memcpy(&d, buf + i, 8);
+      const std::uint64_t word = d ^ prev;
+      std::memcpy(buf + i, &word, 8);
+      prev = word;
+    }
+  }
+
+  RleCodec rle_;
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> MakeCodec(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kRle: return std::make_unique<RleCodec>();
+    case CodecKind::kDeltaRle: return std::make_unique<DeltaRleCodec>();
+  }
+  return std::make_unique<RleCodec>();
+}
+
+std::string_view to_string(CodecKind kind) noexcept {
+  switch (kind) {
+    case CodecKind::kRle: return "rle";
+    case CodecKind::kDeltaRle: return "delta-rle";
+  }
+  return "?";
+}
+
+}  // namespace ckpt::compress

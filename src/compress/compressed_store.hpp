@@ -1,0 +1,54 @@
+// Transparent compression decorator for the durable tiers: Put compresses
+// (keeping the original when the codec does not help), Get decompresses,
+// Size reports the logical (uncompressed) size. Composes with the checksum
+// and bandwidth decorators; the bandwidth models then charge the *stored*
+// (compressed) bytes, which is exactly the I/O saving compression buys.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "compress/codec.hpp"
+#include "storage/object_store.hpp"
+
+namespace ckpt::compress {
+
+class CompressedStore final : public storage::ObjectStore {
+ public:
+  CompressedStore(std::shared_ptr<storage::ObjectStore> inner, CodecKind kind)
+      : inner_(std::move(inner)), kind_(kind), codec_(MakeCodec(kind)) {}
+
+  util::Status Put(const storage::ObjectKey& key, sim::ConstBytePtr data,
+                   std::uint64_t size) override;
+  util::Status Get(const storage::ObjectKey& key, sim::BytePtr dst,
+                   std::uint64_t size) override;
+  [[nodiscard]] util::StatusOr<std::uint64_t> Size(
+      const storage::ObjectKey& key) const override;
+  [[nodiscard]] bool Exists(const storage::ObjectKey& key) const override {
+    return inner_->Exists(key);
+  }
+  util::Status Erase(const storage::ObjectKey& key) override {
+    return inner_->Erase(key);
+  }
+  [[nodiscard]] std::vector<storage::ObjectKey> Keys() const override {
+    return inner_->Keys();
+  }
+  [[nodiscard]] std::uint64_t TotalBytes() const override {
+    return inner_->TotalBytes();
+  }
+
+  /// Cumulative logical vs stored bytes (telemetry; ratio = logical/stored).
+  [[nodiscard]] std::uint64_t logical_bytes() const noexcept { return logical_; }
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept { return stored_; }
+
+  static constexpr std::uint64_t kHeaderBytes = 13;  // magic u32 | raw u64 | codec u8
+
+ private:
+  std::shared_ptr<storage::ObjectStore> inner_;
+  CodecKind kind_;
+  std::unique_ptr<Codec> codec_;
+  std::atomic<std::uint64_t> logical_{0};
+  std::atomic<std::uint64_t> stored_{0};
+};
+
+}  // namespace ckpt::compress

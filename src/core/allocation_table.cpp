@@ -1,0 +1,172 @@
+#include "core/allocation_table.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ckpt::core {
+
+AllocationTable::AllocationTable(std::uint64_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) {
+    frags_[0] = Fragment{0, capacity_, kGapId};
+  }
+}
+
+util::Status AllocationTable::Insert(EntryId id, std::uint64_t offset,
+                                     std::uint64_t size) {
+  if (id == kGapId) return util::InvalidArgument("Insert: reserved gap id");
+  if (size == 0) return util::InvalidArgument("Insert: zero size");
+  if (entries_.count(id) != 0) {
+    return util::AlreadyExists("Insert: id " + std::to_string(id));
+  }
+  // Find the fragment containing `offset`.
+  auto it = frags_.upper_bound(offset);
+  if (it == frags_.begin()) return util::InvalidArgument("Insert: bad offset");
+  --it;
+  Fragment gap = it->second;
+  if (!gap.is_gap() || offset < gap.offset ||
+      offset + size > gap.offset + gap.size) {
+    return util::InvalidArgument("Insert: range not inside a single gap");
+  }
+  frags_.erase(it);
+  if (offset > gap.offset) {
+    frags_[gap.offset] = Fragment{gap.offset, offset - gap.offset, kGapId};
+  }
+  frags_[offset] = Fragment{offset, size, id};
+  const std::uint64_t tail = gap.offset + gap.size - (offset + size);
+  if (tail > 0) {
+    frags_[offset + size] = Fragment{offset + size, tail, kGapId};
+  }
+  entries_[id] = offset;
+  used_ += size;
+  return util::OkStatus();
+}
+
+util::Status AllocationTable::Erase(EntryId id) {
+  auto eit = entries_.find(id);
+  if (eit == entries_.end()) {
+    return util::NotFound("Erase: id " + std::to_string(id));
+  }
+  const std::uint64_t offset = eit->second;
+  entries_.erase(eit);
+  auto fit = frags_.find(offset);
+  used_ -= fit->second.size;
+  fit->second.id = kGapId;
+  CoalesceAround(offset);
+  return util::OkStatus();
+}
+
+void AllocationTable::CoalesceAround(std::uint64_t offset) {
+  auto it = frags_.find(offset);
+  if (it == frags_.end() || !it->second.is_gap()) return;
+  // Merge with following gap.
+  auto next = std::next(it);
+  if (next != frags_.end() && next->second.is_gap()) {
+    it->second.size += next->second.size;
+    frags_.erase(next);
+  }
+  // Merge with preceding gap.
+  if (it != frags_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.is_gap()) {
+      prev->second.size += it->second.size;
+      frags_.erase(it);
+    }
+  }
+}
+
+util::Status AllocationTable::Overwrite(EntryId id, std::uint64_t offset,
+                                        std::uint64_t span, std::uint64_t size) {
+  if (id == kGapId) return util::InvalidArgument("Overwrite: reserved gap id");
+  if (size == 0 || size > span) {
+    return util::InvalidArgument("Overwrite: need 0 < size <= span");
+  }
+  if (entries_.count(id) != 0) {
+    return util::AlreadyExists("Overwrite: id " + std::to_string(id));
+  }
+  auto it = frags_.find(offset);
+  if (it == frags_.end() || !it->second.is_gap() || it->second.size < span) {
+    return util::FailedPrecondition(
+        "Overwrite: [offset, offset+span) is not one coalesced gap");
+  }
+  const Fragment gap = it->second;
+  frags_.erase(it);
+  frags_[offset] = Fragment{offset, size, id};
+  entries_[id] = offset;
+  used_ += size;
+  const std::uint64_t tail = gap.size - size;
+  if (tail > 0) {
+    frags_[offset + size] = Fragment{offset + size, tail, kGapId};
+    CoalesceAround(offset + size);
+  }
+  return util::OkStatus();
+}
+
+std::optional<Fragment> AllocationTable::Find(EntryId id) const {
+  auto eit = entries_.find(id);
+  if (eit == entries_.end()) return std::nullopt;
+  return frags_.at(eit->second);
+}
+
+std::optional<Fragment> AllocationTable::GapContaining(std::uint64_t offset) const {
+  auto it = frags_.upper_bound(offset);
+  if (it == frags_.begin()) return std::nullopt;
+  --it;
+  const Fragment& f = it->second;
+  if (!f.is_gap() || offset >= f.offset + f.size) return std::nullopt;
+  return f;
+}
+
+std::vector<Fragment> AllocationTable::Snapshot() const {
+  std::vector<Fragment> out;
+  out.reserve(frags_.size());
+  for (const auto& [off, frag] : frags_) out.push_back(frag);
+  return out;
+}
+
+std::uint64_t AllocationTable::largest_gap() const {
+  std::uint64_t best = 0;
+  for (const auto& [off, frag] : frags_) {
+    if (frag.is_gap()) best = std::max(best, frag.size);
+  }
+  return best;
+}
+
+util::Status AllocationTable::CheckInvariants() const {
+  std::uint64_t expected_offset = 0;
+  std::uint64_t used = 0;
+  bool prev_gap = false;
+  for (const auto& [off, frag] : frags_) {
+    if (frag.offset != off) return util::Internal("key/offset mismatch");
+    if (frag.offset != expected_offset) {
+      return util::Internal("fragments do not tile the buffer at offset " +
+                            std::to_string(frag.offset));
+    }
+    if (frag.size == 0) return util::Internal("zero-size fragment");
+    if (frag.is_gap()) {
+      if (prev_gap) return util::Internal("adjacent gaps not coalesced");
+      prev_gap = true;
+    } else {
+      prev_gap = false;
+      used += frag.size;
+      auto eit = entries_.find(frag.id);
+      if (eit == entries_.end() || eit->second != frag.offset) {
+        return util::Internal("entry index out of sync for id " +
+                              std::to_string(frag.id));
+      }
+    }
+    expected_offset += frag.size;
+  }
+  if (capacity_ > 0 && expected_offset != capacity_) {
+    return util::Internal("fragments do not cover the full capacity");
+  }
+  if (used != used_) return util::Internal("used-byte accounting drift");
+  if (entries_.size() !=
+      static_cast<std::size_t>(std::count_if(
+          frags_.begin(), frags_.end(),
+          [](const auto& kv) { return !kv.second.is_gap(); }))) {
+    return util::Internal("entry count mismatch");
+  }
+  return util::OkStatus();
+}
+
+}  // namespace ckpt::core

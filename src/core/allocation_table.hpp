@@ -1,0 +1,90 @@
+// Allocation table `A` of a contiguous cache buffer (§4.2): an offset-ordered
+// sequence of fragments, each either a checkpoint entry or a gap. Gaps are
+// first-class fragments (Algorithm 1 scores them with the highest eviction
+// priority) and are kept coalesced: the table never contains two adjacent
+// gaps.
+//
+// The table is a pure data structure — no locking, no knowledge of
+// checkpoint states. The engine provides scores; the eviction policy picks
+// windows; this class guarantees the geometric invariants:
+//   * fragments tile [0, capacity) exactly (no holes, no overlap);
+//   * offsets strictly increase;
+//   * adjacent gaps are merged;
+//   * every entry id appears at most once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ckpt::core {
+
+/// Entry identifier within a cache buffer. The engine uses checkpoint
+/// versions; kGapId marks gap fragments.
+using EntryId = std::uint64_t;
+inline constexpr EntryId kGapId = ~0ull;
+
+struct Fragment {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  EntryId id = kGapId;
+
+  [[nodiscard]] bool is_gap() const noexcept { return id == kGapId; }
+  friend bool operator==(const Fragment&, const Fragment&) = default;
+};
+
+class AllocationTable {
+ public:
+  explicit AllocationTable(std::uint64_t capacity);
+
+  /// Carves an entry out of the gap containing [offset, offset+size).
+  /// Fails if the range is not fully inside one gap or the id exists.
+  util::Status Insert(EntryId id, std::uint64_t offset, std::uint64_t size);
+
+  /// Converts the entry back into a gap and coalesces neighbours.
+  util::Status Erase(EntryId id);
+
+  /// Replaces the fragment run covering exactly [offset, offset+span) with a
+  /// new entry of `size` (<= span) at `offset` followed by a gap of
+  /// span-size bytes. Every checkpoint fragment in the run must have been
+  /// Erase()d by the caller beforehand, i.e. the run must be one coalesced
+  /// gap. This is the commit step of Algorithm 1.
+  util::Status Overwrite(EntryId id, std::uint64_t offset, std::uint64_t span,
+                         std::uint64_t size);
+
+  [[nodiscard]] std::optional<Fragment> Find(EntryId id) const;
+  /// The gap fragment containing byte `offset`, if that byte is in a gap.
+  /// Used by the commit step after victims were erased (their gaps may have
+  /// coalesced with neighbours outside the chosen window).
+  [[nodiscard]] std::optional<Fragment> GapContaining(std::uint64_t offset) const;
+  [[nodiscard]] bool Contains(EntryId id) const { return Find(id).has_value(); }
+
+  /// Fragments in offset order. O(N) snapshot used by eviction planning.
+  [[nodiscard]] std::vector<Fragment> Snapshot() const;
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t gap_bytes() const noexcept { return capacity_ - used_; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t fragment_count() const noexcept { return frags_.size(); }
+  /// Size of the largest single gap (fragmentation probe).
+  [[nodiscard]] std::uint64_t largest_gap() const;
+
+  /// Validates all geometric invariants; used by property tests.
+  [[nodiscard]] util::Status CheckInvariants() const;
+
+ private:
+  // frags_: offset -> fragment (gap or entry), tiling [0, capacity).
+  std::map<std::uint64_t, Fragment> frags_;
+  // entries_: id -> offset, for O(log n) lookup.
+  std::map<EntryId, std::uint64_t> entries_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+
+  void CoalesceAround(std::uint64_t offset);
+};
+
+}  // namespace ckpt::core

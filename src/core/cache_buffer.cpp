@@ -1,0 +1,67 @@
+#include "core/cache_buffer.hpp"
+
+#include <utility>
+
+namespace ckpt::core {
+
+CacheBuffer::CacheBuffer(std::string name, sim::BytePtr base,
+                         std::uint64_t capacity,
+                         std::unique_ptr<EvictionPolicy> policy)
+    : name_(std::move(name)),
+      base_(base),
+      table_(capacity),
+      policy_(std::move(policy)) {}
+
+util::StatusOr<EvictionWindow> CacheBuffer::Plan(std::uint64_t size,
+                                                 const MetaFn& meta) const {
+  if (size == 0) return util::InvalidArgument("Plan: zero size");
+  if (size > table_.capacity()) {
+    return util::CapacityExceeded(name_ + ": object of " + std::to_string(size) +
+                                  " bytes exceeds capacity " +
+                                  std::to_string(table_.capacity()));
+  }
+  std::vector<Fragment> snapshot = table_.Snapshot();
+  std::vector<FragmentView> views;
+  views.reserve(snapshot.size());
+  for (const Fragment& f : snapshot) {
+    FragmentView v;
+    v.offset = f.offset;
+    v.size = f.size;
+    v.id = f.id;
+    if (!f.is_gap()) meta(f.id, v);
+    views.push_back(v);
+  }
+  auto window = policy_->Choose(views, size);
+  if (!window) {
+    return util::Unavailable(name_ + ": no feasible eviction window");
+  }
+  return *window;
+}
+
+util::StatusOr<std::uint64_t> CacheBuffer::Commit(const EvictionWindow& window,
+                                                  EntryId id, std::uint64_t size) {
+  for (EntryId victim : window.victims) {
+    auto frag = table_.Find(victim);
+    if (!frag) {
+      return util::Internal(name_ + ": victim " + std::to_string(victim) +
+                            " vanished between plan and commit");
+    }
+    evicted_bytes_ += frag->size;
+    ++evictions_;
+    CKPT_RETURN_IF_ERROR(table_.Erase(victim));
+  }
+  // Victim erasure may have coalesced the window with neighbouring gaps;
+  // place the new entry at the containing gap's start to minimize new
+  // fragmentation.
+  auto gap = table_.GapContaining(window.offset);
+  if (!gap || gap->size < size) {
+    return util::Internal(name_ + ": committed window does not form a gap of " +
+                          std::to_string(size) + " bytes");
+  }
+  CKPT_RETURN_IF_ERROR(table_.Overwrite(id, gap->offset, gap->size, size));
+  return gap->offset;
+}
+
+util::Status CacheBuffer::Release(EntryId id) { return table_.Erase(id); }
+
+}  // namespace ckpt::core

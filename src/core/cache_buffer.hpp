@@ -1,0 +1,101 @@
+// A contiguous, pre-allocated cache buffer on one storage tier (§4.1.4).
+// Pairs an AllocationTable with an EvictionPolicy and exposes the
+// plan/commit protocol the engine's blocking reservation loop uses:
+//
+//   1. Plan(size, meta)  — snapshot the table, attach life-cycle metadata
+//      via `meta`, run the policy. Pure; holds no locks of its own.
+//   2. If the returned window has wait_eta == 0, Commit() it atomically
+//      (caller holds the rank lock throughout, so no state can change
+//      between plan and commit). Otherwise wait on the rank cv and re-plan.
+//
+// Re-planning after each wake (instead of committing to a window and
+// sleeping on it, as the paper's pseudocode does) is deliberate: a committed
+// window can become permanently unevictable if one of its checkpoints is
+// promoted to READ_COMPLETE while we sleep, which deadlocks interleaved
+// workloads. Re-planning picks a fresh optimal window each time and
+// preserves the scoring semantics. See DESIGN.md §5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/allocation_table.hpp"
+#include "core/eviction.hpp"
+#include "simgpu/types.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::core {
+
+class CacheBuffer {
+ public:
+  /// `base` points to `capacity` bytes of pre-allocated (and, for the host
+  /// tier, pinned) memory owned by the caller.
+  CacheBuffer(std::string name, sim::BytePtr base, std::uint64_t capacity,
+              std::unique_ptr<EvictionPolicy> policy);
+
+  CacheBuffer(const CacheBuffer&) = delete;
+  CacheBuffer& operator=(const CacheBuffer&) = delete;
+
+  /// Fills life-cycle metadata for one checkpoint fragment. Gaps are scored
+  /// internally by the policy and never passed to this callback.
+  using MetaFn = std::function<void(EntryId, FragmentView&)>;
+
+  /// Runs the eviction policy for a `size`-byte reservation.
+  ///  - kCapacityExceeded: `size` exceeds the whole buffer — caller must
+  ///    fall back to a lower tier.
+  ///  - kUnavailable: no feasible window right now (every run is blocked by
+  ///    excluded fragments) — caller should wait and re-plan.
+  ///  - OK: a window; commit it if wait_eta == 0, else wait and re-plan.
+  [[nodiscard]] util::StatusOr<EvictionWindow> Plan(std::uint64_t size,
+                                                    const MetaFn& meta) const;
+
+  /// Evicts the window's victims and installs `id` in the resulting gap,
+  /// returning the byte offset where `id` was placed (the gap may have
+  /// coalesced with neighbours, so this can be earlier than window.offset).
+  /// The caller must have released the victims' residencies already; the
+  /// window must have wait_eta == 0 when planned under the same lock.
+  util::StatusOr<std::uint64_t> Commit(const EvictionWindow& window, EntryId id,
+                                       std::uint64_t size);
+
+  /// Converts `id`'s fragment back into a gap (explicit release, e.g.
+  /// discarding a consumed checkpoint).
+  util::Status Release(EntryId id);
+
+  [[nodiscard]] std::optional<Fragment> Find(EntryId id) const {
+    return table_.Find(id);
+  }
+  [[nodiscard]] bool Contains(EntryId id) const { return table_.Contains(id); }
+
+  [[nodiscard]] sim::BytePtr PtrAt(std::uint64_t offset) noexcept {
+    return base_ + offset;
+  }
+  [[nodiscard]] sim::ConstBytePtr PtrAt(std::uint64_t offset) const noexcept {
+    return base_ + offset;
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return table_.capacity(); }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return table_.used_bytes(); }
+  [[nodiscard]] std::uint64_t gap_bytes() const noexcept { return table_.gap_bytes(); }
+  [[nodiscard]] std::uint64_t largest_gap() const { return table_.largest_gap(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return table_.entry_count(); }
+  [[nodiscard]] std::size_t fragment_count() const noexcept {
+    return table_.fragment_count();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const AllocationTable& table() const noexcept { return table_; }
+
+  /// Telemetry.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t evicted_bytes() const noexcept { return evicted_bytes_; }
+
+ private:
+  std::string name_;
+  sim::BytePtr base_;
+  AllocationTable table_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t evicted_bytes_ = 0;
+};
+
+}  // namespace ckpt::core

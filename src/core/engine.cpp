@@ -1,0 +1,1131 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+
+#include "simgpu/copy.hpp"
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+
+namespace ckpt::core {
+
+namespace {
+
+using util::Stopwatch;
+
+constexpr auto kReplanMin = std::chrono::microseconds(100);
+constexpr auto kReplanMax = std::chrono::milliseconds(20);
+
+storage::ObjectKey KeyOf(sim::Rank rank, Version v) {
+  return storage::ObjectKey{rank, v};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+Engine::Engine(sim::Cluster& cluster, std::shared_ptr<storage::ObjectStore> ssd,
+               std::shared_ptr<storage::ObjectStore> pfs, EngineOptions options,
+               int num_ranks)
+    : cluster_(cluster), ssd_(std::move(ssd)), pfs_(std::move(pfs)),
+      options_(options) {
+  assert(ssd_ != nullptr && "Engine requires an SSD-tier store");
+  assert(num_ranks > 0 && num_ranks <= cluster_.total_gpus());
+  assert(!(options_.terminal_tier == Tier::kPfs && pfs_ == nullptr) &&
+         "terminal_tier == kPfs requires a PFS store");
+
+  ranks_.reserve(static_cast<std::size_t>(num_ranks));
+  for (sim::Rank r = 0; r < num_ranks; ++r) {
+    auto c = std::make_unique<RankCtx>();
+    c->rank = r;
+    const Stopwatch init_sw;
+
+    // Pre-allocate the GPU cache out of the rank's HBM (§4.1.4). Paying the
+    // allocation cost here, once, is a core design principle.
+    auto gpu_mem = cluster_.device(r).Allocate(options_.gpu_cache_bytes);
+    if (!gpu_mem.ok()) {
+      CKPT_LOG(kError, "engine") << "rank " << r << ": GPU cache allocation failed: "
+                                 << gpu_mem.status();
+      std::abort();
+    }
+    c->gpu_base = *gpu_mem;
+
+    // Host partition size: equal shares by default, or demand-weighted
+    // (future-work extension: load-balance variable-sized checkpoints).
+    std::uint64_t host_bytes = options_.host_cache_bytes;
+    if (!options_.host_cache_weights.empty()) {
+      double total_w = 0;
+      for (double w : options_.host_cache_weights) total_w += w;
+      const double w =
+          r < static_cast<int>(options_.host_cache_weights.size()) && total_w > 0
+              ? options_.host_cache_weights[static_cast<std::size_t>(r)] / total_w
+              : 0.0;
+      host_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(options_.host_cache_bytes) *
+          static_cast<double>(num_ranks) * w);
+      host_bytes = std::max<std::uint64_t>(host_bytes, 64 << 10);
+    }
+    c->host_cache_bytes = host_bytes;
+
+    if (options_.split_flush_prefetch) {
+      const auto pf_gpu = static_cast<std::uint64_t>(
+          static_cast<double>(options_.gpu_cache_bytes) *
+          options_.split_prefetch_fraction);
+      c->gpu_write = std::make_unique<CacheBuffer>(
+          "gpu-w/" + std::to_string(r), c->gpu_base,
+          options_.gpu_cache_bytes - pf_gpu, MakePolicy(options_.eviction));
+      c->gpu_prefetch = std::make_unique<CacheBuffer>(
+          "gpu-p/" + std::to_string(r),
+          c->gpu_base + (options_.gpu_cache_bytes - pf_gpu), pf_gpu,
+          MakePolicy(options_.eviction));
+    } else {
+      c->gpu_write = std::make_unique<CacheBuffer>(
+          "gpu/" + std::to_string(r), c->gpu_base, options_.gpu_cache_bytes,
+          MakePolicy(options_.eviction));
+    }
+
+    // Pre-allocate and pin the host cache (slow: ~4 GB/s registration) —
+    // inline by default, or on a background thread with async_pin_init
+    // ([Maurya et al., HiPC'22]): the application starts checkpointing into
+    // the GPU cache immediately while the host cache registers.
+    const int node = cluster_.topology().node_of_rank(r);
+    RankCtx* cp = c.get();
+    auto build_host = [this, cp, node, r] {
+      auto arena = std::make_unique<sim::PinnedArena>(cluster_.topology(), node,
+                                                      cp->host_cache_bytes);
+      std::unique_ptr<CacheBuffer> write_buf;
+      std::unique_ptr<CacheBuffer> prefetch_buf;
+      if (options_.split_flush_prefetch) {
+        const auto pf_host = static_cast<std::uint64_t>(
+            static_cast<double>(cp->host_cache_bytes) *
+            options_.split_prefetch_fraction);
+        write_buf = std::make_unique<CacheBuffer>(
+            "host-w/" + std::to_string(r), arena->data(),
+            cp->host_cache_bytes - pf_host, MakePolicy(options_.eviction));
+        prefetch_buf = std::make_unique<CacheBuffer>(
+            "host-p/" + std::to_string(r),
+            arena->data() + (cp->host_cache_bytes - pf_host), pf_host,
+            MakePolicy(options_.eviction));
+      } else {
+        write_buf = std::make_unique<CacheBuffer>(
+            "host/" + std::to_string(r), arena->data(), cp->host_cache_bytes,
+            MakePolicy(options_.eviction));
+      }
+      std::lock_guard lock(cp->mu);
+      cp->host_arena = std::move(arena);
+      cp->host_write = std::move(write_buf);
+      cp->host_prefetch = std::move(prefetch_buf);
+      cp->host_ready = true;
+      cp->cv.notify_all();
+    };
+    if (options_.async_pin_init) {
+      c->t_pin = std::jthread(build_host);
+    } else {
+      build_host();
+    }
+
+    c->metrics.init_s = init_sw.ElapsedSec();
+
+    // Dedicated background threads (§4.3.1).
+    RankCtx* ctx_ptr = c.get();
+    c->t_d2h = std::jthread([this, ctx_ptr] { FlushD2HLoop(*ctx_ptr); });
+    c->t_h2f = std::jthread([this, ctx_ptr] { FlushH2FLoop(*ctx_ptr); });
+    c->t_pf = std::jthread([this, ctx_ptr] { PrefetchLoop(*ctx_ptr); });
+
+    ranks_.push_back(std::move(c));
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+void Engine::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& c : ranks_) {
+    {
+      std::lock_guard lock(c->mu);
+      c->shutdown = true;
+    }
+    c->d2h_q.Close();
+    c->h2f_q.Close();
+    c->cv.notify_all();
+  }
+  for (auto& c : ranks_) {
+    if (c->t_pin.joinable()) c->t_pin.join();
+    if (c->t_d2h.joinable()) c->t_d2h.join();
+    if (c->t_h2f.joinable()) c->t_h2f.join();
+    if (c->t_pf.joinable()) c->t_pf.join();
+  }
+  // Release the GPU cache arenas back to the devices.
+  for (auto& c : ranks_) {
+    if (c->gpu_base != nullptr) {
+      (void)cluster_.device(c->rank).Free(c->gpu_base);
+      c->gpu_base = nullptr;
+    }
+  }
+}
+
+Engine::RankCtx& Engine::ctx(sim::Rank rank) {
+  return *ranks_.at(static_cast<std::size_t>(rank));
+}
+const Engine::RankCtx& Engine::ctx(sim::Rank rank) const {
+  return *ranks_.at(static_cast<std::size_t>(rank));
+}
+
+// ---------------------------------------------------------------------------
+// Life-cycle / eviction metadata helpers (ctx.mu held)
+// ---------------------------------------------------------------------------
+
+void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
+  const util::Status st = CheckTransition(rec.state, to);
+  if (!st.ok()) {
+    CKPT_LOG(kError, "engine") << "rank " << ctx_.rank << " ckpt " << rec.version
+                               << ": " << st.ToString();
+    std::abort();  // engine invariant violation, never a user error
+  }
+  rec.state = to;
+  ctx_.cv.notify_all();
+}
+
+bool Engine::SafeBelow(const Record& rec, Tier tier) const {
+  switch (tier) {
+    case Tier::kGpu:
+      return rec.host.valid || rec.on_ssd || rec.on_pfs;
+    case Tier::kHost:
+      return rec.on_ssd || rec.on_pfs;
+    default:
+      return true;  // durable stores are never evicted
+  }
+}
+
+bool Engine::ExcludedOn(const Record& rec, Tier tier) const {
+  const Residency& res = tier == Tier::kGpu ? rec.gpu : rec.host;
+  if (res.busy()) return true;
+  // Condition (4): a prefetched checkpoint is pinned on the fast tier until
+  // consumed.
+  if (tier == Tier::kGpu && StatePinsFastTier(rec.state)) return true;
+  return false;
+}
+
+bool Engine::EvictableNow(const Record& rec, Tier tier) const {
+  if (ExcludedOn(rec, tier)) return false;
+  if (SafeBelow(rec, tier)) return true;
+  // A consumed checkpoint without a lower-tier copy may only be dropped
+  // when condition (5) applies (discardable); otherwise durability still
+  // requires its pending flushes, so the copy must survive until then.
+  return rec.state == CkptState::kConsumed && options_.discard_after_restore;
+}
+
+double Engine::EtaSeconds(const RankCtx& ctx_, const Record& rec, Tier tier) const {
+  if (EvictableNow(rec, tier)) return 0.0;
+  const auto& cfg = cluster_.config();
+  // The fragment is waiting on the flush pipeline: estimate the backlog
+  // drain time on the link it is queued behind (predict_evictable, §4.2).
+  if (tier == Tier::kGpu) {
+    const double bw = static_cast<double>(cfg.pcie_link_bw);
+    if (bw <= 0) return 1e-6;
+    return (static_cast<double>(ctx_.d2h_backlog_bytes) +
+            static_cast<double>(rec.size)) / bw;
+  }
+  const double bw = static_cast<double>(cfg.nvme_drive_bw);
+  if (bw <= 0) return 1e-6;
+  return (static_cast<double>(ctx_.h2f_backlog_bytes) +
+          static_cast<double>(rec.size)) / bw;
+}
+
+CacheBuffer& Engine::BufferFor(RankCtx& ctx_, Tier tier, ReservePurpose purpose) {
+  const bool pf = options_.split_flush_prefetch && purpose == ReservePurpose::kPrefetch;
+  if (tier == Tier::kGpu) return pf ? *ctx_.gpu_prefetch : *ctx_.gpu_write;
+  return pf ? *ctx_.host_prefetch : *ctx_.host_write;
+}
+
+CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, Tier tier) {
+  return [this, &ctx_, tier](EntryId id, FragmentView& v) {
+    auto it = ctx_.records.find(id);
+    if (it == ctx_.records.end()) {
+      v.excluded = true;  // defensive: unknown entry is never evicted
+      return;
+    }
+    const Record& rec = it->second;
+    v.excluded = ExcludedOn(rec, tier);
+    v.eta = v.excluded ? 0.0 : EtaSeconds(ctx_, rec, tier);
+    if (rec.state == CkptState::kConsumed) {
+      v.distance = kConsumedDistance;
+    } else if (auto d = ctx_.hints.DistanceOf(rec.version)) {
+      v.distance = static_cast<double>(*d);
+    } else {
+      v.distance = kUnhintedDistance;
+    }
+    v.lru_seq = rec.lru_seq;
+    v.fifo_seq = rec.fifo_seq;
+  };
+}
+
+util::Status Engine::EvictVictims(RankCtx& ctx_, Tier tier,
+                                  const std::vector<EntryId>& victims) {
+  for (EntryId id : victims) {
+    auto it = ctx_.records.find(id);
+    if (it == ctx_.records.end()) {
+      return util::Internal("eviction victim has no record");
+    }
+    Record& rec = it->second;
+    if (!EvictableNow(rec, tier)) {
+      return util::Internal("eviction victim not evictable at commit time");
+    }
+    (tier == Tier::kGpu ? rec.gpu : rec.host).Clear();
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> Engine::ReserveOn(
+    RankCtx& ctx_, std::unique_lock<std::mutex>& lock, Tier tier,
+    ReservePurpose purpose, Version v, std::uint64_t size,
+    const std::function<bool()>& abort) {
+  if (tier == Tier::kHost) {
+    // async_pin_init: the host cache may still be registering.
+    ctx_.cv.wait(lock, [&] { return ctx_.host_ready || ctx_.shutdown; });
+    if (ctx_.shutdown) return util::ShutdownError("engine stopping");
+  }
+  CacheBuffer& buf = BufferFor(ctx_, tier, purpose);
+  const CacheBuffer::MetaFn meta = MakeMetaFn(ctx_, tier);
+  const Stopwatch wait_sw;
+  double& wait_metric = purpose == ReservePurpose::kPrefetch
+                            ? ctx_.metrics.reserve_wait_prefetch_s
+                            : ctx_.metrics.reserve_wait_write_s;
+  const auto charge_wait = [&] { wait_metric += wait_sw.ElapsedSec(); };
+  for (;;) {
+    ++ctx_.metrics.reserve_rounds;
+    if (ctx_.shutdown) {
+      charge_wait();
+      return util::ShutdownError("engine stopping");
+    }
+    if (abort && abort()) {
+      charge_wait();
+      return util::Cancelled("reservation aborted");
+    }
+    auto plan = buf.Plan(size, meta);
+    if (!plan.ok()) {
+      if (plan.status().code() == util::ErrorCode::kCapacityExceeded) {
+        charge_wait();
+        return plan.status();  // caller falls back to a lower tier
+      }
+      // kUnavailable: everything is pinned right now; wait for a transition.
+      ctx_.cv.wait_for(lock, kReplanMax);
+      continue;
+    }
+    if (plan->wait_eta <= 0.0) {
+      // All victims evictable now and no state can change while we hold the
+      // lock: commit atomically.
+      CKPT_RETURN_IF_ERROR(EvictVictims(ctx_, tier, plan->victims));
+      auto offset = buf.Commit(*plan, v, size);
+      charge_wait();
+      if (!offset.ok()) return offset.status();
+      ctx_.cv.notify_all();
+      return *offset;
+    }
+    // Best window still needs time; sleep roughly that long, then re-plan
+    // (a better window may have appeared — see cache_buffer.hpp).
+    auto wait = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(plan->wait_eta));
+    wait = std::clamp<std::chrono::steady_clock::duration>(wait, kReplanMin,
+                                                           kReplanMax);
+    ctx_.cv.wait_for(lock, wait);
+  }
+}
+
+void Engine::FinishFlush(RankCtx& ctx_, Record& rec) {
+  if (!rec.flush_done) {
+    rec.flush_done = true;
+    --ctx_.inflight_flushes;
+  }
+  if (rec.state == CkptState::kWriteInProgress) {
+    Advance(ctx_, rec, CkptState::kWriteComplete);
+    if (!rec.restore_waiting && !rec.prefetch_claimed) {
+      Advance(ctx_, rec, CkptState::kFlushed);
+    }
+    // Otherwise the pending reader performs WRITE_COMPLETE -> READ_COMPLETE.
+  }
+  ctx_.cv.notify_all();
+}
+
+void Engine::ReleasePin(RankCtx& ctx_, Record& rec) {
+  if (rec.pinned_counted) {
+    ctx_.prefetched_pinned_bytes -= rec.size;
+    --ctx_.prefetched_pinned_count;
+    rec.pinned_counted = false;
+  }
+}
+
+void Engine::AddPin(RankCtx& ctx_, Record& rec) {
+  ctx_.prefetched_pinned_bytes += rec.size;
+  ++ctx_.prefetched_pinned_count;
+  rec.pinned_counted = true;
+}
+
+util::StatusOr<Engine::Record*> Engine::FindOrImport(RankCtx& ctx_, Version v) {
+  auto it = ctx_.records.find(v);
+  if (it != ctx_.records.end()) return &it->second;
+  // Restart path: the object may exist on the durable stores from a
+  // previous engine lifetime.
+  const storage::ObjectKey key = KeyOf(ctx_.rank, v);
+  std::uint64_t size = 0;
+  bool on_ssd = false, on_pfs = false;
+  if (auto s = ssd_->Size(key); s.ok()) {
+    size = *s;
+    on_ssd = true;
+  } else if (pfs_ != nullptr) {
+    if (auto p = pfs_->Size(key); p.ok()) {
+      size = *p;
+      on_pfs = true;
+    }
+  }
+  if (!on_ssd && !on_pfs) {
+    return util::NotFound("checkpoint " + key.ToString() + " unknown");
+  }
+  Record rec;
+  rec.version = v;
+  rec.size = size;
+  rec.state = CkptState::kFlushed;
+  rec.on_ssd = on_ssd;
+  rec.on_pfs = on_pfs;
+  rec.flush_done = true;
+  rec.fifo_seq = ++ctx_.seq_counter;
+  rec.lru_seq = rec.fifo_seq;
+  auto [nit, inserted] = ctx_.records.emplace(v, rec);
+  (void)inserted;
+  return &nit->second;
+}
+
+std::uint64_t Engine::ComputePrefetchDistance(const RankCtx& ctx_) const {
+  // Fig. 7 metric: successor checkpoints already promoted to the GPU cache
+  // and pinned for consumption. The prefetcher promotes in hint order, so
+  // the pinned set is exactly the run of successive hints served ahead of
+  // the application (modulo deviation, where the count is an upper bound).
+  return ctx_.prefetched_pinned_count;
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src,
+                                std::uint64_t size) {
+  if (src == nullptr || size == 0) {
+    return util::InvalidArgument("Checkpoint: empty payload");
+  }
+  const Stopwatch sw;
+  RankCtx& c = ctx(rank);
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
+  std::unique_lock lock(c.mu);
+  if (c.shutdown) return util::ShutdownError("engine stopping");
+  if (c.records.count(v) != 0) {
+    return util::AlreadyExists("checkpoint version " + std::to_string(v) +
+                               " already written (checkpoints are immutable)");
+  }
+  Record& rec = c.records[v];
+  rec.version = v;
+  rec.size = size;
+  rec.fifo_seq = ++c.seq_counter;
+  rec.lru_seq = rec.fifo_seq;
+  Advance(c, rec, CkptState::kWriteInProgress);
+  ++c.inflight_flushes;
+
+  auto cleanup_failure = [&](const util::Status& st) {
+    --c.inflight_flushes;
+    c.records.erase(v);
+    c.cv.notify_all();
+    return st;
+  };
+
+  // Fast path: into the GPU cache, then hand off to T_D2H (§4.3.2).
+  auto goff = ReserveOn(c, lock, Tier::kGpu, ReservePurpose::kWrite, v, size,
+                        /*abort=*/{});
+  if (goff.ok()) {
+    rec.gpu.offset = *goff;
+    rec.gpu.io_pending = true;
+    rec.gpu.part = ReservePurpose::kWrite;
+    sim::BytePtr dst = BufferFor(c, Tier::kGpu, ReservePurpose::kWrite).PtrAt(*goff);
+    lock.unlock();
+    const util::Status st =
+        sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size,
+                             sim::MemcpyKind::kD2D);
+    lock.lock();
+    rec.gpu.io_pending = false;
+    if (!st.ok()) {
+      (void)BufferFor(c, Tier::kGpu, ReservePurpose::kWrite).Release(v);
+      rec.gpu.Clear();
+      return cleanup_failure(st);
+    }
+    rec.gpu.valid = true;
+    c.d2h_backlog_bytes += size;
+    c.cv.notify_all();
+    lock.unlock();
+    c.d2h_q.Push(v);
+  } else if (goff.status().code() == util::ErrorCode::kCapacityExceeded) {
+    // Oversize for the GPU cache: write through to the host cache.
+    auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kWrite, v, size,
+                          /*abort=*/{});
+    if (hoff.ok()) {
+      rec.host.offset = *hoff;
+      rec.host.io_pending = true;
+      rec.host.part = ReservePurpose::kWrite;
+      sim::BytePtr dst =
+          BufferFor(c, Tier::kHost, ReservePurpose::kWrite).PtrAt(*hoff);
+      lock.unlock();
+      const util::Status st =
+          sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size,
+                               sim::MemcpyKind::kD2H);
+      lock.lock();
+      rec.host.io_pending = false;
+      if (!st.ok()) {
+        (void)BufferFor(c, Tier::kHost, ReservePurpose::kWrite).Release(v);
+        rec.host.Clear();
+        return cleanup_failure(st);
+      }
+      rec.host.valid = true;
+      c.h2f_backlog_bytes += size;
+      c.cv.notify_all();
+      lock.unlock();
+      c.h2f_q.Push(v);
+    } else if (hoff.status().code() == util::ErrorCode::kCapacityExceeded) {
+      // Oversize for both caches: synchronous write-through to the store.
+      lock.unlock();
+      sim::PinnedArena staging(cluster_.topology(),
+                               cluster_.topology().node_of_rank(rank), size);
+      util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                             staging.data(), src, size,
+                                             sim::MemcpyKind::kD2H);
+      if (st.ok()) st = ssd_->Put(KeyOf(rank, v), staging.data(), size);
+      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
+        st = pfs_->Put(KeyOf(rank, v), staging.data(), size);
+      }
+      lock.lock();
+      if (!st.ok()) return cleanup_failure(st);
+      rec.on_ssd = true;
+      if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
+      FinishFlush(c, rec);
+    } else {
+      return cleanup_failure(hoff.status());
+    }
+  } else {
+    return cleanup_failure(goff.status());
+  }
+
+  if (!lock.owns_lock()) lock.lock();
+  c.metrics.ckpt_block_s.Add(sw.ElapsedSec());
+  c.metrics.bytes_checkpointed += size;
+  return util::OkStatus();
+}
+
+util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
+                             std::uint64_t capacity) {
+  if (dst == nullptr) return util::InvalidArgument("Restore: null buffer");
+  const Stopwatch sw;
+  RankCtx& c = ctx(rank);
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
+  std::unique_lock lock(c.mu);
+  if (c.shutdown) return util::ShutdownError("engine stopping");
+
+  auto rec_or = FindOrImport(c, v);
+  if (!rec_or.ok()) return rec_or.status();
+  Record& rec = **rec_or;
+  if (capacity < rec.size) {
+    return util::InvalidArgument("Restore: buffer of " + std::to_string(capacity) +
+                                 " bytes < checkpoint size " +
+                                 std::to_string(rec.size));
+  }
+
+  const std::uint64_t pdist = ComputePrefetchDistance(c);
+  rec.restore_waiting = true;
+  rec.lru_seq = ++c.seq_counter;
+  c.hints.Drop(v);  // deviation-proofing: this read satisfies its hint
+  c.cv.notify_all();
+
+  // If the prefetcher owns an in-flight promotion of this version, wait for
+  // it rather than issuing a duplicate transfer (§4.3.2). The prefetcher
+  // aborts stuck promotions when it sees restore_waiting, so this wait is
+  // bounded.
+  bool waited_promotion = false;
+  while (rec.prefetch_claimed && !rec.gpu.valid && !c.shutdown) {
+    waited_promotion = true;
+    c.cv.wait(lock);
+  }
+  if (c.shutdown) {
+    rec.restore_waiting = false;
+    return util::ShutdownError("engine stopping");
+  }
+
+  util::Status st;
+  if (rec.gpu.valid) {
+    ++rec.gpu.read_refs;
+    sim::ConstBytePtr src =
+        BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+    lock.unlock();
+    st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, rec.size,
+                              sim::MemcpyKind::kD2D);
+    lock.lock();
+    --rec.gpu.read_refs;
+    ++c.metrics.restores_from_gpu;
+  } else if (rec.host.valid) {
+    ++rec.host.read_refs;
+    sim::ConstBytePtr src =
+        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
+    lock.unlock();
+    st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, rec.size,
+                              sim::MemcpyKind::kH2D);
+    lock.lock();
+    --rec.host.read_refs;
+    ++c.metrics.restores_from_host;
+  } else if (rec.on_ssd || rec.on_pfs) {
+    const bool from_ssd = rec.on_ssd;
+    const std::uint64_t size = rec.size;
+    lock.unlock();
+    if (options_.gpudirect) {
+      // GPUDirect read: store -> application device buffer over PCIe DMA.
+      st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(rank, v), dst, size);
+      if (st.ok()) {
+        sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
+                                sim::Topology::LinkDir::kH2D);
+      }
+    } else {
+      // Direct read path: stream store -> transient pinned staging ->
+      // device. The unplanned pinned allocation is a genuine penalty of
+      // deviating from the hints / running without foreknowledge.
+      sim::PinnedArena staging(cluster_.topology(),
+                               cluster_.topology().node_of_rank(rank), size);
+      st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(rank, v), staging.data(), size);
+      if (st.ok()) {
+        st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, staging.data(),
+                                  size, sim::MemcpyKind::kH2D);
+      }
+    }
+    lock.lock();
+    ++c.metrics.restores_from_store;
+  } else {
+    rec.restore_waiting = false;
+    return util::FailedPrecondition(
+        "checkpoint " + std::to_string(v) +
+        " was consumed and discarded; no copy remains on any tier");
+  }
+
+  if (!st.ok()) {
+    rec.restore_waiting = false;
+    c.cv.notify_all();
+    return st;
+  }
+
+  // FSM: route to CONSUMED through READ_COMPLETE (Figure 1 paths).
+  if (rec.state != CkptState::kReadComplete) {
+    Advance(c, rec, CkptState::kReadComplete);
+  }
+  Advance(c, rec, CkptState::kConsumed);
+  ReleasePin(c, rec);
+  rec.restore_waiting = false;
+  if (waited_promotion) ++c.metrics.restores_waited_promotion;
+
+  ++c.restore_counter;
+  c.metrics.restore_block_s.Add(sw.ElapsedSec());
+  c.metrics.bytes_restored += rec.size;
+  c.metrics.restore_series.push_back(RestorePoint{
+      c.restore_counter - 1, v, sw.ElapsedSec(), rec.size, pdist});
+  c.cv.notify_all();
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> Engine::RecoverSize(sim::Rank rank, Version v) {
+  RankCtx& c = ctx(rank);
+  std::unique_lock lock(c.mu);
+  auto rec_or = FindOrImport(c, v);
+  if (!rec_or.ok()) return rec_or.status();
+  return (*rec_or)->size;
+}
+
+util::Status Engine::PrefetchEnqueue(sim::Rank rank, Version v) {
+  RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  if (c.shutdown) return util::ShutdownError("engine stopping");
+  c.hints.Enqueue(v);
+  c.cv.notify_all();
+  return util::OkStatus();
+}
+
+util::Status Engine::PrefetchStart(sim::Rank rank) {
+  RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  if (c.shutdown) return util::ShutdownError("engine stopping");
+  c.prefetch_started = true;
+  c.cv.notify_all();
+  return util::OkStatus();
+}
+
+util::Status Engine::WaitForFlushes(sim::Rank rank) {
+  const Stopwatch sw;
+  RankCtx& c = ctx(rank);
+  std::unique_lock lock(c.mu);
+  c.cv.wait(lock, [&] { return c.inflight_flushes == 0 || c.shutdown; });
+  c.metrics.wait_for_flush_s += sw.ElapsedSec();
+  if (c.shutdown && c.inflight_flushes != 0) {
+    return util::ShutdownError("engine stopped with flushes pending");
+  }
+  return util::OkStatus();
+}
+
+const RankMetrics& Engine::metrics(sim::Rank rank) const {
+  return ctx(rank).metrics;
+}
+
+util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  auto it = c.records.find(v);
+  if (it == c.records.end()) return util::NotFound("no record");
+  return it->second.state;
+}
+
+bool Engine::ResidentOn(sim::Rank rank, Version v, Tier tier) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  auto it = c.records.find(v);
+  if (it == c.records.end()) return false;
+  const Record& rec = it->second;
+  switch (tier) {
+    case Tier::kGpu: return rec.gpu.valid;
+    case Tier::kHost: return rec.host.valid;
+    case Tier::kSsd: return rec.on_ssd;
+    case Tier::kPfs: return rec.on_pfs;
+  }
+  return false;
+}
+
+std::uint64_t Engine::GpuCacheUsed(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  std::uint64_t used = c.gpu_write->used_bytes();
+  if (c.gpu_prefetch) used += c.gpu_prefetch->used_bytes();
+  return used;
+}
+
+std::uint64_t Engine::HostCacheUsed(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  if (!c.host_ready) return 0;
+  std::uint64_t used = c.host_write->used_bytes();
+  if (c.host_prefetch) used += c.host_prefetch->used_bytes();
+  return used;
+}
+
+std::uint64_t Engine::PrefetchDistance(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  return ComputePrefetchDistance(c);
+}
+
+// ---------------------------------------------------------------------------
+// Background workers
+// ---------------------------------------------------------------------------
+
+void Engine::FlushD2HLoop(RankCtx& c) {
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
+  while (auto vo = c.d2h_q.Pop()) {
+    const Version v = *vo;
+    std::unique_lock lock(c.mu);
+    auto it = c.records.find(v);
+    if (it == c.records.end()) continue;  // defensive
+    Record& rec = it->second;
+
+    auto cancel = [&] {
+      c.d2h_backlog_bytes -= rec.size;
+      ++c.metrics.flushes_cancelled;
+      if (!rec.flush_done) {
+        rec.flush_done = true;
+        --c.inflight_flushes;
+      }
+      c.cv.notify_all();
+    };
+
+    // Condition (5): consumed + discardable checkpoints skip pending flushes.
+    if (options_.discard_after_restore && rec.state == CkptState::kConsumed) {
+      cancel();
+      continue;
+    }
+    if (!rec.gpu.valid) {
+      // The GPU copy can only have been evicted if a lower-tier copy exists;
+      // in that case this flush stage is moot.
+      c.d2h_backlog_bytes -= rec.size;
+      c.cv.notify_all();
+      if (rec.host.valid) {
+        c.h2f_backlog_bytes += rec.size;
+        lock.unlock();
+        c.h2f_q.Push(v);
+      } else if (!rec.flush_done) {
+        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
+                                  << ": GPU copy lost before D2H flush";
+        rec.flush_done = true;
+        --c.inflight_flushes;
+      }
+      continue;
+    }
+
+    if (options_.gpudirect) {
+      // GPUDirect Storage: DMA the checkpoint straight from the GPU cache
+      // to the NVMe drive, bypassing the host cache and DDR entirely.
+      ++rec.gpu.read_refs;
+      sim::ConstBytePtr src =
+          BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+      const std::uint64_t size = rec.size;
+      lock.unlock();
+      sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
+                              sim::Topology::LinkDir::kD2H);
+      util::Status st = ssd_->Put(KeyOf(c.rank, v), src, size);
+      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
+        st = pfs_->Put(KeyOf(c.rank, v), src, size);
+      }
+      lock.lock();
+      --rec.gpu.read_refs;
+      c.d2h_backlog_bytes -= size;
+      if (st.ok()) {
+        rec.on_ssd = true;
+        if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
+        ++c.metrics.flushes_completed;
+      } else {
+        CKPT_LOG(kError, "flush") << "GPUDirect flush failed: " << st.ToString();
+      }
+      FinishFlush(c, rec);
+      continue;
+    }
+
+    auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kWrite, v,
+                          rec.size, /*abort=*/[&] {
+                            return options_.discard_after_restore &&
+                                   rec.state == CkptState::kConsumed;
+                          });
+    if (!hoff.ok() &&
+        hoff.status().code() == util::ErrorCode::kCapacityExceeded) {
+      // Checkpoint larger than the whole host cache: bypass it and write
+      // the store directly from a transient pinned staging buffer.
+      ++rec.gpu.read_refs;
+      sim::ConstBytePtr src =
+          BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+      const std::uint64_t size = rec.size;
+      lock.unlock();
+      sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
+      util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                             staging.data(), src, size,
+                                             sim::MemcpyKind::kD2H);
+      if (st.ok()) st = ssd_->Put(KeyOf(c.rank, v), staging.data(), size);
+      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
+        st = pfs_->Put(KeyOf(c.rank, v), staging.data(), size);
+      }
+      lock.lock();
+      --rec.gpu.read_refs;
+      c.d2h_backlog_bytes -= size;
+      if (st.ok()) {
+        rec.on_ssd = true;
+        if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
+        ++c.metrics.flushes_completed;
+      } else {
+        CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
+      }
+      FinishFlush(c, rec);
+      continue;
+    }
+    if (!hoff.ok()) {
+      cancel();
+      continue;
+    }
+    rec.host.offset = *hoff;
+    rec.host.io_pending = true;
+    rec.host.part = ReservePurpose::kWrite;
+    ++rec.gpu.read_refs;
+    sim::ConstBytePtr src =
+        BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+    sim::BytePtr dst =
+        BufferFor(c, Tier::kHost, ReservePurpose::kWrite).PtrAt(*hoff);
+    lock.unlock();
+
+    const util::Status st = sim::ThrottledMemcpy(
+        cluster_.topology(), gpu, dst, src, rec.size, sim::MemcpyKind::kD2H);
+
+    lock.lock();
+    --rec.gpu.read_refs;
+    rec.host.io_pending = false;
+    if (!st.ok()) {
+      (void)BufferFor(c, Tier::kHost, ReservePurpose::kWrite).Release(v);
+      rec.host.Clear();
+      CKPT_LOG(kError, "flush") << "D2H flush failed: " << st.ToString();
+      cancel();
+      continue;
+    }
+    rec.host.valid = true;
+    c.d2h_backlog_bytes -= rec.size;
+    c.h2f_backlog_bytes += rec.size;
+    c.cv.notify_all();
+    lock.unlock();
+    c.h2f_q.Push(v);
+  }
+}
+
+void Engine::FlushH2FLoop(RankCtx& c) {
+  while (auto vo = c.h2f_q.Pop()) {
+    const Version v = *vo;
+    std::unique_lock lock(c.mu);
+    auto it = c.records.find(v);
+    if (it == c.records.end()) continue;
+    Record& rec = it->second;
+
+    if (options_.discard_after_restore && rec.state == CkptState::kConsumed) {
+      c.h2f_backlog_bytes -= rec.size;
+      ++c.metrics.flushes_cancelled;
+      if (!rec.flush_done) {
+        rec.flush_done = true;
+        --c.inflight_flushes;
+      }
+      c.cv.notify_all();
+      continue;
+    }
+    if (!rec.host.valid) {
+      CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
+                                << ": host copy lost before H2F flush";
+      c.h2f_backlog_bytes -= rec.size;
+      FinishFlush(c, rec);
+      continue;
+    }
+    ++rec.host.read_refs;
+    sim::ConstBytePtr src =
+        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
+    const std::uint64_t size = rec.size;
+    lock.unlock();
+
+    util::Status st = ssd_->Put(KeyOf(c.rank, v), src, size);
+    const bool to_pfs = st.ok() && options_.terminal_tier == Tier::kPfs;
+    if (to_pfs) st = pfs_->Put(KeyOf(c.rank, v), src, size);
+
+    lock.lock();
+    --rec.host.read_refs;
+    if (!st.ok()) {
+      CKPT_LOG(kError, "flush") << "H2F flush failed: " << st.ToString();
+    } else {
+      rec.on_ssd = true;
+      if (to_pfs) rec.on_pfs = true;
+      ++c.metrics.flushes_completed;
+    }
+    c.h2f_backlog_bytes -= size;
+    FinishFlush(c, rec);
+  }
+}
+
+void Engine::PrefetchLoop(RankCtx& c) {
+  const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
+  const std::uint64_t pin_cap = static_cast<std::uint64_t>(
+      static_cast<double>(options_.gpu_cache_bytes) *
+      options_.prefetch_pin_fraction);
+  std::unique_lock lock(c.mu);
+  for (;;) {
+    c.cv.wait(lock, [&] {
+      return c.shutdown ||
+             (c.prefetch_started && c.hints.Head().has_value());
+    });
+    if (c.shutdown) return;
+    const Version v = *c.hints.Head();
+
+    auto rec_or = FindOrImport(c, v);
+    if (!rec_or.ok()) {
+      // Hint for a checkpoint that has not been written yet (Listing 1
+      // enqueues the whole restore order before the forward pass). Wait for
+      // it to appear; Checkpoint() notifies on record creation.
+      c.cv.wait_for(lock, std::chrono::milliseconds(10));
+      continue;
+    }
+    Record& rec = **rec_or;
+
+    if (rec.restore_waiting) {
+      // The application is already blocked reading this version through the
+      // direct path (it dropped its own pending hint); wait it out.
+      c.cv.wait(lock, [&] { return c.shutdown || !rec.restore_waiting; });
+      continue;
+    }
+
+    const bool already_pinned = rec.gpu.valid && StatePinsFastTier(rec.state);
+    if (already_pinned) {
+      c.hints.PopHead();
+      ++c.metrics.prefetch_gpu_hits;
+      c.cv.notify_all();
+      continue;
+    }
+
+    if (!rec.gpu.valid && !rec.host.valid && !rec.on_ssd && !rec.on_pfs) {
+      if (rec.state == CkptState::kConsumed) {
+        c.hints.PopHead();  // data discarded (condition (5)); nothing to fetch
+      } else {
+        // The write that produces this version is still copying into the
+        // GPU cache; no residency is valid yet. Wait for it to land.
+        c.cv.wait_for(lock, std::chrono::milliseconds(10));
+      }
+      continue;
+    }
+
+    // Thrash control: cap the bytes pinned by unconsumed prefetched
+    // checkpoints so interleaved writers always keep cache headroom. This
+    // governs BOTH pin paths — promotions and already-on-GPU hits — or an
+    // interleaved producer could find every cache slot pinned.
+    bool aborted = false;
+    while (c.prefetched_pinned_bytes + rec.size > pin_cap && !c.shutdown) {
+      if (rec.restore_waiting) {
+        aborted = true;
+        break;
+      }
+      c.cv.wait(lock);
+    }
+    if (c.shutdown) return;
+    if (aborted || c.hints.Head() != std::optional<Version>(v)) {
+      // The application deviated meanwhile; re-evaluate from the top. The
+      // hint (if still present) is served by the direct path.
+      ++c.metrics.prefetch_aborts;
+      c.cv.notify_all();
+      continue;
+    }
+
+    if (rec.gpu.valid) {
+      // Already resident on the fast tier: pin it per the life cycle
+      // (FLUSHED/WRITE_* -> READ_COMPLETE without any transfer).
+      Advance(c, rec, CkptState::kReadComplete);
+      AddPin(c, rec);
+      c.hints.PopHead();
+      ++c.metrics.prefetch_gpu_hits;
+      c.cv.notify_all();
+      continue;
+    }
+
+    // Claim the promotion.
+    c.hints.PopHead();
+    rec.prefetch_claimed = true;
+    Advance(c, rec, CkptState::kReadInProgress);
+
+    auto rollback = [&] {
+      rec.prefetch_claimed = false;
+      Advance(c, rec,
+              rec.flush_done ? CkptState::kFlushed : CkptState::kWriteInProgress);
+      ++c.metrics.prefetch_aborts;
+      c.cv.notify_all();
+    };
+
+    bool host_src = rec.host.valid;
+    if (host_src) ++rec.host.read_refs;
+
+    auto goff = ReserveOn(c, lock, Tier::kGpu, ReservePurpose::kPrefetch, v,
+                          rec.size,
+                          /*abort=*/[&] { return rec.restore_waiting; });
+    if (!goff.ok()) {
+      if (host_src) --rec.host.read_refs;
+      rollback();
+      if (c.shutdown) return;
+      continue;
+    }
+    rec.gpu.offset = *goff;
+    rec.gpu.io_pending = true;
+    rec.gpu.part = ReservePurpose::kPrefetch;
+
+    if (!host_src && options_.gpudirect) {
+      // GPUDirect promotion: DMA the checkpoint from the store straight
+      // into the reserved GPU cache slot, bypassing the host cache.
+      sim::BytePtr gdst =
+          BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).PtrAt(rec.gpu.offset);
+      const bool from_ssd = rec.on_ssd;
+      const std::uint64_t size = rec.size;
+      lock.unlock();
+      util::Status st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(c.rank, v), gdst, size);
+      if (st.ok()) {
+        sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
+                                sim::Topology::LinkDir::kH2D);
+      }
+      lock.lock();
+      rec.gpu.io_pending = false;
+      if (!st.ok()) {
+        CKPT_LOG(kError, "prefetch") << "GPUDirect read failed: " << st.ToString();
+        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
+        rec.gpu.Clear();
+        rollback();
+        continue;
+      }
+      rec.gpu.valid = true;
+      rec.prefetch_claimed = false;
+      Advance(c, rec, CkptState::kReadComplete);
+      AddPin(c, rec);
+      ++c.metrics.prefetch_promotions;
+      c.cv.notify_all();
+      continue;
+    }
+
+    if (!host_src) {
+      // Multi-level promotion: store -> host cache -> GPU cache, warming the
+      // host cache on the way up.
+      auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kPrefetch, v,
+                            rec.size,
+                            /*abort=*/[&] { return rec.restore_waiting; });
+      if (!hoff.ok()) {
+        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
+        rec.gpu.Clear();
+        rollback();
+        if (c.shutdown) return;
+        continue;
+      }
+      rec.host.offset = *hoff;
+      rec.host.io_pending = true;
+      rec.host.part = ReservePurpose::kPrefetch;
+      sim::BytePtr hdst =
+          BufferFor(c, Tier::kHost, ReservePurpose::kPrefetch).PtrAt(*hoff);
+      const bool from_ssd = rec.on_ssd;
+      const std::uint64_t size = rec.size;
+      lock.unlock();
+      const util::Status st =
+          (from_ssd ? ssd_ : pfs_)->Get(KeyOf(c.rank, v), hdst, size);
+      lock.lock();
+      rec.host.io_pending = false;
+      if (!st.ok()) {
+        CKPT_LOG(kError, "prefetch") << "store read failed: " << st.ToString();
+        (void)BufferFor(c, Tier::kHost, ReservePurpose::kPrefetch).Release(v);
+        rec.host.Clear();
+        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
+        rec.gpu.Clear();
+        rollback();
+        continue;
+      }
+      rec.host.valid = true;
+      ++rec.host.read_refs;
+      host_src = true;
+      c.cv.notify_all();
+    }
+
+    sim::ConstBytePtr src =
+        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
+    sim::BytePtr dst =
+        BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).PtrAt(rec.gpu.offset);
+    const std::uint64_t size = rec.size;
+    lock.unlock();
+    const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
+                                                 src, size,
+                                                 sim::MemcpyKind::kH2D);
+    lock.lock();
+    --rec.host.read_refs;
+    rec.gpu.io_pending = false;
+    if (!st.ok()) {
+      CKPT_LOG(kError, "prefetch") << "H2D promotion failed: " << st.ToString();
+      (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
+      rec.gpu.Clear();
+      rollback();
+      continue;
+    }
+    rec.gpu.valid = true;
+    rec.prefetch_claimed = false;
+    Advance(c, rec, CkptState::kReadComplete);
+    AddPin(c, rec);
+    ++c.metrics.prefetch_promotions;
+    c.cv.notify_all();
+  }
+}
+
+}  // namespace ckpt::core

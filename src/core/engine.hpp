@@ -1,0 +1,267 @@
+// The multi-level checkpoint engine: the paper's primary contribution.
+//
+// One Engine serves every process (rank) of the simulated node(s). Per rank
+// it owns:
+//   * a pre-allocated GPU cache buffer carved out of the rank's device HBM
+//     (default 10% of capacity, §5.3.4);
+//   * a pre-allocated *pinned* host cache buffer (allocation cost paid once
+//     at init, §4.1.4 — the slow pinned allocation is measured in init_s);
+//   * three dedicated background threads (§4.3.1): T_D2H (GPU->host cache
+//     flushes), T_H2F (host cache -> SSD [-> PFS] flushes) and T_PF
+//     (multi-tier prefetch promotions driven by the restore-order queue);
+//   * a restore-order hint queue and per-checkpoint life-cycle records.
+//
+// Blocking semantics follow §2 exactly: Checkpoint() blocks only until the
+// data reaches the GPU cache; Restore() blocks until the data lands in the
+// application buffer, served from the fastest tier holding it.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache_buffer.hpp"
+#include "core/eviction.hpp"
+#include "core/lifecycle.hpp"
+#include "core/metrics.hpp"
+#include "core/restore_queue.hpp"
+#include "core/runtime.hpp"
+#include "core/types.hpp"
+#include "simgpu/cluster.hpp"
+#include "simgpu/pinned.hpp"
+#include "storage/object_store.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace ckpt::core {
+
+struct EngineOptions {
+  /// Per-rank cache sizes (paper defaults, scaled: 4 GB -> 4 MB GPU cache,
+  /// 32 GB -> 32 MB pinned host cache).
+  std::uint64_t gpu_cache_bytes = 4ull << 20;
+  std::uint64_t host_cache_bytes = 32ull << 20;
+
+  /// Deepest tier flushes must reach before a checkpoint counts as durable
+  /// (kSsd by default; kPfs adds the parallel-file-system stage).
+  Tier terminal_tier = Tier::kSsd;
+
+  /// Condition (5): once consumed, a checkpoint's pending flushes may be
+  /// skipped and its data may be dropped entirely.
+  bool discard_after_restore = false;
+
+  /// Eviction policy (kScore is the paper's; others are ablations).
+  EvictionKind eviction = EvictionKind::kScore;
+
+  /// Ablation of §4.1.2: split each cache into disjoint flush/prefetch
+  /// partitions instead of one shared space.
+  bool split_flush_prefetch = false;
+  /// Fraction of the cache given to the prefetch partition in split mode.
+  double split_prefetch_fraction = 0.5;
+
+  /// Max fraction of the GPU cache that prefetched-but-unconsumed
+  /// checkpoints may pin. Guarantees interleaved writers can always make
+  /// progress (deadlock freedom, DESIGN.md §5).
+  double prefetch_pin_fraction = 0.75;
+
+  /// EXTENSION (paper §6 future work, "load balance variable-sized
+  /// checkpoints"): per-rank weights for dividing the node's total host
+  /// cache. Empty = equal shares. With weights, rank r receives
+  /// host_cache_bytes * weights[r] / sum(weights) — e.g. proportional to
+  /// each rank's expected trace volume, so heavy shots stop thrashing while
+  /// light shots hold idle capacity.
+  std::vector<double> host_cache_weights;
+
+  /// EXTENSION ([Maurya et al., HiPC'22], cited as complementary in
+  /// §4.1.4): hide the slow pinned host-cache registration by performing it
+  /// on a background thread at init. Checkpoint() returns immediately from
+  /// engine construction; the first D2H flush waits until its rank's host
+  /// cache is registered. Restores and GPU-cache writes are unaffected.
+  bool async_pin_init = false;
+
+  /// EXTENSION (paper §6 future work): GPUDirect Storage. Flushes move
+  /// GPU cache -> SSD and promotions move SSD -> GPU cache directly over
+  /// PCIe DMA, bypassing the pinned host cache and its DDR bandwidth. The
+  /// host cache still serves as a middle tier for data that happens to be
+  /// there, but the flush/prefetch pipelines no longer stage through it.
+  bool gpudirect = false;
+};
+
+class Engine final : public Runtime {
+ public:
+  /// `ssd` must be non-null; `pfs` may be null when terminal_tier == kSsd.
+  Engine(sim::Cluster& cluster, std::shared_ptr<storage::ObjectStore> ssd,
+         std::shared_ptr<storage::ObjectStore> pfs, EngineOptions options,
+         int num_ranks);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Writes version `v` from the rank's device buffer. Blocks until the
+  /// data is in the GPU cache; flushing continues asynchronously.
+  util::Status Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src,
+                          std::uint64_t size) override;
+
+  /// Reads version `v` back into the rank's device buffer (capacity bytes
+  /// available). Serves from the fastest tier holding the data; blocks on
+  /// an in-flight promotion when the prefetcher already claimed `v`.
+  util::Status Restore(sim::Rank rank, Version v, sim::BytePtr dst,
+                       std::uint64_t capacity) override;
+
+  /// Size of version `v`; also resolves checkpoints found only on the
+  /// durable stores (restart after an engine re-open).
+  util::StatusOr<std::uint64_t> RecoverSize(sim::Rank rank, Version v) override;
+
+  /// Appends a restore-order hint (VELOC_Prefetch_enqueue).
+  util::Status PrefetchEnqueue(sim::Rank rank, Version v) override;
+
+  /// Releases the prefetcher (VELOC_Prefetch_start). Hints enqueued before
+  /// this call are not acted upon until it is made.
+  util::Status PrefetchStart(sim::Rank rank) override;
+
+  /// Blocks until every checkpoint of `rank` is durable on the terminal
+  /// tier (or its flush was cancelled by condition (5)).
+  util::Status WaitForFlushes(sim::Rank rank) override;
+
+  /// Stops background threads; in-flight transfers complete first.
+  /// Idempotent; also called by the destructor.
+  void Shutdown() override;
+
+  [[nodiscard]] const RankMetrics& metrics(sim::Rank rank) const override;
+  [[nodiscard]] std::string_view name() const override { return "score"; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] int num_ranks() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+
+  // --- Introspection for tests ---
+  [[nodiscard]] util::StatusOr<CkptState> StateOf(sim::Rank rank, Version v) const;
+  [[nodiscard]] bool ResidentOn(sim::Rank rank, Version v, Tier tier) const;
+  [[nodiscard]] std::uint64_t GpuCacheUsed(sim::Rank rank) const;
+  [[nodiscard]] std::uint64_t HostCacheUsed(sim::Rank rank) const;
+  /// Consecutive hinted successors already promoted to the GPU cache
+  /// (the Fig. 7 prefetch-distance metric).
+  [[nodiscard]] std::uint64_t PrefetchDistance(sim::Rank rank) const;
+
+ private:
+  struct Residency {
+    bool valid = false;       ///< data present and complete on this tier
+    bool io_pending = false;  ///< space reserved, transfer writing into it
+    int read_refs = 0;        ///< active transfers reading from this copy
+    std::uint64_t offset = 0; ///< offset within the tier's cache buffer
+    /// Which cache partition holds the entry (only meaningful in the
+    /// split-cache ablation; the shared default uses kWrite for everything).
+    ReservePurpose part = ReservePurpose::kWrite;
+
+    [[nodiscard]] bool busy() const noexcept {
+      return io_pending || read_refs > 0;
+    }
+    void Clear() noexcept { *this = Residency{}; }
+  };
+
+  struct Record {
+    Version version = 0;
+    std::uint64_t size = 0;
+    CkptState state = CkptState::kInit;
+    Residency gpu;
+    Residency host;
+    bool on_ssd = false;
+    bool on_pfs = false;
+    bool restore_waiting = false;   ///< a Restore() call is blocked on this
+    bool prefetch_claimed = false;  ///< T_PF owns an in-flight promotion
+    bool pinned_counted = false;    ///< counted in prefetched_pinned_bytes
+    bool flush_done = false;        ///< reached terminal tier (or cancelled)
+    std::uint64_t lru_seq = 0;
+    std::uint64_t fifo_seq = 0;
+  };
+
+  struct RankCtx {
+    sim::Rank rank = 0;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+
+    std::unordered_map<Version, Record> records;
+    RestoreQueue hints;
+    bool prefetch_started = false;
+    bool shutdown = false;
+
+    std::uint64_t host_cache_bytes = 0;  ///< this rank's host partition
+    bool host_ready = false;             ///< pinned registration finished
+    std::jthread t_pin;                  ///< async_pin_init worker
+
+    sim::BytePtr gpu_base = nullptr;  ///< owned by the rank's Device
+    std::unique_ptr<CacheBuffer> gpu_write;    // shared cache, or write half
+    std::unique_ptr<CacheBuffer> gpu_prefetch; // split mode only
+    std::unique_ptr<sim::PinnedArena> host_arena;
+    std::unique_ptr<CacheBuffer> host_write;
+    std::unique_ptr<CacheBuffer> host_prefetch;  // split mode only
+
+    util::MpmcQueue<Version> d2h_q;
+    util::MpmcQueue<Version> h2f_q;
+    std::uint64_t d2h_backlog_bytes = 0;
+    std::uint64_t h2f_backlog_bytes = 0;
+    std::uint64_t inflight_flushes = 0;       ///< records not yet flush_done
+    std::uint64_t prefetched_pinned_bytes = 0;
+    std::uint64_t prefetched_pinned_count = 0;
+    std::uint64_t seq_counter = 0;
+    std::uint64_t restore_counter = 0;
+
+    RankMetrics metrics;
+
+    std::jthread t_d2h;
+    std::jthread t_h2f;
+    std::jthread t_pf;
+  };
+
+  // Background workers (one of each per rank).
+  void FlushD2HLoop(RankCtx& ctx);
+  void FlushH2FLoop(RankCtx& ctx);
+  void PrefetchLoop(RankCtx& ctx);
+
+  // Helpers; all require ctx.mu held unless noted.
+  [[nodiscard]] CacheBuffer& BufferFor(RankCtx& ctx, Tier tier,
+                                       ReservePurpose purpose);
+  [[nodiscard]] CacheBuffer::MetaFn MakeMetaFn(RankCtx& ctx, Tier tier);
+  [[nodiscard]] bool SafeBelow(const Record& rec, Tier tier) const;
+  [[nodiscard]] bool EvictableNow(const Record& rec, Tier tier) const;
+  [[nodiscard]] bool ExcludedOn(const Record& rec, Tier tier) const;
+  [[nodiscard]] double EtaSeconds(const RankCtx& ctx, const Record& rec,
+                                  Tier tier) const;
+  /// Drops the victims' residencies on `tier`. Requires EvictableNow.
+  util::Status EvictVictims(RankCtx& ctx, Tier tier,
+                            const std::vector<EntryId>& victims);
+  /// Blocking reservation loop: plan / commit-or-wait / re-plan.
+  /// `abort` (optional) is checked after each failed round; when it returns
+  /// true the reservation gives up with kCancelled.
+  util::StatusOr<std::uint64_t> ReserveOn(RankCtx& ctx,
+                                          std::unique_lock<std::mutex>& lock,
+                                          Tier tier, ReservePurpose purpose,
+                                          Version v, std::uint64_t size,
+                                          const std::function<bool()>& abort);
+  /// Marks a flush stage reaching the terminal tier; advances the FSM.
+  void FinishFlush(RankCtx& ctx, Record& rec);
+  /// FSM transition with legality check (aborts the process on violation —
+  /// an illegal edge is an engine bug, never a user error).
+  void Advance(RankCtx& ctx, Record& rec, CkptState to);
+  /// Unpins a consumed prefetched record from the pin accounting.
+  void ReleasePin(RankCtx& ctx, Record& rec);
+  /// Registers a prefetched record in the pin accounting (cap + Fig. 7).
+  void AddPin(RankCtx& ctx, Record& rec);
+  /// Imports a record found only on the durable stores.
+  util::StatusOr<Record*> FindOrImport(RankCtx& ctx, Version v);
+  [[nodiscard]] std::uint64_t ComputePrefetchDistance(const RankCtx& ctx) const;
+
+  [[nodiscard]] RankCtx& ctx(sim::Rank rank);
+  [[nodiscard]] const RankCtx& ctx(sim::Rank rank) const;
+
+  sim::Cluster& cluster_;
+  std::shared_ptr<storage::ObjectStore> ssd_;
+  std::shared_ptr<storage::ObjectStore> pfs_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<RankCtx>> ranks_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,146 @@
+#include "core/eviction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace ckpt::core {
+
+namespace {
+
+/// One O(N) pass of the paper's sliding-window scan, generic over the
+/// per-fragment score pair. `primary` is minimized (p_score), `secondary`
+/// maximized on ties (s_score). Excluded fragments are barriers: no window
+/// may contain them. Both endpoints move monotonically; scores update
+/// incrementally — the complexity argument of §4.2 holds for every policy.
+template <typename PrimaryFn, typename SecondaryFn>
+std::optional<EvictionWindow> SlideWindow(const std::vector<FragmentView>& frags,
+                                          std::uint64_t size, PrimaryFn primary,
+                                          SecondaryFn secondary) {
+  if (size == 0 || frags.empty()) return std::nullopt;
+  const std::size_t n = frags.size();
+
+  std::optional<EvictionWindow> best;
+  double best_p = 0.0;
+  double best_s = 0.0;
+
+  std::size_t j = 0;          // one past the window's last fragment
+  double p = 0.0, s = 0.0;
+  std::uint64_t window = 0;   // bytes currently covered
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (j < i) {  // window emptied by a barrier skip
+      j = i;
+      p = s = 0.0;
+      window = 0;
+    }
+    // Grow until the run covers the requested size or hits a barrier.
+    while (window < size && j < n && !frags[j].excluded) {
+      p += primary(frags[j]);
+      s += secondary(frags[j]);
+      window += frags[j].size;
+      ++j;
+    }
+    if (window < size) {
+      if (j < n && frags[j].excluded) {
+        // Barrier: restart the scan just past it.
+        i = j;  // loop increment moves i to j+1
+        j = j + 1;
+        p = s = 0.0;
+        window = 0;
+        continue;
+      }
+      break;  // j == n: no further window can reach `size`
+    }
+    // Candidate window [i, j-1].
+    if (!best || p < best_p ||
+        (p == best_p && s > best_s)) {
+      best = EvictionWindow{};
+      best->first = i;
+      best->last = j - 1;
+      best_p = p;
+      best_s = s;
+    }
+    // Slide: drop fragment i before the next iteration.
+    p -= primary(frags[i]);
+    s -= secondary(frags[i]);
+    window -= frags[i].size;
+  }
+
+  if (!best) return std::nullopt;
+  // Materialize geometry, victims and the wait estimate.
+  best->offset = frags[best->first].offset;
+  best->span = 0;
+  best->wait_eta = 0.0;
+  for (std::size_t k = best->first; k <= best->last; ++k) {
+    best->span += frags[k].size;
+    best->wait_eta = std::max(best->wait_eta, frags[k].eta);
+    if (!frags[k].is_gap()) best->victims.push_back(frags[k].id);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<EvictionWindow> ScorePolicy::Choose(
+    const std::vector<FragmentView>& frags, std::uint64_t size) const {
+  return SlideWindow(
+      frags, size, [](const FragmentView& f) { return f.eta; },
+      [](const FragmentView& f) {
+        return f.is_gap() ? kGapDistance : f.distance;
+      });
+}
+
+std::optional<EvictionWindow> LruPolicy::Choose(
+    const std::vector<FragmentView>& frags, std::uint64_t size) const {
+  return SlideWindow(
+      frags, size,
+      // Gaps cost nothing; entries cost their recency (higher = hotter).
+      [](const FragmentView& f) {
+        return f.is_gap() ? 0.0 : static_cast<double>(f.lru_seq);
+      },
+      [](const FragmentView&) { return 0.0; });
+}
+
+std::optional<EvictionWindow> FifoPolicy::Choose(
+    const std::vector<FragmentView>& frags, std::uint64_t size) const {
+  return SlideWindow(
+      frags, size,
+      [](const FragmentView& f) {
+        return f.is_gap() ? 0.0 : static_cast<double>(f.fifo_seq);
+      },
+      [](const FragmentView&) { return 0.0; });
+}
+
+std::optional<EvictionWindow> GreedyGapPolicy::Choose(
+    const std::vector<FragmentView>& frags, std::uint64_t size) const {
+  return SlideWindow(
+      frags, size,
+      // Minimize non-gap bytes overwritten: pure fragmentation greed.
+      [](const FragmentView& f) {
+        return f.is_gap() ? 0.0 : static_cast<double>(f.size);
+      },
+      [](const FragmentView&) { return 0.0; });
+}
+
+std::unique_ptr<EvictionPolicy> MakePolicy(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kScore: return std::make_unique<ScorePolicy>();
+    case EvictionKind::kLru: return std::make_unique<LruPolicy>();
+    case EvictionKind::kFifo: return std::make_unique<FifoPolicy>();
+    case EvictionKind::kGreedyGap: return std::make_unique<GreedyGapPolicy>();
+  }
+  return std::make_unique<ScorePolicy>();
+}
+
+std::string_view to_string(EvictionKind kind) noexcept {
+  switch (kind) {
+    case EvictionKind::kScore: return "score";
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kFifo: return "fifo";
+    case EvictionKind::kGreedyGap: return "greedy-gap";
+  }
+  return "?";
+}
+
+}  // namespace ckpt::core

@@ -1,0 +1,121 @@
+// Gap-aware eviction (§4.1.6 / §4.2, Algorithm 1) plus baseline policies for
+// the ablation study.
+//
+// The engine snapshots the allocation table into FragmentViews (attaching
+// per-checkpoint life-cycle metadata), and the policy returns the best
+// contiguous window of fragments to overwrite with a new checkpoint:
+//
+//   * p_score — estimated total blocking seconds until every fragment in the
+//     window is evictable. Minimized first: "waiting and doing nothing while
+//     evictions become eligible causes a more negative impact than
+//     suboptimal prefetch-distance decisions".
+//   * s_score — sum of prefetch distances of the window's checkpoints.
+//     Maximized as a tie-break: prefer evicting checkpoints restored last.
+//     Gaps and unhinted checkpoints score highest.
+//
+// Fragments marked `excluded` (prefetched-but-unconsumed, or under an active
+// transfer) are hard barriers: the sliding window restarts after them. The
+// scan is O(N) — both endpoints advance monotonically and scores update
+// incrementally, exactly as in the paper's pseudocode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation_table.hpp"
+
+namespace ckpt::core {
+
+/// Eviction-relevant view of one fragment. Offsets/sizes mirror the
+/// allocation table; the rest is life-cycle metadata supplied by the engine.
+struct FragmentView {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  EntryId id = kGapId;
+  bool excluded = false;    ///< hard barrier: may never be evicted now
+  double eta = 0.0;         ///< est. seconds until evictable (0 = evictable now)
+  double distance = 0.0;    ///< prefetch-distance score (higher = evict sooner)
+  std::uint64_t lru_seq = 0;   ///< last-touch sequence (LRU ablation)
+  std::uint64_t fifo_seq = 0;  ///< creation sequence (FIFO ablation)
+
+  [[nodiscard]] bool is_gap() const noexcept { return id == kGapId; }
+};
+
+/// A contiguous run of fragments chosen for eviction.
+struct EvictionWindow {
+  std::size_t first = 0;        ///< index into the FragmentView vector
+  std::size_t last = 0;         ///< inclusive
+  std::uint64_t offset = 0;     ///< byte offset of the run
+  std::uint64_t span = 0;       ///< total bytes of the run (>= requested size)
+  double wait_eta = 0.0;        ///< max fragment eta (0 = committable now)
+  std::vector<EntryId> victims; ///< non-gap entries to evict, offset order
+};
+
+/// Strategy interface. Implementations must be pure (no side effects): the
+/// engine may call Choose repeatedly as life-cycle states evolve.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// Picks the best window of >= `size` bytes. Returns nullopt when no
+  /// feasible window exists (e.g. every run is blocked by excluded
+  /// fragments). `frags` is the offset-ordered table snapshot.
+  [[nodiscard]] virtual std::optional<EvictionWindow> Choose(
+      const std::vector<FragmentView>& frags, std::uint64_t size) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The paper's score-based look-ahead policy (Algorithm 1).
+class ScorePolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::optional<EvictionWindow> Choose(
+      const std::vector<FragmentView>& frags, std::uint64_t size) const override;
+  [[nodiscard]] std::string_view name() const override { return "score"; }
+};
+
+/// Ablation: minimize the window's most-recent access (classic LRU,
+/// generalized to contiguous windows; gaps count as never accessed).
+class LruPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::optional<EvictionWindow> Choose(
+      const std::vector<FragmentView>& frags, std::uint64_t size) const override;
+  [[nodiscard]] std::string_view name() const override { return "lru"; }
+};
+
+/// Ablation: evict oldest-created first (FIFO over windows).
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::optional<EvictionWindow> Choose(
+      const std::vector<FragmentView>& frags, std::uint64_t size) const override;
+  [[nodiscard]] std::string_view name() const override { return "fifo"; }
+};
+
+/// Ablation: maximize reuse of existing gaps (first window with the largest
+/// gap fraction), ignoring life-cycle foreknowledge entirely.
+class GreedyGapPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::optional<EvictionWindow> Choose(
+      const std::vector<FragmentView>& frags, std::uint64_t size) const override;
+  [[nodiscard]] std::string_view name() const override { return "greedy-gap"; }
+};
+
+enum class EvictionKind : std::uint8_t { kScore, kLru, kFifo, kGreedyGap };
+
+[[nodiscard]] std::unique_ptr<EvictionPolicy> MakePolicy(EvictionKind kind);
+[[nodiscard]] std::string_view to_string(EvictionKind kind) noexcept;
+
+/// Distance score constants encoding §4.1.6's preference order among
+/// immediately evictable fragments: gaps first, then consumed checkpoints,
+/// then unhinted ones, then hinted ones by descending prefetch distance.
+/// Powers of two keep window sums exactly representable in a double, so the
+/// incremental O(N) score updates of Algorithm 1 never drift (a cache holds
+/// well under 2^13 fragments, and hint distances stay below 2^20).
+inline constexpr double kGapDistance = 1099511627776.0;   // 2^40
+inline constexpr double kConsumedDistance = 1073741824.0; // 2^30
+inline constexpr double kUnhintedDistance = 1048576.0;    // 2^20
+
+}  // namespace ckpt::core

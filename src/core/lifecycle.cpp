@@ -1,0 +1,14 @@
+#include "core/lifecycle.hpp"
+
+#include <string>
+
+namespace ckpt::core {
+
+util::Status CheckTransition(CkptState from, CkptState to) {
+  if (TransitionLegal(from, to)) return util::OkStatus();
+  return util::FailedPrecondition(
+      "illegal checkpoint life-cycle transition " + std::string(to_string(from)) +
+      " -> " + std::string(to_string(to)));
+}
+
+}  // namespace ckpt::core

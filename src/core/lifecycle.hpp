@@ -1,0 +1,103 @@
+// Checkpoint life cycle — the finite-state machine of Figure 1.
+//
+// Every checkpoint instance owns one state that combines the flushing and
+// prefetching paths, so concurrent flushes and prefetches targeting the same
+// checkpoint coordinate through legal transitions instead of ad-hoc flags
+// (paper §4.1.3). Evictability on each cache tier is *derived* from the
+// state plus residency information; see engine.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ckpt::core {
+
+/// States of Figure 1.
+enum class CkptState : std::uint8_t {
+  kInit = 0,          ///< record created, no data accepted yet
+  kWriteInProgress,   ///< checkpointing path: cascading flushes pending
+  kWriteComplete,     ///< all flushes finished; read/prefetch intent pending
+  kFlushed,           ///< durable, no read intent: eligible for eviction
+  kReadInProgress,    ///< prefetching path: promotion to faster tiers running
+  kReadComplete,      ///< resident on the fast tier, pinned until consumed
+  kConsumed,          ///< restored into the app buffer: eligible for eviction
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CkptState s) noexcept {
+  switch (s) {
+    case CkptState::kInit: return "INIT";
+    case CkptState::kWriteInProgress: return "WRITE_IN_PROGRESS";
+    case CkptState::kWriteComplete: return "WRITE_COMPLETE";
+    case CkptState::kFlushed: return "FLUSHED";
+    case CkptState::kReadInProgress: return "READ_IN_PROGRESS";
+    case CkptState::kReadComplete: return "READ_COMPLETE";
+    case CkptState::kConsumed: return "CONSUMED";
+  }
+  return "?";
+}
+
+/// True if the transition `from` -> `to` is legal under Figure 1.
+///
+/// Legal edges:
+///   INIT -> WRITE_IN_PROGRESS          (checkpoint request)
+///   WRITE_IN_PROGRESS -> WRITE_COMPLETE (all cascading flushes done)
+///   WRITE_IN_PROGRESS -> READ_COMPLETE (restore overtakes pending flushes,
+///                                       condition (2): data still cached)
+///   WRITE_COMPLETE -> FLUSHED          (no pending restore/prefetch)
+///   WRITE_COMPLETE -> READ_COMPLETE    (read intent exists; data cached)
+///   FLUSHED -> READ_IN_PROGRESS        (prefetch of an evicted checkpoint)
+///   FLUSHED -> READ_COMPLETE           (flushed but still cached)
+///   READ_IN_PROGRESS -> READ_COMPLETE  (promotion finished)
+///   READ_COMPLETE -> CONSUMED          (restore copied into app buffer)
+///   CONSUMED -> READ_IN_PROGRESS       (extension: re-read after consume,
+///                                       needed for repeated replay)
+///   CONSUMED -> READ_COMPLETE          (re-read while still cached)
+///
+/// Two pragmatic extension edges beyond Figure 1 (documented in DESIGN.md):
+///   WRITE_IN_PROGRESS -> READ_IN_PROGRESS  (the GPU copy was already
+///     evicted while lower-tier flushes are still pending, and a prefetch
+///     must re-promote from the host cache)
+///   READ_IN_PROGRESS -> FLUSHED / WRITE_IN_PROGRESS  (promotion aborted:
+///     the application deviated from its hints and the restore fell back to
+///     the direct read path; the checkpoint rolls back to FLUSHED when
+///     already durable, or WRITE_IN_PROGRESS when flushes are still pending)
+[[nodiscard]] constexpr bool TransitionLegal(CkptState from, CkptState to) noexcept {
+  switch (from) {
+    case CkptState::kInit:
+      return to == CkptState::kWriteInProgress;
+    case CkptState::kWriteInProgress:
+      return to == CkptState::kWriteComplete || to == CkptState::kReadComplete ||
+             to == CkptState::kReadInProgress;
+    case CkptState::kWriteComplete:
+      return to == CkptState::kFlushed || to == CkptState::kReadComplete;
+    case CkptState::kFlushed:
+      return to == CkptState::kReadInProgress || to == CkptState::kReadComplete;
+    case CkptState::kReadInProgress:
+      return to == CkptState::kReadComplete || to == CkptState::kFlushed ||
+             to == CkptState::kWriteInProgress;
+    case CkptState::kReadComplete:
+      return to == CkptState::kConsumed;
+    case CkptState::kConsumed:
+      return to == CkptState::kReadInProgress || to == CkptState::kReadComplete;
+  }
+  return false;
+}
+
+/// True for the two states Figure 1 marks eligible for eviction.
+[[nodiscard]] constexpr bool StateEvictionEligible(CkptState s) noexcept {
+  return s == CkptState::kFlushed || s == CkptState::kConsumed;
+}
+
+/// True for the states that pin a prefetched copy on the fast tier
+/// (condition (4): once prefetched, evict only after consumption).
+[[nodiscard]] constexpr bool StatePinsFastTier(CkptState s) noexcept {
+  return s == CkptState::kReadInProgress || s == CkptState::kReadComplete;
+}
+
+/// Validating transition helper used by the engine: returns
+/// kFailedPrecondition with a descriptive message on an illegal edge.
+util::Status CheckTransition(CkptState from, CkptState to);
+
+}  // namespace ckpt::core

@@ -1,0 +1,28 @@
+#include "core/metrics.hpp"
+
+namespace ckpt::core {
+
+void RankMetrics::Merge(const RankMetrics& other) {
+  for (double s : other.ckpt_block_s.samples()) ckpt_block_s.Add(s);
+  for (double s : other.restore_block_s.samples()) restore_block_s.Add(s);
+  bytes_checkpointed += other.bytes_checkpointed;
+  bytes_restored += other.bytes_restored;
+  restores_from_gpu += other.restores_from_gpu;
+  restores_from_host += other.restores_from_host;
+  restores_from_store += other.restores_from_store;
+  restores_waited_promotion += other.restores_waited_promotion;
+  reserve_wait_write_s += other.reserve_wait_write_s;
+  reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
+  reserve_rounds += other.reserve_rounds;
+  prefetch_promotions += other.prefetch_promotions;
+  prefetch_gpu_hits += other.prefetch_gpu_hits;
+  prefetch_aborts += other.prefetch_aborts;
+  flushes_completed += other.flushes_completed;
+  flushes_cancelled += other.flushes_cancelled;
+  wait_for_flush_s += other.wait_for_flush_s;
+  init_s += other.init_s;
+  restore_series.insert(restore_series.end(), other.restore_series.begin(),
+                        other.restore_series.end());
+}
+
+}  // namespace ckpt::core

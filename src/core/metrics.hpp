@@ -1,0 +1,71 @@
+// Per-rank metric collection matching the paper's evaluation metrics
+// (§5.3.5): application-observed blocking time of checkpoint and restore
+// operations (throughput figures 5/6/8/9), per-iteration restore rate and
+// prefetch distance (figure 7), plus cache/engine telemetry used by the
+// ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ckpt::core {
+
+/// One restore operation's data point for the Fig. 7 series.
+struct RestorePoint {
+  std::uint64_t iteration = 0;       ///< restore index within the shot
+  std::uint64_t version = 0;
+  double blocking_s = 0.0;           ///< app-observed blocking time
+  std::uint64_t bytes = 0;
+  std::uint64_t prefetch_distance = 0;  ///< successor ckpts already on GPU
+};
+
+struct RankMetrics {
+  // Blocking seconds per operation, as observed by the application thread.
+  util::SampleSeries ckpt_block_s;
+  util::SampleSeries restore_block_s;
+
+  std::uint64_t bytes_checkpointed = 0;
+  std::uint64_t bytes_restored = 0;
+
+  // Restore service location (which tier satisfied the read).
+  std::uint64_t restores_from_gpu = 0;
+  std::uint64_t restores_from_host = 0;
+  std::uint64_t restores_from_store = 0;   // SSD/PFS direct path
+  std::uint64_t restores_waited_promotion = 0;  // blocked on T_PF
+
+  // Prefetch engine telemetry.
+  std::uint64_t prefetch_promotions = 0;   // upward copies completed
+  std::uint64_t prefetch_gpu_hits = 0;     // hint target already on GPU
+  std::uint64_t prefetch_aborts = 0;       // promotion aborted to direct path
+
+  // Cache reservation telemetry: time blocked waiting for evictability.
+  double reserve_wait_write_s = 0.0;     // checkpoint/flush reservations
+  double reserve_wait_prefetch_s = 0.0;  // promotion reservations
+  std::uint64_t reserve_rounds = 0;      // plan/re-plan iterations
+
+  // Flush pipeline telemetry.
+  std::uint64_t flushes_completed = 0;
+  std::uint64_t flushes_cancelled = 0;     // condition (5) skips
+  double wait_for_flush_s = 0.0;           // WAIT-mode barrier time
+
+  // Engine init cost (slow pinned host-cache allocation, §5.4.2).
+  double init_s = 0.0;
+
+  std::vector<RestorePoint> restore_series;
+
+  /// Throughput = bytes / total blocking seconds (the figures' metric).
+  [[nodiscard]] double CkptThroughput() const {
+    const double t = ckpt_block_s.Sum();
+    return t > 0 ? static_cast<double>(bytes_checkpointed) / t : 0.0;
+  }
+  [[nodiscard]] double RestoreThroughput() const {
+    const double t = restore_block_s.Sum();
+    return t > 0 ? static_cast<double>(bytes_restored) / t : 0.0;
+  }
+
+  void Merge(const RankMetrics& other);
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,63 @@
+#include "core/restore_queue.hpp"
+
+namespace ckpt::core {
+
+void RestoreQueue::Enqueue(Version v) {
+  const std::uint64_t seq = next_seq_++;
+  hints_.emplace_back(v, seq);
+  by_version_[v].insert(seq);
+}
+
+std::optional<Version> RestoreQueue::Head() const {
+  if (hints_.empty()) return std::nullopt;
+  return hints_.front().first;
+}
+
+void RestoreQueue::PopHead() {
+  if (hints_.empty()) return;
+  auto [v, seq] = hints_.front();
+  hints_.pop_front();
+  RemoveSeq(v, seq);
+}
+
+void RestoreQueue::Drop(Version v) {
+  auto it = by_version_.find(v);
+  if (it == by_version_.end() || it->second.empty()) return;
+  const std::uint64_t seq = *it->second.begin();
+  // Remove from the deque (linear, but Drop is rare: only on deviation).
+  for (auto dit = hints_.begin(); dit != hints_.end(); ++dit) {
+    if (dit->second == seq) {
+      hints_.erase(dit);
+      break;
+    }
+  }
+  RemoveSeq(v, seq);
+}
+
+std::optional<std::uint64_t> RestoreQueue::DistanceOf(Version v) const {
+  auto it = by_version_.find(v);
+  if (it == by_version_.end() || it->second.empty()) return std::nullopt;
+  const std::uint64_t target_seq = *it->second.begin();
+  // Count pending hints ahead of the target. The deque is seq-ordered, so a
+  // binary search gives the position directly.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = hints_.size();
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    if (hints_[mid].second < target_seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void RestoreQueue::RemoveSeq(Version v, std::uint64_t seq) {
+  auto it = by_version_.find(v);
+  if (it == by_version_.end()) return;
+  it->second.erase(seq);
+  if (it->second.empty()) by_version_.erase(it);
+}
+
+}  // namespace ckpt::core

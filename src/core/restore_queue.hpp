@@ -1,0 +1,65 @@
+// Per-process restore-order queue (§4.1.1): the application (or higher-level
+// middleware) enqueues advisory hints about the order in which it will
+// restore checkpoints. Hints are append-only and irrevocable; the
+// application may deviate at a performance penalty. The queue feeds both the
+// prefetch engine (what to promote next) and the eviction policy (the
+// prefetch *distance* is the s_score of Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/types.hpp"
+
+namespace ckpt::core {
+
+class RestoreQueue {
+ public:
+  /// Appends a hint. The same version may be hinted multiple times
+  /// (binomial checkpointing re-reads checkpoints).
+  void Enqueue(Version v);
+
+  /// The hint at the head, if any. Does not remove it.
+  [[nodiscard]] std::optional<Version> Head() const;
+
+  /// Removes the head hint (prefetch finished, or target already consumed).
+  void PopHead();
+
+  /// Removes the earliest pending hint for `v`, wherever it is (used when
+  /// the application deviates and restores `v` before its hint reaches the
+  /// head — the stale hint must not trigger a pointless prefetch later).
+  /// No-op if `v` has no pending hint.
+  void Drop(Version v);
+
+  /// Number of hints between the head and the earliest pending hint for
+  /// `v`: 0 for the head itself. nullopt when `v` has no pending hint —
+  /// Algorithm 1 then treats it as "restored last" (maximal s_score).
+  [[nodiscard]] std::optional<std::uint64_t> DistanceOf(Version v) const;
+
+  /// The idx-th pending hint from the head (0 = head). Used by the Fig. 7
+  /// prefetch-distance metric, which walks successors in restore order.
+  [[nodiscard]] std::optional<Version> Peek(std::size_t idx) const {
+    if (idx >= hints_.size()) return std::nullopt;
+    return hints_[idx].first;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return hints_.size(); }
+  [[nodiscard]] bool empty() const { return hints_.empty(); }
+
+  /// Total hints ever enqueued (telemetry).
+  [[nodiscard]] std::uint64_t total_enqueued() const { return next_seq_; }
+
+ private:
+  void RemoveSeq(Version v, std::uint64_t seq);
+
+  // Hints in order, as (version, seq). seq is a monotone id used to map
+  // versions back to queue positions in O(log n).
+  std::deque<std::pair<Version, std::uint64_t>> hints_;
+  std::map<Version, std::set<std::uint64_t>> by_version_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,35 @@
+// Common interface over the compared checkpoint runtimes (§5.2): the
+// score-based engine (the paper's proposal), the UVM-managed baseline, and
+// the ADIOS2/BP5-style deferred-I/O baseline. The experiment harness drives
+// all three through this surface; baselines that have no prefetch support
+// simply accept and ignore the hint calls (as the real systems would).
+#pragma once
+
+#include <cstdint>
+
+#include "core/metrics.hpp"
+#include "core/types.hpp"
+#include "simgpu/types.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::core {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual util::Status Checkpoint(sim::Rank rank, Version v,
+                                  sim::ConstBytePtr src, std::uint64_t size) = 0;
+  virtual util::Status Restore(sim::Rank rank, Version v, sim::BytePtr dst,
+                               std::uint64_t capacity) = 0;
+  virtual util::StatusOr<std::uint64_t> RecoverSize(sim::Rank rank, Version v) = 0;
+  virtual util::Status PrefetchEnqueue(sim::Rank rank, Version v) = 0;
+  virtual util::Status PrefetchStart(sim::Rank rank) = 0;
+  virtual util::Status WaitForFlushes(sim::Rank rank) = 0;
+  virtual void Shutdown() = 0;
+
+  [[nodiscard]] virtual const RankMetrics& metrics(sim::Rank rank) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace ckpt::core

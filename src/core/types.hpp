@@ -1,0 +1,41 @@
+// Shared vocabulary of the checkpoint runtime core.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ckpt::core {
+
+/// Checkpoint version number within one process's history (the `ver`
+/// argument of VELOC_Checkpoint / VELOC_Restart).
+using Version = std::uint64_t;
+
+/// Storage tiers in speed order. GPU and HOST are managed cache buffers;
+/// SSD and PFS are durable object stores with enough capacity for the whole
+/// history (paper §2 assumptions).
+enum class Tier : std::uint8_t {
+  kGpu = 0,
+  kHost = 1,
+  kSsd = 2,
+  kPfs = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kGpu: return "GPU";
+    case Tier::kHost: return "HOST";
+    case Tier::kSsd: return "SSD";
+    case Tier::kPfs: return "PFS";
+  }
+  return "?";
+}
+
+/// Why a cache reservation is being made. Used by the split-cache ablation
+/// (§4.1.2 argues for a *shared* space; the ablation quantifies the claim)
+/// and by telemetry.
+enum class ReservePurpose : std::uint8_t {
+  kWrite,     ///< checkpoint request or downward flush staging
+  kPrefetch,  ///< upward promotion driven by hints
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,106 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+
+#include "util/config.hpp"
+
+namespace ckpt::harness {
+
+std::string ConfigName(Approach a, rtm::HintMode hints) {
+  const char* h = "";
+  switch (hints) {
+    case rtm::HintMode::kNone: h = "No hints"; break;
+    case rtm::HintMode::kSingle: h = "Single hint"; break;
+    case rtm::HintMode::kAll: h = "All hints"; break;
+  }
+  return std::string(h) + ", " + to_string(a);
+}
+
+util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
+  sim::Cluster cluster(cfg.topology);
+  if (cfg.num_ranks > cluster.total_gpus()) {
+    return util::InvalidArgument("more ranks than simulated GPUs");
+  }
+
+  // Durable tiers: in-memory object stores behind the NVMe / PFS bandwidth
+  // models (benches avoid real disk I/O variance; the FileStore path is
+  // exercised by tests and examples).
+  auto ssd = storage::MakeSsdStore(cluster.topology(),
+                                   std::make_shared<storage::MemStore>());
+  auto pfs = storage::MakePfsStore(cluster.topology(),
+                                   std::make_shared<storage::MemStore>());
+
+  std::unique_ptr<core::Runtime> runtime;
+  switch (cfg.approach) {
+    case Approach::kScore: {
+      core::EngineOptions opts;
+      opts.gpu_cache_bytes = cfg.gpu_cache_bytes;
+      opts.host_cache_bytes = cfg.host_cache_bytes;
+      opts.eviction = cfg.eviction;
+      opts.split_flush_prefetch = cfg.split_flush_prefetch;
+      opts.discard_after_restore = cfg.discard_after_restore;
+      opts.gpudirect = cfg.gpudirect;
+      opts.terminal_tier = cfg.terminal_tier;
+      runtime = std::make_unique<core::Engine>(cluster, ssd, pfs, opts,
+                                               cfg.num_ranks);
+      break;
+    }
+    case Approach::kUvm: {
+      uvm::UvmRuntimeOptions opts;
+      opts.uvm.device_cache_bytes = cfg.gpu_cache_bytes;
+      opts.terminal_tier = cfg.terminal_tier;
+      opts.discard_after_restore = cfg.discard_after_restore;
+      opts.use_hints = cfg.shot.hint_mode != rtm::HintMode::kNone;
+      runtime = std::make_unique<uvm::UvmRuntime>(cluster, ssd, pfs, opts,
+                                                  cfg.num_ranks);
+      break;
+    }
+    case Approach::kAdios: {
+      adios::AdiosOptions opts;
+      opts.host_buffer_bytes = cfg.host_cache_bytes * 2;  // BP5 pools are roomy
+      opts.terminal_tier = cfg.terminal_tier;
+      runtime = std::make_unique<adios::AdiosRuntime>(cluster, ssd, pfs, opts,
+                                                      cfg.num_ranks);
+      break;
+    }
+  }
+
+  auto shot = rtm::RunShot(cluster, *runtime, cfg.shot, cfg.num_ranks);
+  runtime->Shutdown();
+  if (!shot.ok()) return shot.status();
+
+  ExperimentResult result;
+  result.shot = std::move(*shot);
+  result.config_name = ConfigName(cfg.approach, cfg.shot.hint_mode);
+  result.ckpt_MBps_mean = result.shot.MeanCkptThroughput() / 1e6;
+  result.restore_MBps_mean = result.shot.MeanRestoreThroughput() / 1e6;
+  result.ckpt_MBps_agg = result.shot.AggCkptThroughput() / 1e6;
+  result.restore_MBps_agg = result.shot.AggRestoreThroughput() / 1e6;
+  return result;
+}
+
+BenchScale LoadBenchScale() {
+  BenchScale scale;
+  scale.num_ckpts = static_cast<int>(util::EnvInt("CKPT_BENCH_CKPTS", 384));
+  scale.num_ranks = static_cast<int>(util::EnvInt("CKPT_BENCH_RANKS", 8));
+  scale.interval = std::chrono::microseconds(
+      util::EnvInt("CKPT_BENCH_INTERVAL_US", 1000));
+  return scale;
+}
+
+void PrintTableHeader(const std::string& title, const std::string& col_label) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-26s %-16s %14s %14s\n", "config", col_label.c_str(),
+              "ckpt MB/s", "restore MB/s");
+  std::printf("%.*s\n", 74,
+              "--------------------------------------------------------------"
+              "--------------------");
+}
+
+void PrintTableRow(const std::string& config, const std::string& variant,
+                   double ckpt_MBps, double restore_MBps) {
+  std::printf("%-26s %-16s %14.1f %14.1f\n", config.c_str(), variant.c_str(),
+              ckpt_MBps, restore_MBps);
+}
+
+}  // namespace ckpt::harness

@@ -1,0 +1,84 @@
+// Experiment harness: builds the full stack (simulated cluster -> stores ->
+// one of the three compared runtimes -> RTM shot driver) for one
+// configuration cell of the paper's evaluation matrix, runs it, and returns
+// the figures' metrics. Shared by every bench binary and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/adios/adios_runtime.hpp"
+#include "baselines/uvm/uvm_runtime.hpp"
+#include "core/engine.hpp"
+#include "rtm/workload.hpp"
+#include "simgpu/cluster.hpp"
+#include "storage/mem_store.hpp"
+#include "storage/throttled_store.hpp"
+
+namespace ckpt::harness {
+
+/// The compared approaches of §5.2 / Table 1.
+enum class Approach : std::uint8_t { kAdios, kUvm, kScore };
+
+[[nodiscard]] constexpr const char* to_string(Approach a) noexcept {
+  switch (a) {
+    case Approach::kAdios: return "ADIOS2";
+    case Approach::kUvm: return "UVM";
+    case Approach::kScore: return "Score";
+  }
+  return "?";
+}
+
+/// Table 1 notation, e.g. "All hints, Score".
+[[nodiscard]] std::string ConfigName(Approach a, rtm::HintMode hints);
+
+struct ExperimentConfig {
+  Approach approach = Approach::kScore;
+  rtm::ShotConfig shot;
+  sim::TopologyConfig topology = sim::TopologyConfig::Scaled();
+  int num_ranks = 8;
+
+  // Runtime knobs shared with the paper's cache setup (§5.3.4). The same
+  // GPU-cache budget is granted to every approach (Score's cache, UVM's
+  // device cache); ADIOS2 has none by design.
+  std::uint64_t gpu_cache_bytes = 4ull << 20;
+  std::uint64_t host_cache_bytes = 32ull << 20;
+  core::EvictionKind eviction = core::EvictionKind::kScore;
+  bool split_flush_prefetch = false;
+  bool discard_after_restore = false;
+  bool gpudirect = false;  ///< Score engine only: GPUDirect Storage extension
+  core::Tier terminal_tier = core::Tier::kSsd;
+};
+
+struct ExperimentResult {
+  rtm::ShotResult shot;
+  std::string config_name;
+  double ckpt_MBps_mean = 0.0;     ///< mean per-rank checkpoint throughput
+  double restore_MBps_mean = 0.0;  ///< mean per-rank restore throughput
+  double ckpt_MBps_agg = 0.0;      ///< stacked over ranks (Fig. 9)
+  double restore_MBps_agg = 0.0;
+};
+
+/// Builds the stack and runs one shot. Deterministic modulo thread timing.
+util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg);
+
+/// Environment-driven scaling for the bench suite:
+///   CKPT_BENCH_CKPTS     checkpoints per shot (default 384, the paper's
+///                        count: 48 MB of scaled history per GPU, 12x the
+///                        GPU cache and 1.5x the host cache)
+///   CKPT_BENCH_RANKS     simulated GPUs (default 8)
+///   CKPT_BENCH_INTERVAL_US  compute interval in microseconds (default 1000)
+struct BenchScale {
+  int num_ckpts;
+  int num_ranks;
+  std::chrono::nanoseconds interval;
+};
+[[nodiscard]] BenchScale LoadBenchScale();
+
+/// Pretty row printer used by the figure benches: fixed-width columns with
+/// rates in MB/s.
+void PrintTableHeader(const std::string& title, const std::string& col_label);
+void PrintTableRow(const std::string& config, const std::string& variant,
+                   double ckpt_MBps, double restore_MBps);
+
+}  // namespace ckpt::harness

@@ -1,0 +1,74 @@
+#include "rtm/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ckpt::rtm {
+
+TraceModel::TraceModel(TraceConfig config) : config_(config) {}
+
+double TraceModel::MeanAt(int i) const {
+  const double ramp_len =
+      std::max(1.0, config_.ramp_fraction * config_.num_snapshots);
+  const double t = std::min(1.0, static_cast<double>(i) / ramp_len);
+  // Smoothstep ramp: gentle start, gentle landing on the plateau.
+  const double s = t * t * (3.0 - 2.0 * t);
+  return static_cast<double>(config_.ramp_start_mean) +
+         s * static_cast<double>(config_.plateau_mean - config_.ramp_start_mean);
+}
+
+std::vector<std::uint64_t> TraceModel::GenerateShot(std::uint64_t shot_index) const {
+  auto rng = util::MakeRng(config_.seed, shot_index);
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(static_cast<std::size_t>(config_.num_snapshots));
+  const double sigma = config_.sigma;
+  for (int i = 0; i < config_.num_snapshots; ++i) {
+    const double mean = MeanAt(i);
+    // Lognormal with the target mean: mu = ln(mean) - sigma^2/2.
+    const double mu = std::log(mean) - sigma * sigma / 2.0;
+    const double v = util::ClampedLognormal(
+        rng, mu, sigma, static_cast<double>(config_.min_size),
+        static_cast<double>(config_.max_size));
+    // Round to 256 B (transfer alignment) to keep the tables tidy.
+    const auto size = static_cast<std::uint64_t>(v) / 256 * 256;
+    sizes.push_back(std::max<std::uint64_t>(size, 256));
+  }
+  return sizes;
+}
+
+std::vector<std::uint64_t> TraceModel::GenerateUniform() const {
+  return std::vector<std::uint64_t>(
+      static_cast<std::size_t>(config_.num_snapshots), config_.uniform_size);
+}
+
+std::vector<SnapshotSizeStats> TraceModel::SnapshotStats(int num_shots) const {
+  std::vector<SnapshotSizeStats> stats(
+      static_cast<std::size_t>(config_.num_snapshots));
+  for (auto& s : stats) {
+    s.min = ~0ull;
+    s.max = 0;
+    s.avg = 0.0;
+  }
+  for (int shot = 0; shot < num_shots; ++shot) {
+    const auto sizes = GenerateShot(static_cast<std::uint64_t>(shot));
+    for (int i = 0; i < config_.num_snapshots; ++i) {
+      auto& s = stats[static_cast<std::size_t>(i)];
+      const std::uint64_t v = sizes[static_cast<std::size_t>(i)];
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      s.avg += static_cast<double>(v);
+    }
+  }
+  for (auto& s : stats) s.avg /= std::max(1, num_shots);
+  return stats;
+}
+
+std::uint64_t TraceModel::ShotBytes(const std::vector<std::uint64_t>& sizes) {
+  std::uint64_t total = 0;
+  for (std::uint64_t s : sizes) total += s;
+  return total;
+}
+
+}  // namespace ckpt::rtm

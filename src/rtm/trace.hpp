@@ -1,0 +1,84 @@
+// RTM (Reverse Time Migration) checkpoint-size trace model (§5.3.1/§5.3.3).
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): the paper benchmarks against traces of
+// 1600 production RTM shots from Saudi Aramco, which record per-snapshot
+// compressed checkpoint sizes (~30x compression, highly variable). Those
+// traces are proprietary; this model generates synthetic shots calibrated to
+// the published properties (Fig. 4):
+//   * 384 snapshots per shot;
+//   * small checkpoints early in the shot (the wavefield has little energy
+//     content at first, so it compresses extremely well), ramping up to a
+//     wide plateau;
+//   * large min/max spread per snapshot index across shots (lognormal);
+//   * aggregate per shot in a fixed band (paper: 38-50 GB; scaled /1000:
+//     38-50 MB), median snapshot ~= the 128 MB uniform-mode size.
+//
+// All sizes here are in the scaled regime (divide paper numbers by 1000).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ckpt::rtm {
+
+struct TraceConfig {
+  int num_snapshots = 384;
+  std::uint64_t uniform_size = 128ull << 10;  ///< 128 MB /1000 -> 128 KB
+  std::uint64_t min_size = 8ull << 10;        ///< floor of compressed sizes
+  std::uint64_t max_size = 448ull << 10;      ///< cap of compressed sizes
+  std::uint64_t plateau_mean = 150ull << 10;  ///< late-shot mean size
+  std::uint64_t ramp_start_mean = 16ull << 10;
+  double ramp_fraction = 0.25;  ///< fraction of the shot spent ramping up
+  double sigma = 0.35;          ///< lognormal spread
+  std::uint64_t seed = 42;
+};
+
+/// Whether a shot uses trace-derived variable sizes or the uniform 128 KB
+/// (scaled) comparison mode (§5.3.3).
+enum class SizeMode : std::uint8_t { kUniform, kVariable };
+
+[[nodiscard]] constexpr const char* to_string(SizeMode m) noexcept {
+  return m == SizeMode::kUniform ? "uniform" : "variable";
+}
+
+/// Per-snapshot-index aggregate over a set of shots (the Fig. 4 series).
+struct SnapshotSizeStats {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double avg = 0.0;
+};
+
+class TraceModel {
+ public:
+  explicit TraceModel(TraceConfig config = {});
+
+  /// Deterministic per-shot size series. The same (seed, shot_index) always
+  /// produces the same sizes; distinct shots differ.
+  [[nodiscard]] std::vector<std::uint64_t> GenerateShot(std::uint64_t shot_index) const;
+
+  /// Uniform-mode series (all snapshots uniform_size).
+  [[nodiscard]] std::vector<std::uint64_t> GenerateUniform() const;
+
+  [[nodiscard]] std::vector<std::uint64_t> Generate(SizeMode mode,
+                                                    std::uint64_t shot_index) const {
+    return mode == SizeMode::kUniform ? GenerateUniform() : GenerateShot(shot_index);
+  }
+
+  /// Fig. 4: min/avg/max per snapshot index across `num_shots` shots.
+  [[nodiscard]] std::vector<SnapshotSizeStats> SnapshotStats(int num_shots) const;
+
+  /// Total bytes of one shot.
+  [[nodiscard]] static std::uint64_t ShotBytes(const std::vector<std::uint64_t>& sizes);
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Mean size at snapshot `i` (ramp then plateau).
+  [[nodiscard]] double MeanAt(int i) const;
+
+  TraceConfig config_;
+};
+
+}  // namespace ckpt::rtm

@@ -1,0 +1,204 @@
+#include "rtm/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ckpt::rtm {
+
+std::vector<core::Version> MakeRestoreOrder(const ShotConfig& cfg,
+                                            sim::Rank rank) {
+  std::vector<core::Version> order(static_cast<std::size_t>(cfg.num_ckpts));
+  std::iota(order.begin(), order.end(), core::Version{0});
+  switch (cfg.read_order) {
+    case ReadOrder::kSequential:
+      break;
+    case ReadOrder::kReverse:
+      std::reverse(order.begin(), order.end());
+      break;
+    case ReadOrder::kIrregular: {
+      // Random but predetermined (§5.3.2): fixed by (seed, rank).
+      auto rng = util::MakeRng(cfg.seed, static_cast<std::uint64_t>(rank) + 1);
+      std::shuffle(order.begin(), order.end(), rng);
+      break;
+    }
+  }
+  return order;
+}
+
+void FillPattern(sim::Rank rank, core::Version v, sim::BytePtr buf,
+                 std::uint64_t size) {
+  const std::uint64_t stamp =
+      util::DeriveSeed(0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank), v);
+  std::uint64_t word = stamp;
+  std::uint64_t off = 0;
+  while (off + sizeof(word) <= size) {
+    std::memcpy(buf + off, &word, sizeof(word));
+    word = word * 6364136223846793005ull + 1442695040888963407ull;
+    off += sizeof(word);
+  }
+  for (; off < size; ++off) buf[off] = static_cast<std::byte>(off & 0xff);
+}
+
+bool CheckPattern(sim::Rank rank, core::Version v, sim::ConstBytePtr buf,
+                  std::uint64_t size) {
+  const std::uint64_t stamp =
+      util::DeriveSeed(0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank), v);
+  std::uint64_t word = stamp;
+  std::uint64_t off = 0;
+  while (off + sizeof(word) <= size) {
+    std::uint64_t got = 0;
+    std::memcpy(&got, buf + off, sizeof(got));
+    if (got != word) return false;
+    word = word * 6364136223846793005ull + 1442695040888963407ull;
+    off += sizeof(word);
+  }
+  for (; off < size; ++off) {
+    if (buf[off] != static_cast<std::byte>(off & 0xff)) return false;
+  }
+  return true;
+}
+
+double ShotResult::MeanCkptThroughput() const {
+  if (per_rank.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : per_rank) sum += m.CkptThroughput();
+  return sum / static_cast<double>(per_rank.size());
+}
+
+double ShotResult::MeanRestoreThroughput() const {
+  if (per_rank.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : per_rank) sum += m.RestoreThroughput();
+  return sum / static_cast<double>(per_rank.size());
+}
+
+double ShotResult::AggCkptThroughput() const {
+  double sum = 0.0;
+  for (const auto& m : per_rank) sum += m.CkptThroughput();
+  return sum;
+}
+
+double ShotResult::AggRestoreThroughput() const {
+  double sum = 0.0;
+  for (const auto& m : per_rank) sum += m.RestoreThroughput();
+  return sum;
+}
+
+util::StatusOr<ShotResult> RunShot(sim::Cluster& cluster, core::Runtime& runtime,
+                                   const ShotConfig& cfg, int num_ranks) {
+  if (num_ranks <= 0 || num_ranks > cluster.total_gpus()) {
+    return util::InvalidArgument("RunShot: bad rank count");
+  }
+  const TraceModel trace(cfg.trace);
+  const bool coupled = cfg.coupling == Coupling::kTightlyCoupled;
+  std::barrier iteration_barrier(num_ranks);
+  std::atomic<std::uint64_t> verify_failures{0};
+  std::vector<util::Status> rank_status(static_cast<std::size_t>(num_ranks),
+                                        util::OkStatus());
+  std::atomic<std::uint64_t> total_bytes{0};
+
+  const util::Stopwatch wall;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks));
+    for (sim::Rank rank = 0; rank < num_ranks; ++rank) {
+      threads.emplace_back([&, rank] {
+        sim::BytePtr buf = nullptr;
+        auto fail = [&](util::Status st) {
+          rank_status[static_cast<std::size_t>(rank)] = std::move(st);
+          if (buf != nullptr) (void)cluster.device(rank).Free(buf);
+          // Keep surviving ranks from deadlocking on the barrier.
+          if (coupled) iteration_barrier.arrive_and_drop();
+        };
+        const auto sizes =
+            trace.Generate(cfg.size_mode, static_cast<std::uint64_t>(rank));
+        const std::uint64_t max_size =
+            *std::max_element(sizes.begin(), sizes.end());
+        auto buf_or = cluster.device(rank).Allocate(max_size);
+        if (!buf_or.ok()) return fail(buf_or.status());
+        buf = *buf_or;
+        const auto order = MakeRestoreOrder(cfg, rank);
+
+        // All-hints mode: the full restore order is known before the
+        // forward pass begins (Listing 1, lines 2-3).
+        if (cfg.hint_mode == HintMode::kAll) {
+          for (core::Version v : order) {
+            if (auto st = runtime.PrefetchEnqueue(rank, v); !st.ok()) {
+              return fail(st);
+            }
+          }
+        }
+
+        // Forward pass: compute (sleep) + checkpoint per iteration.
+        for (int i = 0; i < cfg.num_ckpts; ++i) {
+          util::PreciseSleep(cfg.compute_interval);
+          const std::uint64_t size = sizes[static_cast<std::size_t>(i)];
+          if (cfg.verify) {
+            FillPattern(rank, static_cast<core::Version>(i), buf, size);
+          }
+          if (auto st = runtime.Checkpoint(rank, static_cast<core::Version>(i),
+                                           buf, size);
+              !st.ok()) {
+            return fail(st);
+          }
+          total_bytes += size;
+          if (coupled) iteration_barrier.arrive_and_wait();
+        }
+
+        // WAIT mode: persist everything before the restore phase (Fig. 5).
+        if (cfg.wait_for_flush) {
+          if (auto st = runtime.WaitForFlushes(rank); !st.ok()) return fail(st);
+        }
+
+        if (auto st = runtime.PrefetchStart(rank); !st.ok()) return fail(st);
+
+        // Backward pass: restore in the configured order.
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          const core::Version v = order[k];
+          // Single-hint mode: announce the *next* restore at the start of
+          // the current iteration (§5.2.4).
+          if (cfg.hint_mode == HintMode::kSingle && k + 1 < order.size()) {
+            if (auto st = runtime.PrefetchEnqueue(rank, order[k + 1]); !st.ok()) {
+              return fail(st);
+            }
+          }
+          util::PreciseSleep(cfg.compute_interval);
+          auto size_or = runtime.RecoverSize(rank, v);
+          if (!size_or.ok()) return fail(size_or.status());
+          if (auto st = runtime.Restore(rank, v, buf, max_size); !st.ok()) {
+            return fail(st);
+          }
+          if (cfg.verify && !CheckPattern(rank, v, buf, *size_or)) {
+            ++verify_failures;
+          }
+          if (coupled) iteration_barrier.arrive_and_wait();
+        }
+        (void)cluster.device(rank).Free(buf);
+      });
+    }
+  }  // joins all rank threads
+
+  for (const auto& st : rank_status) {
+    if (!st.ok()) return st;
+  }
+
+  ShotResult result;
+  result.wall_s = wall.ElapsedSec();
+  result.total_bytes = total_bytes.load();
+  result.verify_failures = verify_failures.load();
+  for (sim::Rank rank = 0; rank < num_ranks; ++rank) {
+    result.per_rank.push_back(runtime.metrics(rank));
+    result.merged.Merge(result.per_rank.back());
+  }
+  return result;
+}
+
+}  // namespace ckpt::rtm

@@ -1,0 +1,91 @@
+// RTM shot workload driver (§5.3.1/§5.3.2): emulates the paper's benchmark —
+// trivial iterations that sleep to simulate computation but generate the
+// exact trace checkpoint sizes. One *shot* = a forward pass writing a
+// checkpoint per iteration, an optional wait-for-flush barrier, a
+// Prefetch_start, and a backward pass restoring in one of three orders
+// (Sequential / Reverse / Irregular). Runs P rank-threads, one per simulated
+// GPU, in embarrassingly-parallel or tightly-coupled (per-iteration barrier)
+// mode.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/runtime.hpp"
+#include "rtm/trace.hpp"
+#include "simgpu/cluster.hpp"
+
+namespace ckpt::rtm {
+
+enum class ReadOrder : std::uint8_t { kSequential, kReverse, kIrregular };
+enum class HintMode : std::uint8_t { kNone, kSingle, kAll };
+enum class Coupling : std::uint8_t { kEmbarrassinglyParallel, kTightlyCoupled };
+
+[[nodiscard]] constexpr const char* to_string(ReadOrder o) noexcept {
+  switch (o) {
+    case ReadOrder::kSequential: return "sequential";
+    case ReadOrder::kReverse: return "reverse";
+    case ReadOrder::kIrregular: return "irregular";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr const char* to_string(HintMode h) noexcept {
+  switch (h) {
+    case HintMode::kNone: return "no-hints";
+    case HintMode::kSingle: return "single-hint";
+    case HintMode::kAll: return "all-hints";
+  }
+  return "?";
+}
+
+struct ShotConfig {
+  int num_ckpts = 96;
+  SizeMode size_mode = SizeMode::kUniform;
+  ReadOrder read_order = ReadOrder::kReverse;
+  HintMode hint_mode = HintMode::kAll;
+  Coupling coupling = Coupling::kEmbarrassinglyParallel;
+  /// Simulated compute between iterations (paper: 10 ms; scaled: 1 ms).
+  std::chrono::nanoseconds compute_interval = std::chrono::milliseconds(1);
+  /// WAIT mode (Fig. 5): block until all flushes finish before restoring.
+  bool wait_for_flush = false;
+  /// Fill buffers with per-(rank,version) patterns and verify on restore.
+  bool verify = false;
+  TraceConfig trace;
+  std::uint64_t seed = 7;
+};
+
+/// The restore order for one shot (a permutation of [0, num_ckpts)).
+/// Deterministic: irregular orders derive from (seed, rank).
+[[nodiscard]] std::vector<core::Version> MakeRestoreOrder(const ShotConfig& cfg,
+                                                          sim::Rank rank);
+
+struct ShotResult {
+  std::vector<core::RankMetrics> per_rank;
+  core::RankMetrics merged;
+  double wall_s = 0.0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t verify_failures = 0;
+
+  /// Mean of per-rank throughputs (Figs. 5/6/8 report per-GPU averages).
+  [[nodiscard]] double MeanCkptThroughput() const;
+  [[nodiscard]] double MeanRestoreThroughput() const;
+  /// Sum of per-rank throughputs (Fig. 9's stacked bars).
+  [[nodiscard]] double AggCkptThroughput() const;
+  [[nodiscard]] double AggRestoreThroughput() const;
+};
+
+/// Runs one shot over `num_ranks` rank-threads against `runtime`.
+/// Each rank checkpoints the trace sizes of shot `rank` (variable mode) or
+/// the uniform series, then restores per the configured order.
+util::StatusOr<ShotResult> RunShot(sim::Cluster& cluster, core::Runtime& runtime,
+                                   const ShotConfig& cfg, int num_ranks);
+
+/// Deterministic fill pattern for verification.
+void FillPattern(sim::Rank rank, core::Version v, sim::BytePtr buf,
+                 std::uint64_t size);
+[[nodiscard]] bool CheckPattern(sim::Rank rank, core::Version v,
+                                sim::ConstBytePtr buf, std::uint64_t size);
+
+}  // namespace ckpt::rtm

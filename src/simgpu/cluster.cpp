@@ -1,0 +1,29 @@
+#include "simgpu/cluster.hpp"
+
+#include "simgpu/copy.hpp"
+
+namespace ckpt::sim {
+
+Cluster::Cluster(TopologyConfig config) : topology_(config) {
+  const int gpus = topology_.config().total_gpus();
+  devices_.reserve(static_cast<std::size_t>(gpus));
+  alloc_limiters_.reserve(static_cast<std::size_t>(gpus));
+  for (Rank r = 0; r < gpus; ++r) {
+    alloc_limiters_.push_back(std::make_unique<util::RateLimiter>(
+        topology_.config().device_alloc_bw, 1ull << 20));
+    devices_.push_back(std::make_unique<Device>(topology_.gpu_of_rank(r),
+                                                topology_.config().hbm_capacity,
+                                                alloc_limiters_.back().get()));
+  }
+}
+
+Device& Cluster::device(Rank rank) {
+  return *devices_.at(static_cast<std::size_t>(rank));
+}
+
+util::Status Cluster::Memcpy(Rank rank, BytePtr dst, ConstBytePtr src,
+                             std::uint64_t n, MemcpyKind kind) {
+  return ThrottledMemcpy(topology_, topology_.gpu_of_rank(rank), dst, src, n, kind);
+}
+
+}  // namespace ckpt::sim

@@ -1,0 +1,39 @@
+// Cluster facade: the whole simulated machine — topology (shared bandwidth
+// resources) plus one Device per GPU. One Cluster instance is shared by all
+// process threads of an experiment, exactly as the physical node is shared
+// by all MPI ranks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simgpu/device.hpp"
+#include "simgpu/topology.hpp"
+
+namespace ckpt::sim {
+
+class Cluster {
+ public:
+  explicit Cluster(TopologyConfig config);
+
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const TopologyConfig& config() const noexcept {
+    return topology_.config();
+  }
+
+  [[nodiscard]] Device& device(Rank rank);
+  [[nodiscard]] int total_gpus() const { return config().total_gpus(); }
+
+  /// Blocking, bandwidth-throttled copy attributed to `rank`'s GPU.
+  util::Status Memcpy(Rank rank, BytePtr dst, ConstBytePtr src, std::uint64_t n,
+                      MemcpyKind kind);
+
+ private:
+  Topology topology_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  // Per-GPU allocation limiters (HBM allocation bandwidth model).
+  std::vector<std::unique_ptr<util::RateLimiter>> alloc_limiters_;
+};
+
+}  // namespace ckpt::sim

@@ -1,0 +1,113 @@
+#include "simgpu/copy.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/clock.hpp"
+
+namespace ckpt::sim {
+
+util::Status ThrottledMemcpy(const Topology& topo, GpuId gpu, BytePtr dst,
+                             ConstBytePtr src, std::uint64_t n, MemcpyKind kind) {
+  if (dst == nullptr || src == nullptr) {
+    return util::InvalidArgument("ThrottledMemcpy: null pointer");
+  }
+  if (n == 0) return util::InvalidArgument("ThrottledMemcpy: zero length");
+
+  const auto& cfg = topo.config();
+  if (cfg.copy_latency_ns > 0) {
+    util::PreciseSleep(std::chrono::nanoseconds(cfg.copy_latency_ns));
+  }
+
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    switch (kind) {
+      case MemcpyKind::kD2D:
+        topo.d2d(gpu).Acquire(chunk);
+        break;
+      case MemcpyKind::kD2H:
+        topo.pcie_link(gpu, Topology::LinkDir::kD2H).Acquire(chunk);
+        topo.host_mem(gpu).Acquire(chunk);
+        break;
+      case MemcpyKind::kH2D:
+        topo.pcie_link(gpu, Topology::LinkDir::kH2D).Acquire(chunk);
+        topo.host_mem(gpu).Acquire(chunk);
+        break;
+      case MemcpyKind::kH2H:
+        topo.host_mem(gpu).Acquire(chunk);
+        break;
+    }
+    std::memcpy(dst + done, src + done, chunk);
+    done += chunk;
+  }
+  return util::OkStatus();
+}
+
+void ChargeNvme(const Topology& topo, Rank rank, std::uint64_t n) {
+  auto& drive = topo.nvme_for_rank(rank);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    drive.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+void ChargePfs(const Topology& topo, std::uint64_t n) {
+  auto& pfs = topo.pfs();
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    pfs.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+void ChargePcie(const Topology& topo, GpuId gpu, std::uint64_t n,
+                Topology::LinkDir dir) {
+  auto& link = topo.pcie_link(gpu, dir);
+  auto& host = topo.host_mem(gpu);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    link.Acquire(chunk);
+    host.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+void ChargePcieLinkOnly(const Topology& topo, GpuId gpu, std::uint64_t n,
+                        Topology::LinkDir dir) {
+  auto& link = topo.pcie_link(gpu, dir);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    link.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+void ChargeD2D(const Topology& topo, GpuId gpu, std::uint64_t n) {
+  auto& engine = topo.d2d(gpu);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    engine.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+void ChargeHostMem(const Topology& topo, GpuId gpu, std::uint64_t n) {
+  auto& host = topo.host_mem(gpu);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t chunk = std::min(kCopyChunk, n - done);
+    host.Acquire(chunk);
+    done += chunk;
+  }
+}
+
+}  // namespace ckpt::sim

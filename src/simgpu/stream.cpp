@@ -1,0 +1,83 @@
+#include "simgpu/stream.hpp"
+
+#include <utility>
+
+namespace ckpt::sim {
+
+void Event::Complete() {
+  std::lock_guard lock(mu_);
+  complete_ = true;
+  cv_.notify_all();
+}
+
+void Event::Synchronize() const {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return complete_; });
+}
+
+bool Event::Query() const {
+  std::lock_guard lock(mu_);
+  return complete_;
+}
+
+void Event::Reset() {
+  std::lock_guard lock(mu_);
+  complete_ = false;
+}
+
+Stream::Stream(std::string name)
+    : name_(std::move(name)), worker_([this] { WorkerLoop(); }) {}
+
+Stream::~Stream() {
+  ops_.Close();
+  // worker_ (jthread) joins automatically, draining remaining ops first.
+}
+
+bool Stream::Enqueue(std::function<void()> op) {
+  {
+    std::lock_guard lock(mu_);
+    ++submitted_;
+  }
+  if (!ops_.Push(std::move(op))) {
+    std::lock_guard lock(mu_);
+    --submitted_;
+    return false;
+  }
+  return true;
+}
+
+bool Stream::RecordEvent(std::shared_ptr<Event> event) {
+  return Enqueue([event = std::move(event)] { event->Complete(); });
+}
+
+bool Stream::WaitEvent(std::shared_ptr<Event> event) {
+  return Enqueue([event = std::move(event)] { event->Synchronize(); });
+}
+
+void Stream::Synchronize() {
+  std::uint64_t target;
+  {
+    std::lock_guard lock(mu_);
+    target = submitted_;
+  }
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return completed_ >= target; });
+}
+
+bool Stream::Idle() const {
+  std::lock_guard lock(mu_);
+  return completed_ == submitted_;
+}
+
+void Stream::WorkerLoop() {
+  while (auto op = ops_.Pop()) {
+    (*op)();
+    {
+      std::lock_guard lock(mu_);
+      ++completed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ckpt::sim

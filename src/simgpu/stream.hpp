@@ -1,0 +1,81 @@
+// CUDA-like asynchronous streams and events. A Stream is a FIFO of
+// operations executed by a dedicated worker thread, giving true asynchrony
+// and overlap between directions (the engine creates one stream per copy
+// direction, mirroring the dedicated copy engines of real GPUs, §4.3.1).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/mpmc_queue.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::sim {
+
+/// One-shot completion marker, analogous to cudaEvent_t. Reusable after
+/// Reset(). Thread-safe.
+class Event {
+ public:
+  Event() = default;
+
+  /// Marks the event complete and wakes waiters.
+  void Complete();
+  /// Blocks until Complete() has been called.
+  void Synchronize() const;
+  /// Non-blocking completion probe.
+  [[nodiscard]] bool Query() const;
+  /// Re-arms the event for reuse. No waiter may be pending.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool complete_ = false;
+};
+
+class Stream {
+ public:
+  /// `name` appears in logs ("d2h", "h2f", "pf").
+  explicit Stream(std::string name = "stream");
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues an operation; it runs after every previously enqueued op.
+  /// Returns false after the stream has been shut down.
+  bool Enqueue(std::function<void()> op);
+
+  /// Enqueues an op that completes `event` when reached (cudaEventRecord).
+  bool RecordEvent(std::shared_ptr<Event> event);
+
+  /// Enqueues an op that blocks the stream until `event` completes
+  /// (cudaStreamWaitEvent) — cross-stream ordering.
+  bool WaitEvent(std::shared_ptr<Event> event);
+
+  /// Blocks until all currently enqueued work has executed.
+  void Synchronize();
+
+  /// True when no work is pending or running.
+  [[nodiscard]] bool Idle() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  util::MpmcQueue<std::function<void()>> ops_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::jthread worker_;
+};
+
+}  // namespace ckpt::sim

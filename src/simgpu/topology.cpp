@@ -1,0 +1,111 @@
+#include "simgpu/topology.hpp"
+
+#include <stdexcept>
+
+namespace ckpt::sim {
+
+TopologyConfig TopologyConfig::Paper() {
+  TopologyConfig c;
+  c.hbm_capacity = 40ull << 30;        // 40 GB usable HBM2e per A100
+  c.d2d_bw = 1000ull << 30;            // ~1 TB/s
+  c.pcie_link_bw = 25ull << 30;        // 25 GB/s pinned D2H/H2D
+  c.host_mem_bw = 20ull << 30;         // 20 GB/s DDR4 per the paper
+  c.nvme_drive_bw = 4ull << 30;        // 4 GB/s per Gen4 NVMe drive
+  c.pfs_bw = 2ull << 30;               // Lustre share per job (approx.)
+  c.device_alloc_bw = 1000ull << 30;
+  c.pinned_alloc_bw = 4ull << 30;      // pinned allocation ~4 GB/s
+  c.copy_latency_ns = 5000;
+  return c;
+}
+
+TopologyConfig TopologyConfig::Scaled() { return TopologyConfig{}; }
+
+TopologyConfig TopologyConfig::Testing() {
+  TopologyConfig c;
+  c.nodes = 1;
+  c.gpus_per_node = 2;
+  c.hbm_capacity = 16ull << 20;
+  c.d2d_bw = 0;          // unlimited: tests assert semantics, not timing
+  c.pcie_link_bw = 0;
+  c.host_mem_bw = 0;
+  c.nvme_drive_bw = 0;
+  c.pfs_bw = 0;
+  c.device_alloc_bw = 0;
+  c.pinned_alloc_bw = 0;
+  c.copy_latency_ns = 0;
+  return c;
+}
+
+namespace {
+// Two transfer chunks of idle accumulation: enough to avoid quantization
+// stalls, small enough that an idle link cannot bank a free megabyte.
+constexpr std::uint64_t kBurst = 128ull << 10;
+}
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  if (config_.nodes <= 0 || config_.gpus_per_node <= 0 ||
+      config_.gpus_per_pcie_link <= 0 || config_.nvme_drives_per_node <= 0 ||
+      config_.gpus_per_numa_domain <= 0) {
+    throw std::invalid_argument("Topology: counts must be positive");
+  }
+  const int links = config_.pcie_links_per_node();
+  for (int n = 0; n < config_.nodes; ++n) {
+    for (int l = 0; l < links; ++l) {
+      // Two limiters per link: independent D2H and H2D engines (duplex).
+      pcie_links_.push_back(
+          std::make_unique<util::RateLimiter>(config_.pcie_link_bw, kBurst));
+      pcie_links_.push_back(
+          std::make_unique<util::RateLimiter>(config_.pcie_link_bw, kBurst));
+    }
+    for (int d = 0; d < config_.nvme_drives_per_node; ++d) {
+      nvme_.push_back(
+          std::make_unique<util::RateLimiter>(config_.nvme_drive_bw, kBurst));
+    }
+    for (int d = 0; d < config_.numa_domains_per_node(); ++d) {
+      host_mem_.push_back(
+          std::make_unique<util::RateLimiter>(config_.host_mem_bw, kBurst));
+    }
+    for (int g = 0; g < config_.gpus_per_node; ++g) {
+      d2d_.push_back(std::make_unique<util::RateLimiter>(config_.d2d_bw, kBurst));
+    }
+  }
+  pfs_ = std::make_unique<util::RateLimiter>(config_.pfs_bw, kBurst);
+}
+
+util::RateLimiter& Topology::pcie_link(GpuId gpu, LinkDir dir) const {
+  const int links = config_.pcie_links_per_node();
+  const int link = gpu.local / config_.gpus_per_pcie_link;
+  return *pcie_links_.at(static_cast<std::size_t>(
+      2 * (gpu.node * links + link) + static_cast<int>(dir)));
+}
+
+util::RateLimiter& Topology::nvme_drive(int node, int drive) const {
+  return *nvme_.at(
+      static_cast<std::size_t>(node * config_.nvme_drives_per_node + drive));
+}
+
+util::RateLimiter& Topology::nvme_for_rank(Rank rank) const {
+  const GpuId gpu = gpu_of_rank(rank);
+  const int drive = gpu.local % config_.nvme_drives_per_node;
+  return nvme_drive(gpu.node, drive);
+}
+
+util::RateLimiter& Topology::host_mem(GpuId gpu) const {
+  const int domains = config_.numa_domains_per_node();
+  const int domain = gpu.local / config_.gpus_per_numa_domain;
+  return *host_mem_.at(static_cast<std::size_t>(gpu.node * domains + domain));
+}
+
+util::RateLimiter& Topology::d2d(GpuId gpu) const {
+  return *d2d_.at(static_cast<std::size_t>(gpu.node * config_.gpus_per_node + gpu.local));
+}
+
+GpuId Topology::gpu_of_rank(Rank rank) const {
+  return GpuId{rank / config_.gpus_per_node, rank % config_.gpus_per_node};
+}
+
+Rank Topology::rank_of_gpu(GpuId gpu) const {
+  return gpu.node * config_.gpus_per_node + gpu.local;
+}
+
+}  // namespace ckpt::sim

@@ -1,0 +1,92 @@
+// Node/cluster topology and the shared bandwidth resources that create the
+// contention effects the paper measures: two GPUs share each PCIe Gen4 link,
+// all processes on a node share the NVMe drives and DDR bandwidth, all nodes
+// share the parallel-file-system uplink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simgpu/types.hpp"
+#include "util/rate_limiter.hpp"
+
+namespace ckpt::sim {
+
+/// Bandwidths/latencies of the simulated machine, in bytes/sec. Defaults are
+/// the DGX-A100 numbers from the paper (§5.1) scaled: sizes are divided by
+/// 1000 elsewhere, bandwidths here by 100, so wall-clock durations shrink by
+/// 10x while every ratio that decides "who wins" is preserved.
+struct TopologyConfig {
+  int nodes = 1;
+  int gpus_per_node = 8;
+  int gpus_per_pcie_link = 2;   ///< DGX-A100: two GPUs share one PCIe Gen4 link
+  int gpus_per_numa_domain = 2; ///< each GPU pair hangs off one NUMA domain
+  int nvme_drives_per_node = 4;
+
+  std::uint64_t hbm_capacity = 400ull << 20;      ///< 40 GB/1000 * margin, per GPU
+  std::uint64_t d2d_bw = 10ull << 30;             ///< paper: 1 TB/s -> /100
+  std::uint64_t pcie_link_bw = 250ull << 20;      ///< paper: 25 GB/s -> /100
+  std::uint64_t host_mem_bw = 200ull << 20;       ///< paper: 20 GB/s DDR *per NUMA domain* -> /100
+  std::uint64_t nvme_drive_bw = 40ull << 20;      ///< paper: 4 GB/s/drive -> /100
+  std::uint64_t pfs_bw = 16ull << 20;             ///< Lustre share, scaled
+  std::uint64_t device_alloc_bw = 10ull << 30;    ///< HBM alloc ~ transfer speed
+  std::uint64_t pinned_alloc_bw = 40ull << 20;    ///< paper: pinned alloc ~4 GB/s -> /100
+  std::uint64_t copy_latency_ns = 5000;           ///< per-op launch overhead
+
+  /// Unscaled paper-faithful numbers, for documentation/tests of ratios.
+  static TopologyConfig Paper();
+  /// Default scaled config used by tests/benches (the values above).
+  static TopologyConfig Scaled();
+  /// A tiny, fast config for unit tests (small arenas, high bandwidth).
+  static TopologyConfig Testing();
+
+  [[nodiscard]] int total_gpus() const { return nodes * gpus_per_node; }
+  [[nodiscard]] int pcie_links_per_node() const {
+    return (gpus_per_node + gpus_per_pcie_link - 1) / gpus_per_pcie_link;
+  }
+  [[nodiscard]] int numa_domains_per_node() const {
+    return (gpus_per_node + gpus_per_numa_domain - 1) / gpus_per_numa_domain;
+  }
+};
+
+/// Owns the shared RateLimiters of the whole simulated cluster. Thread-safe:
+/// the limiters themselves synchronize; the structure is immutable after
+/// construction.
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+  /// PCIe link limiter shared by the GPU's pair on its node. The link is
+  /// full duplex: the two directions have independent engines (this is what
+  /// lets flushes (D2H) overlap prefetch promotions (H2D), §4.3.1).
+  enum class LinkDir : std::uint8_t { kD2H = 0, kH2D = 1 };
+  [[nodiscard]] util::RateLimiter& pcie_link(GpuId gpu, LinkDir dir) const;
+  /// NVMe drive limiter; processes stripe across drives round-robin by rank.
+  [[nodiscard]] util::RateLimiter& nvme_drive(int node, int drive) const;
+  [[nodiscard]] util::RateLimiter& nvme_for_rank(Rank rank) const;
+  /// DDR bandwidth limiter of the NUMA domain serving `gpu`'s pair (the
+  /// paper: 8 NUMA domains, only 4 directly GPU-accessible; each GPU pair
+  /// contends on its own domain, not on one node-wide pipe).
+  [[nodiscard]] util::RateLimiter& host_mem(GpuId gpu) const;
+  /// Global PFS uplink limiter.
+  [[nodiscard]] util::RateLimiter& pfs() const { return *pfs_; }
+  /// Per-GPU on-device copy-engine limiter (D2D path).
+  [[nodiscard]] util::RateLimiter& d2d(GpuId gpu) const;
+
+  [[nodiscard]] GpuId gpu_of_rank(Rank rank) const;
+  [[nodiscard]] Rank rank_of_gpu(GpuId gpu) const;
+  [[nodiscard]] int node_of_rank(Rank rank) const { return gpu_of_rank(rank).node; }
+
+ private:
+  TopologyConfig config_;
+  std::vector<std::unique_ptr<util::RateLimiter>> pcie_links_;  // node-major, x2 for duplex
+  std::vector<std::unique_ptr<util::RateLimiter>> nvme_;        // node-major
+  std::vector<std::unique_ptr<util::RateLimiter>> host_mem_;    // per NUMA domain, node-major
+  std::vector<std::unique_ptr<util::RateLimiter>> d2d_;         // per GPU
+  std::unique_ptr<util::RateLimiter> pfs_;
+};
+
+}  // namespace ckpt::sim

@@ -1,0 +1,51 @@
+// Core types for the simulated CUDA-like GPU runtime.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): this environment has no physical
+// GPU, so "device memory" is a host-RAM arena and transfers are real memcpys
+// throttled by token-bucket limiters configured with DGX-A100 bandwidth
+// ratios. The checkpoint runtime above consumes only the API + timing
+// behaviour of CUDA (ordered async copies on streams, D2D >> D2H bandwidth,
+// PCIe links shared between GPU pairs), all of which are preserved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ckpt::sim {
+
+/// Direction of a memory transfer, mirroring cudaMemcpyKind.
+enum class MemcpyKind : std::uint8_t {
+  kD2D,  ///< device HBM -> device HBM (same GPU; NVLink path between GPUs)
+  kD2H,  ///< device -> pinned host (PCIe, shared per GPU pair)
+  kH2D,  ///< pinned host -> device (PCIe, shared per GPU pair)
+  kH2H,  ///< host -> host (DDR bandwidth)
+};
+
+[[nodiscard]] constexpr const char* to_string(MemcpyKind k) noexcept {
+  switch (k) {
+    case MemcpyKind::kD2D: return "D2D";
+    case MemcpyKind::kD2H: return "D2H";
+    case MemcpyKind::kH2D: return "H2D";
+    case MemcpyKind::kH2H: return "H2H";
+  }
+  return "?";
+}
+
+/// Byte pointer into a simulated device arena or host memory. The simulation
+/// does not need a distinct pointer type; location is tracked by the arena
+/// bookkeeping, as with real unified addressing.
+using BytePtr = std::byte*;
+using ConstBytePtr = const std::byte*;
+
+/// Identifies a GPU within the simulated cluster: node-local index plus node.
+struct GpuId {
+  int node = 0;
+  int local = 0;  ///< index within the node (0..gpus_per_node-1)
+
+  friend bool operator==(const GpuId&, const GpuId&) = default;
+};
+
+/// Global flat process rank (one process per GPU, as in the paper).
+using Rank = int;
+
+}  // namespace ckpt::sim

@@ -1,0 +1,66 @@
+#include "storage/checksum_store.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "util/crc32.hpp"
+
+namespace ckpt::storage {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xC4C55C47u;  // "checksummed ckpt" marker
+}
+
+util::Status ChecksumStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
+                                std::uint64_t size) {
+  if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
+  const std::uint32_t crc = util::Crc32c(data, size);
+  std::vector<std::byte> framed(size + kTrailerBytes);
+  if (size > 0) std::memcpy(framed.data(), data, size);
+  std::memcpy(framed.data() + size, &kMagic, 4);
+  std::memcpy(framed.data() + size + 4, &crc, 4);
+  return inner_->Put(key, framed.data(), framed.size());
+}
+
+util::Status ChecksumStore::Get(const ObjectKey& key, sim::BytePtr dst,
+                                std::uint64_t size) {
+  auto framed_size = inner_->Size(key);
+  if (!framed_size.ok()) return framed_size.status();
+  if (*framed_size < kTrailerBytes) {
+    ++failures_;
+    return util::IoError("object " + key.ToString() + " too small for trailer");
+  }
+  const std::uint64_t payload = *framed_size - kTrailerBytes;
+  if (size < payload) {
+    return util::InvalidArgument("Get: buffer smaller than object " + key.ToString());
+  }
+  std::vector<std::byte> framed(*framed_size);
+  CKPT_RETURN_IF_ERROR(inner_->Get(key, framed.data(), framed.size()));
+  std::uint32_t magic = 0, stored_crc = 0;
+  std::memcpy(&magic, framed.data() + payload, 4);
+  std::memcpy(&stored_crc, framed.data() + payload + 4, 4);
+  if (magic != kMagic) {
+    ++failures_;
+    return util::IoError("object " + key.ToString() + " missing checksum trailer");
+  }
+  const std::uint32_t crc = util::Crc32c(framed.data(), payload);
+  if (crc != stored_crc) {
+    ++failures_;
+    return util::IoError("object " + key.ToString() +
+                         " failed CRC verification (corrupt checkpoint)");
+  }
+  ++verified_;
+  std::memcpy(dst, framed.data(), payload);
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> ChecksumStore::Size(const ObjectKey& key) const {
+  auto framed = inner_->Size(key);
+  if (!framed.ok()) return framed.status();
+  if (*framed < kTrailerBytes) {
+    return util::IoError("object " + key.ToString() + " too small for trailer");
+  }
+  return *framed - kTrailerBytes;
+}
+
+}  // namespace ckpt::storage

@@ -1,0 +1,135 @@
+#include "storage/file_store.hpp"
+
+#include <cstdio>
+#include <string>
+#include <system_error>
+
+namespace ckpt::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Parses "r<rank>_v<version>.ckpt"; returns false on foreign files.
+bool ParseName(const std::string& name, ObjectKey& key) {
+  int rank = 0;
+  unsigned long long version = 0;
+  // Strict match: must consume the whole name.
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "r%d_v%llu.ckpt%n", &rank, &version, &consumed) != 2) {
+    return false;
+  }
+  if (static_cast<std::size_t>(consumed) != name.size()) return false;
+  key = ObjectKey{rank, version};
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<FileStore>> FileStore::Open(const fs::path& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return util::IoError("create_directories(" + root.string() + "): " + ec.message());
+  }
+  auto store = std::unique_ptr<FileStore>(new FileStore(root));
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    ObjectKey key;
+    if (ParseName(entry.path().filename().string(), key)) {
+      store->index_[key] = entry.file_size();
+    }
+  }
+  return store;
+}
+
+fs::path FileStore::PathFor(const ObjectKey& key) const {
+  return root_ / (key.ToString() + ".ckpt");
+}
+
+util::Status FileStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
+                            std::uint64_t size) {
+  if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
+  const fs::path path = PathFor(key);
+  // Write to a temp file then rename, so readers never observe a torn object.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return util::IoError("fopen(" + tmp.string() + ") failed");
+    const std::size_t written = size ? std::fwrite(data, 1, size, f) : 0;
+    const int close_rc = std::fclose(f);
+    if (written != size || close_rc != 0) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return util::IoError("short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return util::IoError("rename to " + path.string() + ": " + ec.message());
+  std::lock_guard lock(mu_);
+  index_[key] = size;
+  return util::OkStatus();
+}
+
+util::Status FileStore::Get(const ObjectKey& key, sim::BytePtr dst,
+                            std::uint64_t size) {
+  std::uint64_t object_size = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return util::NotFound("object " + key.ToString());
+    object_size = it->second;
+  }
+  if (size < object_size) {
+    return util::InvalidArgument("Get: buffer smaller than object " + key.ToString());
+  }
+  const fs::path path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return util::IoError("fopen(" + path.string() + ") failed");
+  const std::size_t read = object_size ? std::fread(dst, 1, object_size, f) : 0;
+  std::fclose(f);
+  if (read != object_size) return util::IoError("short read from " + path.string());
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> FileStore::Size(const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return util::NotFound("object " + key.ToString());
+  return it->second;
+}
+
+bool FileStore::Exists(const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+util::Status FileStore::Erase(const ObjectKey& key) {
+  {
+    std::lock_guard lock(mu_);
+    if (index_.erase(key) == 0) return util::NotFound("object " + key.ToString());
+  }
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  if (ec) return util::IoError("remove: " + ec.message());
+  return util::OkStatus();
+}
+
+std::vector<ObjectKey> FileStore::Keys() const {
+  std::lock_guard lock(mu_);
+  std::vector<ObjectKey> keys;
+  keys.reserve(index_.size());
+  for (const auto& [k, v] : index_) keys.push_back(k);
+  return keys;
+}
+
+std::uint64_t FileStore::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : index_) total += v;
+  return total;
+}
+
+}  // namespace ckpt::storage

@@ -1,0 +1,43 @@
+// File-backed ObjectStore: one file per checkpoint object under a root
+// directory. This is the persistence path used when durability across the
+// process lifetime matters (examples, the WAIT-mode persistence scenario).
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/object_store.hpp"
+
+namespace ckpt::storage {
+
+class FileStore final : public ObjectStore {
+ public:
+  /// Creates `root` if needed. Existing "*.ckpt" files are indexed, so a
+  /// store can be reopened over a previous run's data (restart scenarios).
+  static util::StatusOr<std::unique_ptr<FileStore>> Open(
+      const std::filesystem::path& root);
+
+  util::Status Put(const ObjectKey& key, sim::ConstBytePtr data,
+                   std::uint64_t size) override;
+  util::Status Get(const ObjectKey& key, sim::BytePtr dst,
+                   std::uint64_t size) override;
+  [[nodiscard]] util::StatusOr<std::uint64_t> Size(const ObjectKey& key) const override;
+  [[nodiscard]] bool Exists(const ObjectKey& key) const override;
+  util::Status Erase(const ObjectKey& key) override;
+  [[nodiscard]] std::vector<ObjectKey> Keys() const override;
+  [[nodiscard]] std::uint64_t TotalBytes() const override;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  explicit FileStore(std::filesystem::path root) : root_(std::move(root)) {}
+
+  [[nodiscard]] std::filesystem::path PathFor(const ObjectKey& key) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectKey, std::uint64_t, ObjectKeyHash> index_;  // key -> size
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,62 @@
+#include "storage/mem_store.hpp"
+
+namespace ckpt::storage {
+
+util::Status MemStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
+                           std::uint64_t size) {
+  if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
+  std::vector<std::byte> copy(data, data + size);
+  std::lock_guard lock(mu_);
+  objects_[key] = std::move(copy);
+  return util::OkStatus();
+}
+
+util::Status MemStore::Get(const ObjectKey& key, sim::BytePtr dst,
+                           std::uint64_t size) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return util::NotFound("object " + key.ToString());
+  }
+  if (size < it->second.size()) {
+    return util::InvalidArgument("Get: buffer smaller than object " + key.ToString());
+  }
+  // Copy under the lock: Erase of the same key must not race the memcpy.
+  std::memcpy(dst, it->second.data(), it->second.size());
+  return util::OkStatus();
+}
+
+util::StatusOr<std::uint64_t> MemStore::Size(const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return util::NotFound("object " + key.ToString());
+  return static_cast<std::uint64_t>(it->second.size());
+}
+
+bool MemStore::Exists(const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  return objects_.find(key) != objects_.end();
+}
+
+util::Status MemStore::Erase(const ObjectKey& key) {
+  std::lock_guard lock(mu_);
+  if (objects_.erase(key) == 0) return util::NotFound("object " + key.ToString());
+  return util::OkStatus();
+}
+
+std::vector<ObjectKey> MemStore::Keys() const {
+  std::lock_guard lock(mu_);
+  std::vector<ObjectKey> keys;
+  keys.reserve(objects_.size());
+  for (const auto& [k, v] : objects_) keys.push_back(k);
+  return keys;
+}
+
+std::uint64_t MemStore::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace ckpt::storage

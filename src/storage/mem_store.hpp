@@ -1,0 +1,32 @@
+// In-memory ObjectStore. Used as the backing medium for the simulated SSD
+// and PFS tiers in benches (the bandwidth model supplies the timing; see
+// ThrottledStore) and directly in unit tests.
+#pragma once
+
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/object_store.hpp"
+
+namespace ckpt::storage {
+
+class MemStore final : public ObjectStore {
+ public:
+  util::Status Put(const ObjectKey& key, sim::ConstBytePtr data,
+                   std::uint64_t size) override;
+  util::Status Get(const ObjectKey& key, sim::BytePtr dst,
+                   std::uint64_t size) override;
+  [[nodiscard]] util::StatusOr<std::uint64_t> Size(const ObjectKey& key) const override;
+  [[nodiscard]] bool Exists(const ObjectKey& key) const override;
+  util::Status Erase(const ObjectKey& key) override;
+  [[nodiscard]] std::vector<ObjectKey> Keys() const override;
+  [[nodiscard]] std::uint64_t TotalBytes() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectKey, std::vector<std::byte>, ObjectKeyHash> objects_;
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,62 @@
+// Durable object stores backing the two slowest tiers of the hierarchy:
+// node-local NVMe (SSD tier) and the parallel file system (PFS tier).
+// Checkpoints are monolithic immutable objects (paper §1, Limitations), so
+// the interface is whole-object put/get keyed by (rank, version).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simgpu/types.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::storage {
+
+/// Identifies one checkpoint object: the producing process and its version.
+struct ObjectKey {
+  sim::Rank rank = 0;
+  std::uint64_t version = 0;
+
+  friend bool operator==(const ObjectKey&, const ObjectKey&) = default;
+  friend auto operator<=>(const ObjectKey&, const ObjectKey&) = default;
+
+  [[nodiscard]] std::string ToString() const {
+    return "r" + std::to_string(rank) + "_v" + std::to_string(version);
+  }
+};
+
+struct ObjectKeyHash {
+  std::size_t operator()(const ObjectKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.rank) << 40) ^ k.version);
+  }
+};
+
+/// Abstract whole-object store. Implementations must be thread-safe: the
+/// flush pipeline writes while the prefetch engine reads concurrently.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Stores the object, overwriting any previous version under the same key.
+  virtual util::Status Put(const ObjectKey& key, sim::ConstBytePtr data,
+                           std::uint64_t size) = 0;
+
+  /// Reads the whole object into `dst` (which must hold at least its size).
+  virtual util::Status Get(const ObjectKey& key, sim::BytePtr dst,
+                           std::uint64_t size) = 0;
+
+  [[nodiscard]] virtual util::StatusOr<std::uint64_t> Size(const ObjectKey& key) const = 0;
+  [[nodiscard]] virtual bool Exists(const ObjectKey& key) const = 0;
+  virtual util::Status Erase(const ObjectKey& key) = 0;
+
+  /// All keys currently stored (diagnostics / tests).
+  [[nodiscard]] virtual std::vector<ObjectKey> Keys() const = 0;
+
+  /// Total bytes stored.
+  [[nodiscard]] virtual std::uint64_t TotalBytes() const = 0;
+};
+
+}  // namespace ckpt::storage

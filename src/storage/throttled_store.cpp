@@ -1,0 +1,23 @@
+#include "storage/throttled_store.hpp"
+
+#include "simgpu/copy.hpp"
+
+namespace ckpt::storage {
+
+std::shared_ptr<ObjectStore> MakeSsdStore(const sim::Topology& topo,
+                                          std::shared_ptr<ObjectStore> inner) {
+  auto charge = [&topo](const ObjectKey& key, std::uint64_t size) {
+    sim::ChargeNvme(topo, key.rank, size);
+  };
+  return std::make_shared<ThrottledStore>(std::move(inner), charge, charge);
+}
+
+std::shared_ptr<ObjectStore> MakePfsStore(const sim::Topology& topo,
+                                          std::shared_ptr<ObjectStore> inner) {
+  auto charge = [&topo](const ObjectKey&, std::uint64_t size) {
+    sim::ChargePfs(topo, size);
+  };
+  return std::make_shared<ThrottledStore>(std::move(inner), charge, charge);
+}
+
+}  // namespace ckpt::storage

@@ -1,0 +1,68 @@
+// Bandwidth-model decorator for object stores, plus factory helpers that
+// bind a store to the simulated node's NVMe drives or the global PFS uplink.
+// Charging happens *during* the operation (interleaved per chunk at the
+// limiter level), so concurrent flushes and prefetches share drive bandwidth
+// the way the paper's evaluation exercises it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "simgpu/topology.hpp"
+#include "storage/object_store.hpp"
+
+namespace ckpt::storage {
+
+class ThrottledStore final : public ObjectStore {
+ public:
+  using ChargeFn = std::function<void(const ObjectKey&, std::uint64_t)>;
+
+  ThrottledStore(std::shared_ptr<ObjectStore> inner, ChargeFn on_write,
+                 ChargeFn on_read)
+      : inner_(std::move(inner)),
+        on_write_(std::move(on_write)),
+        on_read_(std::move(on_read)) {}
+
+  util::Status Put(const ObjectKey& key, sim::ConstBytePtr data,
+                   std::uint64_t size) override {
+    if (on_write_) on_write_(key, size);
+    return inner_->Put(key, data, size);
+  }
+
+  util::Status Get(const ObjectKey& key, sim::BytePtr dst,
+                   std::uint64_t size) override {
+    auto object_size = inner_->Size(key);
+    if (!object_size.ok()) return object_size.status();
+    if (on_read_) on_read_(key, *object_size);
+    return inner_->Get(key, dst, size);
+  }
+
+  [[nodiscard]] util::StatusOr<std::uint64_t> Size(const ObjectKey& key) const override {
+    return inner_->Size(key);
+  }
+  [[nodiscard]] bool Exists(const ObjectKey& key) const override {
+    return inner_->Exists(key);
+  }
+  util::Status Erase(const ObjectKey& key) override { return inner_->Erase(key); }
+  [[nodiscard]] std::vector<ObjectKey> Keys() const override { return inner_->Keys(); }
+  [[nodiscard]] std::uint64_t TotalBytes() const override {
+    return inner_->TotalBytes();
+  }
+
+ private:
+  std::shared_ptr<ObjectStore> inner_;
+  ChargeFn on_write_;
+  ChargeFn on_read_;
+};
+
+/// Wraps `inner` with the NVMe drive bandwidth of the drive assigned to each
+/// object's producing rank (node-local SSD tier semantics).
+std::shared_ptr<ObjectStore> MakeSsdStore(const sim::Topology& topo,
+                                          std::shared_ptr<ObjectStore> inner);
+
+/// Wraps `inner` with the global PFS uplink bandwidth.
+std::shared_ptr<ObjectStore> MakePfsStore(const sim::Topology& topo,
+                                          std::shared_ptr<ObjectStore> inner);
+
+}  // namespace ckpt::storage

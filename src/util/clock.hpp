@@ -1,0 +1,59 @@
+// Steady-clock helpers: a scoped stopwatch for blocking-time measurement
+// (the figures report application-observed blocking time) and busy/sleep
+// helpers used by the workload driver's simulated compute intervals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace ckpt::util {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] inline std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stopwatch: construct to start, ElapsedSec()/ElapsedNs() to read.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  [[nodiscard]] std::int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double ElapsedSec() const {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Sleeps for `d`, using a hybrid strategy: OS sleep for the bulk, then a
+/// short spin for sub-100us precision (checkpoint intervals in the paper are
+/// 10 ms; scaled runs use 0.5-1 ms, where plain sleep_for jitter matters).
+/// On machines with very few cores the spin phase is skipped entirely: a
+/// spinning thread would starve the engine's background threads and distort
+/// every measurement far more than sleep_for jitter does.
+inline void PreciseSleep(std::chrono::nanoseconds d) {
+  static const bool spin_ok = std::thread::hardware_concurrency() > 2;
+  const auto deadline = Clock::now() + d;
+  constexpr auto kSpinThreshold = std::chrono::microseconds(100);
+  if (!spin_ok) {
+    std::this_thread::sleep_for(d);
+    return;
+  }
+  if (d > kSpinThreshold) {
+    std::this_thread::sleep_for(d - kSpinThreshold);
+  }
+  while (Clock::now() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace ckpt::util

@@ -1,0 +1,155 @@
+#include "util/config.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+namespace ckpt::util {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::int64_t> ParseSize(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return InvalidArgument("empty size literal");
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{}) {
+    return InvalidArgument("not an integer: '" + std::string(text) + "'");
+  }
+  std::string_view suffix = Trim(std::string_view(ptr, static_cast<std::size_t>(end - ptr)));
+  if (suffix.empty()) return value;
+
+  std::int64_t mul = 1;
+  const char unit = static_cast<char>(std::tolower(static_cast<unsigned char>(suffix[0])));
+  const bool binary = suffix.size() >= 2 && (suffix[1] == 'i' || suffix[1] == 'I');
+  const std::int64_t base = binary ? 1024 : 1000;
+  switch (unit) {
+    case 'k': mul = base; break;
+    case 'm': mul = base * base; break;
+    case 'g': mul = base * base * base; break;
+    case 't': mul = base * base * base * base; break;
+    default:
+      return InvalidArgument("unknown size suffix: '" + std::string(suffix) + "'");
+  }
+  const std::size_t expected = binary ? 2u : 1u;
+  // Allow a trailing 'b'/'B' ("128kb", "4MiB").
+  if (suffix.size() > expected &&
+      !(suffix.size() == expected + 1 &&
+        std::tolower(static_cast<unsigned char>(suffix[expected])) == 'b')) {
+    return InvalidArgument("unknown size suffix: '" + std::string(suffix) + "'");
+  }
+  return value * mul;
+}
+
+StatusOr<Config> Config::Parse(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find_first_of(",\n", pos);
+    if (next == std::string_view::npos) next = text.size();
+    std::string_view line = Trim(text.substr(pos, next - pos));
+    pos = next + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgument("config line missing '=': '" + std::string(line) + "'");
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty()) return InvalidArgument("config line with empty key");
+    cfg.entries_[std::move(key)] = std::move(value);
+  }
+  return cfg;
+}
+
+void Config::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::Has(std::string_view key) const {
+  return entries_.find(std::string(key)) != entries_.end();
+}
+
+std::optional<std::string> Config::GetString(std::string_view key) const {
+  auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::GetString(std::string_view key, std::string_view def) const {
+  auto v = GetString(key);
+  return v ? *v : std::string(def);
+}
+
+StatusOr<std::int64_t> Config::GetInt(std::string_view key) const {
+  auto v = GetString(key);
+  if (!v) return NotFound("no config key '" + std::string(key) + "'");
+  return ParseSize(*v);
+}
+
+std::int64_t Config::GetInt(std::string_view key, std::int64_t def) const {
+  auto v = GetInt(key);
+  return v.ok() ? *v : def;
+}
+
+StatusOr<double> Config::GetDouble(std::string_view key) const {
+  auto v = GetString(key);
+  if (!v) return NotFound("no config key '" + std::string(key) + "'");
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  if (end == v->c_str()) return InvalidArgument("not a double: '" + *v + "'");
+  return d;
+}
+
+double Config::GetDouble(std::string_view key, double def) const {
+  auto v = GetDouble(key);
+  return v.ok() ? *v : def;
+}
+
+StatusOr<bool> Config::GetBool(std::string_view key) const {
+  auto v = GetString(key);
+  if (!v) return NotFound("no config key '" + std::string(key) + "'");
+  std::string lower = *v;
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  return InvalidArgument("not a boolean: '" + *v + "'");
+}
+
+bool Config::GetBool(std::string_view key, bool def) const {
+  auto v = GetBool(key);
+  return v.ok() ? *v : def;
+}
+
+std::int64_t EnvInt(const char* name, std::int64_t def) {
+  const char* env = std::getenv(name);
+  if (!env) return def;
+  auto parsed = ParseSize(env);
+  return parsed.ok() ? *parsed : def;
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* env = std::getenv(name);
+  if (!env) return def;
+  char* end = nullptr;
+  const double d = std::strtod(env, &end);
+  return end == env ? def : d;
+}
+
+std::string EnvString(const char* name, std::string_view def) {
+  const char* env = std::getenv(name);
+  return env ? std::string(env) : std::string(def);
+}
+
+}  // namespace ckpt::util

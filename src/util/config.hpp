@@ -1,0 +1,57 @@
+// Key=value configuration with environment-variable override, used to scale
+// the simulated node (bandwidths, cache sizes, checkpoint counts) without
+// recompiling. Benches read CKPT_SCALE_* variables through this module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ckpt::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses newline- or comma-separated "key = value" pairs. Lines starting
+  /// with '#' are comments. Later keys override earlier ones.
+  static StatusOr<Config> Parse(std::string_view text);
+
+  void Set(std::string key, std::string value);
+
+  [[nodiscard]] bool Has(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> GetString(std::string_view key) const;
+  [[nodiscard]] std::string GetString(std::string_view key, std::string_view def) const;
+
+  /// Integer values accept size suffixes: k/K (*1000), ki/Ki (*1024), and
+  /// similarly m/M/g/G/t/T. "4Mi" == 4*1024*1024.
+  [[nodiscard]] StatusOr<std::int64_t> GetInt(std::string_view key) const;
+  [[nodiscard]] std::int64_t GetInt(std::string_view key, std::int64_t def) const;
+
+  [[nodiscard]] StatusOr<double> GetDouble(std::string_view key) const;
+  [[nodiscard]] double GetDouble(std::string_view key, double def) const;
+
+  [[nodiscard]] StatusOr<bool> GetBool(std::string_view key) const;
+  [[nodiscard]] bool GetBool(std::string_view key, bool def) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Parses an integer with optional size suffix ("128k", "4Mi", "1G").
+StatusOr<std::int64_t> ParseSize(std::string_view text);
+
+/// Environment lookup with default; uses ParseSize for integers.
+std::int64_t EnvInt(const char* name, std::int64_t def);
+double EnvDouble(const char* name, double def);
+std::string EnvString(const char* name, std::string_view def);
+
+}  // namespace ckpt::util

@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace ckpt::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC-32C (Castagnoli), reflected
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace ckpt::util

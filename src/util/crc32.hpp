@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) over byte buffers, slice-by-one table implementation.
+// Used by the storage layer to detect torn or corrupted checkpoint objects:
+// a checkpoint runtime that silently returns corrupt restart data is worse
+// than one that fails, so durable writes are checksummed and reads verified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ckpt::util {
+
+/// Incremental CRC-32C: pass the previous return value as `seed` to chain.
+[[nodiscard]] std::uint32_t Crc32c(const void* data, std::size_t size,
+                                   std::uint32_t seed = 0) noexcept;
+
+}  // namespace ckpt::util

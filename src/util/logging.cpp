@@ -1,0 +1,79 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace ckpt::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("CKPT_LOG_LEVEL")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  static const LogLevel init = [] {
+    LogLevel l = initial_level();
+    g_level.store(l, std::memory_order_relaxed);
+    return l;
+  }();
+  (void)init;
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
+  static std::mutex mu;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - g_start)
+                      .count();
+  std::lock_guard lock(mu);
+  std::fprintf(stderr, "[%10lld us] %s %.*s: %.*s\n", static_cast<long long>(us),
+               level_name(level), static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+}  // namespace ckpt::util

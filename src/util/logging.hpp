@@ -1,0 +1,63 @@
+// Minimal thread-safe leveled logger. The runtime logs sparingly (state
+// transitions at kTrace, engine milestones at kDebug); benches and examples
+// run at kInfo by default. Level is process-global and can be set from the
+// CKPT_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace ckpt::util {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+/// Global minimum level; messages below it are compiled to a cheap branch.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses a level name (case-insensitive); returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+/// Emits one formatted line ("<elapsed_us> <LEVEL> <tag>: <msg>") to stderr
+/// under an internal mutex so concurrent engine threads do not interleave.
+void log_line(LogLevel level, std::string_view tag, std::string_view msg);
+}  // namespace detail
+
+/// Stream-style logging: CKPT_LOG(kDebug, "flush") << "ckpt " << id;
+#define CKPT_LOG(level, tag)                                          \
+  if (::ckpt::util::LogLevel::level < ::ckpt::util::log_level()) {    \
+  } else                                                              \
+    ::ckpt::util::detail::LogStream(::ckpt::util::LogLevel::level, tag)
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogStream() { log_line(level_, tag_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace ckpt::util

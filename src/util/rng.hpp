@@ -1,0 +1,41 @@
+// Deterministic, seed-parameterized randomness. Every stochastic component
+// (trace sizes, irregular restore orders, fill patterns) derives its engine
+// from an explicit seed so experiments reproduce bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ckpt::util {
+
+/// SplitMix64 scrambler: derives statistically independent child seeds from
+/// a master seed plus a stream id (e.g. process rank, shot index).
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t DeriveSeed(std::uint64_t master,
+                                                 std::uint64_t stream) noexcept {
+  return SplitMix64(master ^ SplitMix64(stream + 0x632BE59BD9B4E019ull));
+}
+
+[[nodiscard]] inline std::mt19937_64 MakeRng(std::uint64_t master,
+                                             std::uint64_t stream = 0) {
+  return std::mt19937_64(DeriveSeed(master, stream));
+}
+
+/// Samples a lognormal value clamped to [lo, hi]. Used by the RTM trace
+/// model for compressed checkpoint sizes.
+[[nodiscard]] inline double ClampedLognormal(std::mt19937_64& rng, double mu,
+                                             double sigma, double lo, double hi) {
+  std::lognormal_distribution<double> dist(mu, sigma);
+  double v = dist(rng);
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+}  // namespace ckpt::util

@@ -1,0 +1,101 @@
+// Online statistics and histogram utilities used by the metric collectors:
+// per-operation blocking-time accumulators (throughput figures), prefetch
+// distance series (Fig. 7) and latency percentiles for the ablations.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ckpt::util {
+
+/// Welford-style single-pass accumulator: count/mean/variance/min/max/sum.
+class OnlineStats {
+ public:
+  void Add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void Merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of raw samples with exact percentiles. Fine for the volumes we
+/// record (hundreds of operations per shot).
+class SampleSeries {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Exact percentile with linear interpolation; p in [0, 100].
+  [[nodiscard]] double Percentile(double p) const;
+  [[nodiscard]] double Sum() const;
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] double Min() const;
+  [[nodiscard]] double Max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values clamp to
+/// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t num_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+
+  /// Render "lo..hi: count" lines, for debugging/bench output.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Formats a byte rate as a human-readable string ("25.0 GB/s").
+[[nodiscard]] std::string FormatRate(double bytes_per_sec);
+/// Formats a byte size ("4.0 MB").
+[[nodiscard]] std::string FormatBytes(double bytes);
+
+}  // namespace ckpt::util

@@ -1,0 +1,34 @@
+#include "util/status.hpp"
+
+namespace ckpt::util {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kShutdown: return "SHUTDOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ckpt::util

@@ -1,0 +1,146 @@
+// Lightweight status / status-or-value error handling for the checkpoint
+// runtime. The runtime is exception-free on hot paths: every fallible
+// operation returns a Status (or StatusOr<T>) that callers must consume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ckpt::util {
+
+/// Error taxonomy shared across all modules. Mirrors the kinds of failure a
+/// CUDA-backed multi-level checkpoint runtime actually surfaces.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    ///< caller violated an API precondition
+  kNotFound,           ///< checkpoint/object/tier id unknown
+  kAlreadyExists,      ///< duplicate checkpoint id on a tier
+  kOutOfMemory,        ///< allocation failure on a device/host arena
+  kCapacityExceeded,   ///< object larger than the whole cache/tier
+  kUnavailable,        ///< transient: resource busy, retry may succeed
+  kFailedPrecondition, ///< object in a state that forbids the operation
+  kCancelled,          ///< operation cancelled (e.g. discarded checkpoint)
+  kIoError,            ///< storage-tier read/write failure
+  kTimeout,            ///< blocking wait exceeded its deadline
+  kShutdown,           ///< engine is stopping; no new work accepted
+  kInternal,           ///< invariant violation (bug)
+};
+
+/// Human-readable name for an error code.
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// A cheap, movable status value. `ok()` statuses carry no message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl-style helpers.
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {ErrorCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExists(std::string m) {
+  return {ErrorCode::kAlreadyExists, std::move(m)};
+}
+inline Status OutOfMemory(std::string m) {
+  return {ErrorCode::kOutOfMemory, std::move(m)};
+}
+inline Status CapacityExceeded(std::string m) {
+  return {ErrorCode::kCapacityExceeded, std::move(m)};
+}
+inline Status Unavailable(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {ErrorCode::kFailedPrecondition, std::move(m)};
+}
+inline Status Cancelled(std::string m) {
+  return {ErrorCode::kCancelled, std::move(m)};
+}
+inline Status IoError(std::string m) {
+  return {ErrorCode::kIoError, std::move(m)};
+}
+inline Status Timeout(std::string m) {
+  return {ErrorCode::kTimeout, std::move(m)};
+}
+inline Status ShutdownError(std::string m) {
+  return {ErrorCode::kShutdown, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {ErrorCode::kInternal, std::move(m)};
+}
+
+/// Value-or-status result. Minimal std::expected stand-in (the toolchain's
+/// libstdc++ predates <expected>) with the subset of the API we use.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_{};
+  std::optional<T> value_{};
+};
+
+/// Propagate a non-OK status to the caller.
+#define CKPT_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::ckpt::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Assign the value of a StatusOr expression or propagate its status.
+#define CKPT_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto CKPT_CONCAT_(_sor_, __LINE__) = (expr);      \
+  if (!CKPT_CONCAT_(_sor_, __LINE__).ok())          \
+    return CKPT_CONCAT_(_sor_, __LINE__).status();  \
+  lhs = std::move(CKPT_CONCAT_(_sor_, __LINE__)).value()
+
+#define CKPT_CONCAT_IMPL_(a, b) a##b
+#define CKPT_CONCAT_(a, b) CKPT_CONCAT_IMPL_(a, b)
+
+}  // namespace ckpt::util

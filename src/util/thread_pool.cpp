@@ -1,0 +1,35 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ckpt::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(std::max<std::size_t>(num_threads, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(num_threads, 1); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Close();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+    {
+      std::lock_guard lock(idle_mu_);
+      --pending_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace ckpt::util

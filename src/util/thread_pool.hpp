@@ -1,0 +1,54 @@
+// Fixed-size thread pool for background work that is not latency-critical
+// (staging reads, trace generation, test drivers). The checkpoint engine's
+// own flush/prefetch threads are dedicated jthreads, not pool tasks, because
+// they must never queue behind unrelated work (the paper dedicates T_D2H,
+// T_H2F and T_PF threads for the same reason).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/mpmc_queue.hpp"
+
+namespace ckpt::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> Submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(idle_mu_);
+      ++pending_;
+    }
+    queue_.Push([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+};
+
+}  // namespace ckpt::util

@@ -1,0 +1,111 @@
+// Tests of the C API shim, including the Listing-1 flow written exactly as
+// a C client would write it.
+#include "api/veloc_c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+/// The C API owns one process-global runtime; serialize tests around it.
+class VelocCApiTest : public ::testing::Test {
+ protected:
+  void TearDown() override { VELOCX_Finalize(); }
+};
+
+TEST_F(VelocCApiTest, InitFinalizeLifecycle) {
+  ASSERT_EQ(VELOCX_Init("gpu_cache = 512Ki, host_cache = 2Mi", 1),
+            VELOCX_SUCCESS);
+  EXPECT_EQ(VELOCX_Init(nullptr, 1), VELOCX_EINVAL);  // double init
+  EXPECT_EQ(VELOCX_Finalize(), VELOCX_SUCCESS);
+  EXPECT_EQ(VELOCX_Finalize(), VELOCX_SUCCESS);  // idempotent
+}
+
+TEST_F(VelocCApiTest, RejectsBadConfigAndArgs) {
+  EXPECT_EQ(VELOCX_Init("eviction = quantum", 1), VELOCX_EINVAL);
+  EXPECT_NE(VELOCX_Error_string()[0], '\0');
+  EXPECT_EQ(VELOCX_Init(nullptr, 0), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Init("not a config line", 1), VELOCX_EINVAL);
+  // Calls before init:
+  EXPECT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_EINVAL);
+  void* p = nullptr;
+  EXPECT_EQ(VELOCX_Device_alloc(0, 128, &p), VELOCX_ESHUTDOWN);
+}
+
+TEST_F(VelocCApiTest, Listing1EndToEnd) {
+  ASSERT_EQ(VELOCX_Init("gpu_cache = 256Ki, host_cache = 1Mi", 1),
+            VELOCX_SUCCESS);
+  enum { kNumCkpts = 12, kSize = 32 << 10 };
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, kSize, &ptr), VELOCX_SUCCESS);
+
+  for (int ver = kNumCkpts - 1; ver >= 0; --ver) {
+    ASSERT_EQ(VELOCX_Prefetch_enqueue(0, (uint64_t)ver), VELOCX_SUCCESS);
+  }
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, kSize), VELOCX_SUCCESS);
+  for (int ver = 0; ver < kNumCkpts; ++ver) {
+    std::memset(ptr, ver + 1, kSize);  /* "compute" */
+    ASSERT_EQ(VELOCX_Checkpoint(0, "shot", (uint64_t)ver), VELOCX_SUCCESS);
+  }
+  ASSERT_EQ(VELOCX_Prefetch_start(0), VELOCX_SUCCESS);
+  for (int ver = kNumCkpts - 1; ver >= 0; --ver) {
+    size_t size = 0;
+    ASSERT_EQ(VELOCX_Recover_size(0, (uint64_t)ver, 1, &size), VELOCX_SUCCESS);
+    ASSERT_EQ(size, (size_t)kSize);
+    ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, size), VELOCX_SUCCESS);
+    ASSERT_EQ(VELOCX_Restart(0, (uint64_t)ver), VELOCX_SUCCESS);
+    EXPECT_EQ(std::memcmp(ptr, std::vector<char>(kSize, ver + 1).data(), kSize),
+              0);
+  }
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+}
+
+TEST_F(VelocCApiTest, ErrorCodesMapped) {
+  ASSERT_EQ(VELOCX_Init(nullptr, 1), VELOCX_SUCCESS);
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 4096, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 4096), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "x", 5), VELOCX_SUCCESS);
+  EXPECT_EQ(VELOCX_Checkpoint(0, "x", 5), VELOCX_EEXIST);
+  EXPECT_EQ(VELOCX_Restart(0, 42), VELOCX_ENOTFOUND);
+  size_t size = 0;
+  EXPECT_EQ(VELOCX_Recover_size(0, 42, 1, &size), VELOCX_ENOTFOUND);
+  EXPECT_EQ(VELOCX_Mem_protect(0, 1, nullptr, 10), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Mem_unprotect(0, 99), VELOCX_ENOTFOUND);
+  EXPECT_EQ(VELOCX_Checkpoint(3, "x", 0), VELOCX_EINVAL);  // bad rank
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+}
+
+TEST_F(VelocCApiTest, MultiRankAndWait) {
+  ASSERT_EQ(VELOCX_Init("gpu_cache = 256Ki, host_cache = 1Mi", 2),
+            VELOCX_SUCCESS);
+  for (int r = 0; r < 2; ++r) {
+    void* ptr = nullptr;
+    ASSERT_EQ(VELOCX_Device_alloc(r, 8192, &ptr), VELOCX_SUCCESS);
+    ASSERT_EQ(VELOCX_Mem_protect(r, 1, ptr, 8192), VELOCX_SUCCESS);
+    std::memset(ptr, 0x40 + r, 8192);
+    ASSERT_EQ(VELOCX_Checkpoint(r, "mr", 0), VELOCX_SUCCESS);
+    ASSERT_EQ(VELOCX_Checkpoint_wait(r), VELOCX_SUCCESS);
+    ASSERT_EQ(VELOCX_Restart(r, 0), VELOCX_SUCCESS);
+    EXPECT_EQ(static_cast<unsigned char*>(ptr)[100], 0x40 + r);
+    ASSERT_EQ(VELOCX_Device_free(r, ptr), VELOCX_SUCCESS);
+  }
+}
+
+TEST_F(VelocCApiTest, GpudirectConfigWorks) {
+  ASSERT_EQ(VELOCX_Init("gpudirect = true, gpu_cache = 256Ki", 1),
+            VELOCX_SUCCESS);
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 4096, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 4096), VELOCX_SUCCESS);
+  std::memset(ptr, 0x7e, 4096);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "gds", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Restart(0, 0), VELOCX_SUCCESS);
+  EXPECT_EQ(static_cast<unsigned char*>(ptr)[0], 0x7e);
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "compress/compressed_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "storage/checksum_store.hpp"
+#include "storage/mem_store.hpp"
+
+namespace ckpt::compress {
+namespace {
+
+TEST(CompressedStoreTest, CompressibleRoundTrip) {
+  auto inner = std::make_shared<storage::MemStore>();
+  CompressedStore store(inner, CodecKind::kRle);
+  std::vector<std::byte> zeros(32 << 10, std::byte{0});
+  ASSERT_TRUE(store.Put({0, 0}, zeros.data(), zeros.size()).ok());
+  EXPECT_EQ(*store.Size({0, 0}), zeros.size());       // logical size
+  EXPECT_LT(*inner->Size({0, 0}), zeros.size() / 20); // stored size shrank
+  std::vector<std::byte> out(zeros.size());
+  ASSERT_TRUE(store.Get({0, 0}, out.data(), out.size()).ok());
+  EXPECT_EQ(out, zeros);
+  EXPECT_EQ(store.logical_bytes(), zeros.size());
+  EXPECT_LT(store.stored_bytes(), zeros.size());
+}
+
+TEST(CompressedStoreTest, IncompressibleStoredRawNeverExpands) {
+  auto inner = std::make_shared<storage::MemStore>();
+  CompressedStore store(inner, CodecKind::kDeltaRle);
+  std::mt19937_64 rng(11);
+  std::vector<std::byte> noise(16 << 10);
+  for (auto& b : noise) b = static_cast<std::byte>(rng());
+  ASSERT_TRUE(store.Put({0, 1}, noise.data(), noise.size()).ok());
+  EXPECT_LE(*inner->Size({0, 1}),
+            noise.size() + CompressedStore::kHeaderBytes);
+  std::vector<std::byte> out(noise.size());
+  ASSERT_TRUE(store.Get({0, 1}, out.data(), out.size()).ok());
+  EXPECT_EQ(out, noise);
+}
+
+TEST(CompressedStoreTest, BufferTooSmallRejected) {
+  auto inner = std::make_shared<storage::MemStore>();
+  CompressedStore store(inner, CodecKind::kRle);
+  std::vector<std::byte> data(1024, std::byte{5});
+  ASSERT_TRUE(store.Put({0, 0}, data.data(), data.size()).ok());
+  std::vector<std::byte> out(100);
+  EXPECT_EQ(store.Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(CompressedStoreTest, BadHeaderRejected) {
+  auto inner = std::make_shared<storage::MemStore>();
+  CompressedStore store(inner, CodecKind::kRle);
+  std::vector<std::byte> junk(64, std::byte{0x42});
+  ASSERT_TRUE(inner->Put({7, 7}, junk.data(), junk.size()).ok());
+  std::vector<std::byte> out(junk.size());
+  EXPECT_EQ(store.Get({7, 7}, out.data(), out.size()).code(),
+            util::ErrorCode::kIoError);
+}
+
+TEST(CompressedStoreTest, ComposesWithChecksumStore) {
+  // Compression over checksumming: corrupting the inner bytes must be
+  // caught by the CRC before the codec ever sees them.
+  auto mem = std::make_shared<storage::MemStore>();
+  auto checksummed = std::make_shared<storage::ChecksumStore>(mem);
+  CompressedStore store(checksummed, CodecKind::kDeltaRle);
+  std::vector<std::byte> data(8 << 10, std::byte{3});
+  ASSERT_TRUE(store.Put({0, 0}, data.data(), data.size()).ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(store.Get({0, 0}, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+
+  std::vector<std::byte> framed(*mem->Size({0, 0}));
+  ASSERT_TRUE(mem->Get({0, 0}, framed.data(), framed.size()).ok());
+  framed[5] ^= std::byte{1};
+  ASSERT_TRUE(mem->Put({0, 0}, framed.data(), framed.size()).ok());
+  EXPECT_EQ(store.Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kIoError);
+}
+
+TEST(CompressedStoreTest, MetadataDelegation) {
+  auto inner = std::make_shared<storage::MemStore>();
+  CompressedStore store(inner, CodecKind::kRle);
+  std::vector<std::byte> data(512, std::byte{1});
+  ASSERT_TRUE(store.Put({2, 3}, data.data(), data.size()).ok());
+  EXPECT_TRUE(store.Exists({2, 3}));
+  EXPECT_EQ(store.Keys().size(), 1u);
+  ASSERT_TRUE(store.Erase({2, 3}).ok());
+  EXPECT_FALSE(store.Exists({2, 3}));
+  EXPECT_FALSE(store.Size({2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace ckpt::compress

@@ -1,0 +1,178 @@
+// Geometric invariants of the cache-buffer allocation table, including
+// randomized property tests (tiling, conservation, gap coalescing).
+#include "core/allocation_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace ckpt::core {
+namespace {
+
+TEST(AllocationTableTest, StartsAsOneGap) {
+  AllocationTable t(1024);
+  EXPECT_EQ(t.capacity(), 1024u);
+  EXPECT_EQ(t.used_bytes(), 0u);
+  EXPECT_EQ(t.gap_bytes(), 1024u);
+  EXPECT_EQ(t.fragment_count(), 1u);
+  EXPECT_EQ(t.largest_gap(), 1024u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, InsertSplitsGap) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(1, 100, 200).ok());
+  EXPECT_EQ(t.used_bytes(), 200u);
+  EXPECT_EQ(t.fragment_count(), 3u);  // gap | entry | gap
+  auto f = t.Find(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->offset, 100u);
+  EXPECT_EQ(f->size, 200u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, InsertAtGapEdgesNoEmptyFragments) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(1, 0, 300).ok());      // head-aligned
+  ASSERT_TRUE(t.Insert(2, 700, 300).ok());    // tail-aligned
+  ASSERT_TRUE(t.Insert(3, 300, 400).ok());    // exact fill
+  EXPECT_EQ(t.fragment_count(), 3u);
+  EXPECT_EQ(t.gap_bytes(), 0u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, InsertRejectsOverlapsAndDuplicates) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(1, 100, 200).ok());
+  EXPECT_FALSE(t.Insert(2, 150, 100).ok());  // inside entry 1
+  EXPECT_FALSE(t.Insert(2, 50, 100).ok());   // straddles into entry 1
+  EXPECT_FALSE(t.Insert(1, 500, 100).ok());  // duplicate id
+  EXPECT_FALSE(t.Insert(2, 900, 200).ok());  // beyond capacity
+  EXPECT_FALSE(t.Insert(2, 0, 0).ok());      // zero size
+  EXPECT_FALSE(t.Insert(kGapId, 0, 10).ok());
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, EraseCoalescesBothNeighbours) {
+  AllocationTable t(300);
+  ASSERT_TRUE(t.Insert(1, 0, 100).ok());
+  ASSERT_TRUE(t.Insert(2, 100, 100).ok());
+  ASSERT_TRUE(t.Insert(3, 200, 100).ok());
+  ASSERT_TRUE(t.Erase(1).ok());
+  ASSERT_TRUE(t.Erase(3).ok());
+  EXPECT_EQ(t.fragment_count(), 3u);  // gap | 2 | gap
+  ASSERT_TRUE(t.Erase(2).ok());
+  EXPECT_EQ(t.fragment_count(), 1u);  // all merged into one gap
+  EXPECT_EQ(t.largest_gap(), 300u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, EraseUnknownFails) {
+  AllocationTable t(100);
+  EXPECT_EQ(t.Erase(9).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(AllocationTableTest, GapContaining) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(1, 400, 200).ok());
+  auto g = t.GapContaining(0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->offset, 0u);
+  EXPECT_EQ(g->size, 400u);
+  EXPECT_FALSE(t.GapContaining(450).has_value());  // inside the entry
+  g = t.GapContaining(999);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->offset, 600u);
+}
+
+TEST(AllocationTableTest, OverwritePlacesEntryAndTailGap) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(1, 0, 400).ok());
+  ASSERT_TRUE(t.Insert(2, 400, 400).ok());
+  ASSERT_TRUE(t.Erase(1).ok());
+  ASSERT_TRUE(t.Erase(2).ok());
+  // One 800-byte gap at 0 plus the original 200-byte tail, coalesced.
+  EXPECT_EQ(t.largest_gap(), 1000u);
+  ASSERT_TRUE(t.Overwrite(3, 0, 1000, 300).ok());
+  auto f = t.Find(3);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->offset, 0u);
+  EXPECT_EQ(f->size, 300u);
+  EXPECT_EQ(t.gap_bytes(), 700u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, OverwriteExactFitLeavesNoGap) {
+  AllocationTable t(500);
+  ASSERT_TRUE(t.Overwrite(1, 0, 500, 500).ok());
+  EXPECT_EQ(t.fragment_count(), 1u);
+  EXPECT_EQ(t.gap_bytes(), 0u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(AllocationTableTest, OverwriteRejectsNonGapAndBadSizes) {
+  AllocationTable t(500);
+  ASSERT_TRUE(t.Insert(1, 0, 100).ok());
+  EXPECT_FALSE(t.Overwrite(2, 0, 100, 100).ok());   // entry, not gap
+  EXPECT_FALSE(t.Overwrite(2, 100, 400, 500).ok()); // size > span
+  EXPECT_FALSE(t.Overwrite(2, 100, 400, 0).ok());
+  EXPECT_FALSE(t.Overwrite(1, 100, 400, 100).ok()); // duplicate id
+}
+
+TEST(AllocationTableTest, SnapshotIsOffsetOrdered) {
+  AllocationTable t(1000);
+  ASSERT_TRUE(t.Insert(2, 500, 100).ok());
+  ASSERT_TRUE(t.Insert(1, 100, 100).ok());
+  const auto snap = t.Snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].offset, snap[i - 1].offset + snap[i - 1].size);
+  }
+}
+
+// Property test: random insert/erase keeps every invariant and a shadow
+// model in sync.
+TEST(AllocationTableTest, RandomizedOpsPreserveInvariants) {
+  AllocationTable t(1 << 16);
+  std::mt19937_64 rng(13);
+  std::map<EntryId, std::pair<std::uint64_t, std::uint64_t>> shadow;
+  EntryId next_id = 1;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const bool do_insert = shadow.empty() || rng() % 2 == 0;
+    if (do_insert) {
+      // Pick a random gap and carve a random sub-range of it.
+      const auto snap = t.Snapshot();
+      std::vector<Fragment> gaps;
+      for (const auto& f : snap) {
+        if (f.is_gap()) gaps.push_back(f);
+      }
+      if (gaps.empty()) continue;
+      const Fragment g = gaps[rng() % gaps.size()];
+      const std::uint64_t size = 1 + rng() % g.size;
+      const std::uint64_t offset = g.offset + rng() % (g.size - size + 1);
+      const EntryId id = next_id++;
+      ASSERT_TRUE(t.Insert(id, offset, size).ok());
+      shadow[id] = {offset, size};
+    } else {
+      auto it = shadow.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % shadow.size()));
+      ASSERT_TRUE(t.Erase(it->first).ok());
+      shadow.erase(it);
+    }
+    ASSERT_TRUE(t.CheckInvariants().ok());
+    ASSERT_EQ(t.entry_count(), shadow.size());
+    std::uint64_t used = 0;
+    for (const auto& [id, os] : shadow) used += os.second;
+    ASSERT_EQ(t.used_bytes(), used);
+  }
+  // Drain and verify the table returns to a single gap.
+  while (!shadow.empty()) {
+    ASSERT_TRUE(t.Erase(shadow.begin()->first).ok());
+    shadow.erase(shadow.begin());
+  }
+  EXPECT_EQ(t.fragment_count(), 1u);
+  EXPECT_EQ(t.largest_gap(), t.capacity());
+}
+
+}  // namespace
+}  // namespace ckpt::core

@@ -1,0 +1,170 @@
+#include "core/cache_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace ckpt::core {
+namespace {
+
+class CacheBufferTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kCapacity = 1024;
+
+  CacheBufferTest()
+      : arena_(kCapacity),
+        buf_("test", arena_.data(), kCapacity,
+             MakePolicy(EvictionKind::kScore)) {}
+
+  /// Meta provider over a simple shadow model.
+  struct Meta {
+    bool excluded = false;
+    double eta = 0.0;
+    double distance = kUnhintedDistance;
+  };
+
+  CacheBuffer::MetaFn MetaFn() {
+    return [this](EntryId id, FragmentView& v) {
+      const auto it = meta_.find(id);
+      if (it == meta_.end()) return;
+      v.excluded = it->second.excluded;
+      v.eta = it->second.eta;
+      v.distance = it->second.distance;
+    };
+  }
+
+  /// Plans and commits a reservation, asserting it succeeds now.
+  std::uint64_t MustReserve(EntryId id, std::uint64_t size) {
+    auto plan = buf_.Plan(size, MetaFn());
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->wait_eta, 0.0);
+    auto off = buf_.Commit(*plan, id, size);
+    EXPECT_TRUE(off.ok()) << off.status();
+    return *off;
+  }
+
+  std::vector<std::byte> arena_;
+  std::map<EntryId, Meta> meta_;
+  CacheBuffer buf_;
+};
+
+TEST_F(CacheBufferTest, ReserveIntoEmptyBuffer) {
+  const std::uint64_t off = MustReserve(1, 256);
+  EXPECT_EQ(off, 0u);
+  EXPECT_TRUE(buf_.Contains(1));
+  EXPECT_EQ(buf_.used_bytes(), 256u);
+  EXPECT_EQ(buf_.gap_bytes(), kCapacity - 256);
+}
+
+TEST_F(CacheBufferTest, PtrAtMapsIntoArena) {
+  const std::uint64_t off = MustReserve(1, 128);
+  sim::BytePtr p = buf_.PtrAt(off);
+  std::memset(p, 0xAB, 128);
+  EXPECT_EQ(arena_[off], std::byte{0xAB});
+}
+
+TEST_F(CacheBufferTest, PlanZeroOrOversizeFails) {
+  EXPECT_EQ(buf_.Plan(0, MetaFn()).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(buf_.Plan(kCapacity + 1, MetaFn()).status().code(),
+            util::ErrorCode::kCapacityExceeded);
+}
+
+TEST_F(CacheBufferTest, FullBufferEvictsVictims) {
+  for (EntryId id = 1; id <= 4; ++id) {
+    meta_[id] = Meta{};  // all evictable now
+    MustReserve(id, 256);
+  }
+  EXPECT_EQ(buf_.gap_bytes(), 0u);
+  auto plan = buf_.Plan(256, MetaFn());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->victims.size(), 1u);
+  auto off = buf_.Commit(*plan, 5, 256);
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(buf_.Contains(5));
+  EXPECT_EQ(buf_.entry_count(), 4u);
+  EXPECT_EQ(buf_.evictions(), 1u);
+  EXPECT_EQ(buf_.evicted_bytes(), 256u);
+}
+
+TEST_F(CacheBufferTest, ExcludedEntriesBlockWindows) {
+  for (EntryId id = 1; id <= 4; ++id) {
+    meta_[id] = Meta{/*excluded=*/true};
+    MustReserve(id, 256);
+  }
+  auto plan = buf_.Plan(256, MetaFn());
+  EXPECT_EQ(plan.status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST_F(CacheBufferTest, WaitEtaSurfacesFlushDelays) {
+  for (EntryId id = 1; id <= 4; ++id) {
+    meta_[id] = Meta{false, /*eta=*/1.5};
+    MustReserve(id, 256);
+  }
+  auto plan = buf_.Plan(256, MetaFn());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->wait_eta, 1.5);
+}
+
+TEST_F(CacheBufferTest, ReleaseCreatesReusableGap) {
+  MustReserve(1, 512);
+  MustReserve(2, 512);
+  ASSERT_TRUE(buf_.Release(1).ok());
+  EXPECT_FALSE(buf_.Contains(1));
+  const std::uint64_t off = MustReserve(3, 512);
+  EXPECT_EQ(off, 0u);  // reused the released range
+  EXPECT_EQ(buf_.Release(1).code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(CacheBufferTest, CommitPlacesAtCoalescedGapStart) {
+  // Layout: [e1:256][e2:256][e3:256][gap:256]; evicting e2+e3 with the gap
+  // forms one 768-byte gap; a 300-byte commit must land at e2's offset.
+  meta_[1] = Meta{/*excluded=*/true};
+  MustReserve(1, 256);
+  meta_[2] = Meta{};
+  MustReserve(2, 256);
+  meta_[3] = Meta{};
+  MustReserve(3, 256);
+  auto plan = buf_.Plan(700, MetaFn());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->victims, (std::vector<EntryId>{2, 3}));
+  auto off = buf_.Commit(*plan, 4, 700);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, 256u);
+  EXPECT_TRUE(buf_.table().CheckInvariants().ok());
+}
+
+TEST_F(CacheBufferTest, VariableSizesFragmentationRecovery) {
+  // Mixed sizes with interleaved releases must still serve a large request
+  // through window coalescing.
+  meta_.clear();
+  std::uint64_t id = 1;
+  for (std::uint64_t size : {128, 256, 64, 192, 128, 256}) {
+    meta_[id] = Meta{};
+    MustReserve(id++, size);
+  }
+  ASSERT_TRUE(buf_.Release(2).ok());
+  ASSERT_TRUE(buf_.Release(4).ok());
+  // Largest single gap is < 512, but a window over entries+gaps covers it.
+  auto plan = buf_.Plan(512, MetaFn());
+  ASSERT_TRUE(plan.ok());
+  auto off = buf_.Commit(*plan, 99, 512);
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(buf_.Contains(99));
+  EXPECT_TRUE(buf_.table().CheckInvariants().ok());
+}
+
+TEST_F(CacheBufferTest, TelemetryCounters) {
+  EXPECT_EQ(buf_.capacity(), kCapacity);
+  EXPECT_EQ(buf_.name(), "test");
+  EXPECT_EQ(buf_.evictions(), 0u);
+  MustReserve(1, 100);
+  EXPECT_EQ(buf_.entry_count(), 1u);
+  EXPECT_EQ(buf_.fragment_count(), 2u);
+  EXPECT_EQ(buf_.largest_gap(), kCapacity - 100);
+}
+
+}  // namespace
+}  // namespace ckpt::core

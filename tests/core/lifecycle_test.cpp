@@ -1,0 +1,127 @@
+// Exhaustive checks of the Figure-1 finite-state machine.
+#include "core/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ckpt::core {
+namespace {
+
+const std::vector<CkptState> kAllStates = {
+    CkptState::kInit,          CkptState::kWriteInProgress,
+    CkptState::kWriteComplete, CkptState::kFlushed,
+    CkptState::kReadInProgress, CkptState::kReadComplete,
+    CkptState::kConsumed,
+};
+
+TEST(LifecycleTest, CheckpointingPathEdges) {
+  EXPECT_TRUE(TransitionLegal(CkptState::kInit, CkptState::kWriteInProgress));
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kWriteInProgress, CkptState::kWriteComplete));
+  EXPECT_TRUE(TransitionLegal(CkptState::kWriteComplete, CkptState::kFlushed));
+}
+
+TEST(LifecycleTest, PrefetchingPathEdges) {
+  EXPECT_TRUE(TransitionLegal(CkptState::kFlushed, CkptState::kReadInProgress));
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kReadInProgress, CkptState::kReadComplete));
+  EXPECT_TRUE(TransitionLegal(CkptState::kReadComplete, CkptState::kConsumed));
+}
+
+TEST(LifecycleTest, ShortcutEdgesForCachedData) {
+  // Restore while flushes pending (condition (2)).
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kWriteInProgress, CkptState::kReadComplete));
+  // Read intent exists when flushes finish.
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kWriteComplete, CkptState::kReadComplete));
+  // Flushed but still cached.
+  EXPECT_TRUE(TransitionLegal(CkptState::kFlushed, CkptState::kReadComplete));
+}
+
+TEST(LifecycleTest, ReReadAfterConsumeExtension) {
+  EXPECT_TRUE(TransitionLegal(CkptState::kConsumed, CkptState::kReadInProgress));
+  EXPECT_TRUE(TransitionLegal(CkptState::kConsumed, CkptState::kReadComplete));
+}
+
+TEST(LifecycleTest, PromotionAbortRollbackEdges) {
+  EXPECT_TRUE(TransitionLegal(CkptState::kReadInProgress, CkptState::kFlushed));
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kReadInProgress, CkptState::kWriteInProgress));
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kWriteInProgress, CkptState::kReadInProgress));
+}
+
+TEST(LifecycleTest, IllegalEdgesRejected) {
+  // Cannot skip states or run the write path backwards.
+  EXPECT_FALSE(TransitionLegal(CkptState::kInit, CkptState::kFlushed));
+  EXPECT_FALSE(TransitionLegal(CkptState::kInit, CkptState::kConsumed));
+  EXPECT_FALSE(TransitionLegal(CkptState::kFlushed, CkptState::kWriteInProgress));
+  EXPECT_FALSE(TransitionLegal(CkptState::kConsumed, CkptState::kInit));
+  EXPECT_FALSE(TransitionLegal(CkptState::kWriteComplete, CkptState::kInit));
+  EXPECT_FALSE(
+      TransitionLegal(CkptState::kReadComplete, CkptState::kReadInProgress));
+  EXPECT_FALSE(TransitionLegal(CkptState::kWriteInProgress, CkptState::kFlushed));
+}
+
+TEST(LifecycleTest, NoSelfLoops) {
+  for (CkptState s : kAllStates) {
+    EXPECT_FALSE(TransitionLegal(s, s)) << to_string(s);
+  }
+}
+
+TEST(LifecycleTest, NothingEntersInit) {
+  for (CkptState s : kAllStates) {
+    EXPECT_FALSE(TransitionLegal(s, CkptState::kInit)) << to_string(s);
+  }
+}
+
+TEST(LifecycleTest, EvictionEligibilityMatchesFigure1) {
+  EXPECT_TRUE(StateEvictionEligible(CkptState::kFlushed));
+  EXPECT_TRUE(StateEvictionEligible(CkptState::kConsumed));
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kInit));
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kWriteInProgress));
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kWriteComplete));
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kReadInProgress));
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kReadComplete));
+}
+
+TEST(LifecycleTest, FastTierPinning) {
+  EXPECT_TRUE(StatePinsFastTier(CkptState::kReadInProgress));
+  EXPECT_TRUE(StatePinsFastTier(CkptState::kReadComplete));
+  EXPECT_FALSE(StatePinsFastTier(CkptState::kFlushed));
+  EXPECT_FALSE(StatePinsFastTier(CkptState::kConsumed));
+  EXPECT_FALSE(StatePinsFastTier(CkptState::kWriteInProgress));
+}
+
+TEST(LifecycleTest, CheckTransitionStatusMessages) {
+  EXPECT_TRUE(CheckTransition(CkptState::kInit, CkptState::kWriteInProgress).ok());
+  const auto st = CheckTransition(CkptState::kConsumed, CkptState::kWriteComplete);
+  EXPECT_EQ(st.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("CONSUMED"), std::string::npos);
+  EXPECT_NE(st.message().find("WRITE_COMPLETE"), std::string::npos);
+}
+
+TEST(LifecycleTest, EveryStateHasAName) {
+  for (CkptState s : kAllStates) {
+    EXPECT_NE(to_string(s), "?");
+  }
+}
+
+TEST(LifecycleTest, ConsumedReachableFromInitViaLegalPath) {
+  // Walk the canonical full path and assert each hop.
+  const std::vector<CkptState> path = {
+      CkptState::kInit,           CkptState::kWriteInProgress,
+      CkptState::kWriteComplete,  CkptState::kFlushed,
+      CkptState::kReadInProgress, CkptState::kReadComplete,
+      CkptState::kConsumed,
+  };
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(TransitionLegal(path[i], path[i + 1]))
+        << to_string(path[i]) << " -> " << to_string(path[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace ckpt::core

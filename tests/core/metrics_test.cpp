@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckpt::core {
+namespace {
+
+TEST(RankMetricsTest, ThroughputMath) {
+  RankMetrics m;
+  EXPECT_EQ(m.CkptThroughput(), 0.0);  // no samples: no divide-by-zero
+  EXPECT_EQ(m.RestoreThroughput(), 0.0);
+  m.ckpt_block_s.Add(0.5);
+  m.ckpt_block_s.Add(0.5);
+  m.bytes_checkpointed = 100 << 20;
+  EXPECT_DOUBLE_EQ(m.CkptThroughput(), (100 << 20) / 1.0);
+  m.restore_block_s.Add(0.25);
+  m.bytes_restored = 50 << 20;
+  EXPECT_DOUBLE_EQ(m.RestoreThroughput(), (50 << 20) / 0.25);
+}
+
+TEST(RankMetricsTest, MergeAccumulatesEverything) {
+  RankMetrics a;
+  a.ckpt_block_s.Add(1.0);
+  a.bytes_checkpointed = 10;
+  a.restores_from_gpu = 1;
+  a.prefetch_promotions = 2;
+  a.flushes_cancelled = 3;
+  a.reserve_wait_write_s = 0.5;
+  a.restore_series.push_back({0, 7, 0.1, 64, 2});
+
+  RankMetrics b;
+  b.ckpt_block_s.Add(2.0);
+  b.bytes_checkpointed = 20;
+  b.restores_from_gpu = 4;
+  b.prefetch_promotions = 5;
+  b.flushes_cancelled = 6;
+  b.reserve_wait_write_s = 1.5;
+  b.restore_series.push_back({1, 8, 0.2, 128, 3});
+
+  a.Merge(b);
+  EXPECT_EQ(a.ckpt_block_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.ckpt_block_s.Sum(), 3.0);
+  EXPECT_EQ(a.bytes_checkpointed, 30u);
+  EXPECT_EQ(a.restores_from_gpu, 5u);
+  EXPECT_EQ(a.prefetch_promotions, 7u);
+  EXPECT_EQ(a.flushes_cancelled, 9u);
+  EXPECT_DOUBLE_EQ(a.reserve_wait_write_s, 2.0);
+  ASSERT_EQ(a.restore_series.size(), 2u);
+  EXPECT_EQ(a.restore_series[1].version, 8u);
+  EXPECT_EQ(a.restore_series[1].prefetch_distance, 3u);
+}
+
+TEST(RankMetricsTest, MergeWithEmpty) {
+  RankMetrics a;
+  a.bytes_restored = 5;
+  RankMetrics empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.bytes_restored, 5u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.bytes_restored, 5u);
+}
+
+TEST(RestorePointTest, FieldsRoundTrip) {
+  RestorePoint p{3, 42, 0.125, 1024, 7};
+  EXPECT_EQ(p.iteration, 3u);
+  EXPECT_EQ(p.version, 42u);
+  EXPECT_DOUBLE_EQ(p.blocking_s, 0.125);
+  EXPECT_EQ(p.bytes, 1024u);
+  EXPECT_EQ(p.prefetch_distance, 7u);
+}
+
+}  // namespace
+}  // namespace ckpt::core

@@ -1,0 +1,114 @@
+#include "core/restore_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckpt::core {
+namespace {
+
+TEST(RestoreQueueTest, EmptyQueue) {
+  RestoreQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Head().has_value());
+  EXPECT_FALSE(q.DistanceOf(0).has_value());
+  EXPECT_FALSE(q.Peek(0).has_value());
+  q.PopHead();  // no-op, no crash
+}
+
+TEST(RestoreQueueTest, FifoHeadAndPop) {
+  RestoreQueue q;
+  q.Enqueue(5);
+  q.Enqueue(3);
+  q.Enqueue(9);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_EQ(*q.Head(), 5u);
+  q.PopHead();
+  EXPECT_EQ(*q.Head(), 3u);
+  q.PopHead();
+  q.PopHead();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RestoreQueueTest, DistanceCountsHintsAhead) {
+  RestoreQueue q;
+  for (Version v : {10, 20, 30, 40}) q.Enqueue(v);
+  EXPECT_EQ(*q.DistanceOf(10), 0u);
+  EXPECT_EQ(*q.DistanceOf(20), 1u);
+  EXPECT_EQ(*q.DistanceOf(40), 3u);
+  EXPECT_FALSE(q.DistanceOf(99).has_value());
+}
+
+TEST(RestoreQueueTest, DistanceShrinksAsHeadPops) {
+  RestoreQueue q;
+  for (Version v : {1, 2, 3}) q.Enqueue(v);
+  EXPECT_EQ(*q.DistanceOf(3), 2u);
+  q.PopHead();
+  EXPECT_EQ(*q.DistanceOf(3), 1u);
+  q.PopHead();
+  EXPECT_EQ(*q.DistanceOf(3), 0u);
+}
+
+TEST(RestoreQueueTest, DropRemovesEarliestPendingHint) {
+  RestoreQueue q;
+  for (Version v : {1, 2, 3, 4}) q.Enqueue(v);
+  q.Drop(2);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_EQ(*q.DistanceOf(3), 1u);  // 2 is gone, 3 moved up
+  EXPECT_FALSE(q.DistanceOf(2).has_value());
+  q.Drop(99);  // unknown: no-op
+  EXPECT_EQ(q.pending(), 3u);
+}
+
+TEST(RestoreQueueTest, DropHeadAdvancesHead) {
+  RestoreQueue q;
+  q.Enqueue(7);
+  q.Enqueue(8);
+  q.Drop(7);
+  EXPECT_EQ(*q.Head(), 8u);
+}
+
+TEST(RestoreQueueTest, DuplicateHintsTrackedIndividually) {
+  RestoreQueue q;
+  q.Enqueue(5);
+  q.Enqueue(6);
+  q.Enqueue(5);  // re-read hint (binomial checkpointing)
+  EXPECT_EQ(*q.DistanceOf(5), 0u);  // earliest occurrence
+  q.PopHead();                      // consumes the first 5
+  EXPECT_EQ(*q.Head(), 6u);
+  EXPECT_EQ(*q.DistanceOf(5), 1u);  // second occurrence remains
+  q.Drop(5);
+  EXPECT_FALSE(q.DistanceOf(5).has_value());
+}
+
+TEST(RestoreQueueTest, PeekWalksInOrder) {
+  RestoreQueue q;
+  for (Version v : {4, 5, 6}) q.Enqueue(v);
+  EXPECT_EQ(*q.Peek(0), 4u);
+  EXPECT_EQ(*q.Peek(1), 5u);
+  EXPECT_EQ(*q.Peek(2), 6u);
+  EXPECT_FALSE(q.Peek(3).has_value());
+}
+
+TEST(RestoreQueueTest, TotalEnqueuedIsMonotone) {
+  RestoreQueue q;
+  q.Enqueue(1);
+  q.Enqueue(2);
+  q.PopHead();
+  q.Drop(2);
+  EXPECT_EQ(q.total_enqueued(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RestoreQueueTest, LargeQueueDistanceIsCorrect) {
+  RestoreQueue q;
+  constexpr Version kN = 10000;
+  for (Version v = 0; v < kN; ++v) q.Enqueue(v);
+  EXPECT_EQ(*q.DistanceOf(kN - 1), kN - 1);
+  EXPECT_EQ(*q.DistanceOf(kN / 2), kN / 2);
+  // Drop a middle element; distances beyond it shift down by one.
+  q.Drop(100);
+  EXPECT_EQ(*q.DistanceOf(kN - 1), kN - 2);
+  EXPECT_EQ(*q.DistanceOf(50), 50u);
+}
+
+}  // namespace
+}  // namespace ckpt::core

@@ -1,0 +1,165 @@
+// Cross-runtime integration sweeps: every approach x read order x hint mode
+// x size mode must round-trip with verified data on the scaled DGX-like
+// topology, through the same harness the benches use. Parameterized gtest
+// gives one test instance per cell of the evaluation matrix.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/experiment.hpp"
+
+namespace ckpt::harness {
+namespace {
+
+sim::TopologyConfig FastTopo() {
+  // Scaled topology shape with brisk bandwidths so the sweep stays quick
+  // while still exercising throttled paths and contention.
+  sim::TopologyConfig topo = sim::TopologyConfig::Scaled();
+  topo.gpus_per_node = 4;
+  topo.hbm_capacity = 16 << 20;
+  topo.d2d_bw = 0;
+  topo.pcie_link_bw = 800 << 20;
+  topo.host_mem_bw = 0;
+  topo.nvme_drive_bw = 400 << 20;
+  topo.pfs_bw = 200 << 20;
+  topo.device_alloc_bw = 0;
+  topo.pinned_alloc_bw = 0;
+  topo.copy_latency_ns = 0;
+  return topo;
+}
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig cfg;
+  cfg.topology = FastTopo();
+  cfg.num_ranks = 4;
+  cfg.gpu_cache_bytes = 256 << 10;
+  cfg.host_cache_bytes = 1 << 20;
+  cfg.shot.num_ckpts = 16;
+  cfg.shot.compute_interval = std::chrono::microseconds(100);
+  cfg.shot.verify = true;
+  cfg.shot.trace.num_snapshots = 16;
+  cfg.shot.trace.uniform_size = 48 << 10;
+  cfg.shot.trace.min_size = 8 << 10;
+  cfg.shot.trace.max_size = 96 << 10;
+  cfg.shot.trace.plateau_mean = 56 << 10;
+  cfg.shot.trace.ramp_start_mean = 12 << 10;
+  return cfg;
+}
+
+using Cell = std::tuple<Approach, rtm::ReadOrder, rtm::HintMode, rtm::SizeMode>;
+
+class MatrixTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(MatrixTest, RoundTripsWithVerification) {
+  const auto [approach, order, hints, sizes] = GetParam();
+  ExperimentConfig cfg = BaseConfig();
+  cfg.approach = approach;
+  cfg.shot.read_order = order;
+  cfg.shot.hint_mode = hints;
+  cfg.shot.size_mode = sizes;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+  EXPECT_GT(result->ckpt_MBps_mean, 0.0);
+  EXPECT_GT(result->restore_MBps_mean, 0.0);
+  EXPECT_EQ(result->shot.merged.bytes_restored,
+            result->shot.merged.bytes_checkpointed);
+}
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  const auto [approach, order, hints, sizes] = info.param;
+  std::string name = std::string(to_string(approach)) + "_" +
+                     rtm::to_string(order) + "_" + rtm::to_string(hints) + "_" +
+                     rtm::to_string(sizes);
+  for (char& c : name) {
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvaluationMatrix, MatrixTest,
+    ::testing::Combine(
+        ::testing::Values(Approach::kAdios, Approach::kUvm, Approach::kScore),
+        ::testing::Values(rtm::ReadOrder::kSequential, rtm::ReadOrder::kReverse,
+                          rtm::ReadOrder::kIrregular),
+        ::testing::Values(rtm::HintMode::kNone, rtm::HintMode::kSingle,
+                          rtm::HintMode::kAll),
+        ::testing::Values(rtm::SizeMode::kUniform, rtm::SizeMode::kVariable)),
+    CellName);
+
+// WAIT-mode (Fig. 5 protocol) sweep over approaches.
+class WaitModeTest : public ::testing::TestWithParam<Approach> {};
+
+TEST_P(WaitModeTest, FlushBarrierThenRestore) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.approach = GetParam();
+  cfg.shot.wait_for_flush = true;
+  cfg.shot.read_order = rtm::ReadOrder::kReverse;
+  cfg.shot.hint_mode = rtm::HintMode::kAll;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Approaches, WaitModeTest,
+                         ::testing::Values(Approach::kAdios, Approach::kUvm,
+                                           Approach::kScore),
+                         [](const ::testing::TestParamInfo<Approach>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(IntegrationTest, TightlyCoupledScoreShot) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.shot.coupling = rtm::Coupling::kTightlyCoupled;
+  cfg.shot.read_order = rtm::ReadOrder::kReverse;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+}
+
+TEST(IntegrationTest, SplitCacheAblationRuns) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.split_flush_prefetch = true;
+  cfg.shot.read_order = rtm::ReadOrder::kReverse;
+  cfg.shot.hint_mode = rtm::HintMode::kAll;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+}
+
+TEST(IntegrationTest, EvictionAblationPoliciesRun) {
+  for (core::EvictionKind kind :
+       {core::EvictionKind::kLru, core::EvictionKind::kFifo,
+        core::EvictionKind::kGreedyGap}) {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.eviction = kind;
+    cfg.shot.size_mode = rtm::SizeMode::kVariable;
+    cfg.shot.read_order = rtm::ReadOrder::kIrregular;
+    auto result = RunExperiment(cfg);
+    ASSERT_TRUE(result.ok()) << core::to_string(kind) << ": " << result.status();
+    EXPECT_EQ(result->shot.verify_failures, 0u) << core::to_string(kind);
+  }
+}
+
+TEST(IntegrationTest, DiscardAfterRestoreMode) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.discard_after_restore = true;
+  cfg.shot.read_order = rtm::ReadOrder::kReverse;
+  cfg.shot.hint_mode = rtm::HintMode::kAll;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+}
+
+TEST(IntegrationTest, ConfigNamesMatchTable1) {
+  EXPECT_EQ(ConfigName(Approach::kAdios, rtm::HintMode::kNone),
+            "No hints, ADIOS2");
+  EXPECT_EQ(ConfigName(Approach::kUvm, rtm::HintMode::kSingle),
+            "Single hint, UVM");
+  EXPECT_EQ(ConfigName(Approach::kScore, rtm::HintMode::kAll),
+            "All hints, Score");
+}
+
+}  // namespace
+}  // namespace ckpt::harness

@@ -1,0 +1,112 @@
+#include "rtm/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ckpt::rtm {
+namespace {
+
+TEST(TraceModelTest, UniformModeAllEqual) {
+  TraceModel model;
+  const auto sizes = model.GenerateUniform();
+  EXPECT_EQ(sizes.size(), 384u);
+  for (auto s : sizes) EXPECT_EQ(s, model.config().uniform_size);
+  EXPECT_EQ(TraceModel::ShotBytes(sizes), 384ull * (128 << 10));
+}
+
+TEST(TraceModelTest, DeterministicPerShotSeed) {
+  TraceModel model;
+  EXPECT_EQ(model.GenerateShot(3), model.GenerateShot(3));
+  EXPECT_NE(model.GenerateShot(3), model.GenerateShot(4));
+  TraceConfig other;
+  other.seed = 99;
+  EXPECT_NE(TraceModel(other).GenerateShot(3), model.GenerateShot(3));
+}
+
+TEST(TraceModelTest, SizesWithinConfiguredBounds) {
+  TraceModel model;
+  for (std::uint64_t shot = 0; shot < 8; ++shot) {
+    for (auto s : model.GenerateShot(shot)) {
+      EXPECT_GE(s, 256u);
+      EXPECT_LE(s, model.config().max_size);
+      EXPECT_EQ(s % 256, 0u);  // transfer alignment
+    }
+  }
+}
+
+TEST(TraceModelTest, EarlySnapshotsSmallerThanPlateau) {
+  // The paper's Fig. 4 shape: compressed checkpoints start small and ramp
+  // up; §5.4.2 exploits this ("smaller-sized checkpoints at the beginning
+  // of the shot allow faster evictions").
+  TraceModel model;
+  const auto stats = model.SnapshotStats(32);
+  const int n = model.config().num_snapshots;
+  double early = 0, late = 0;
+  for (int i = 0; i < n / 8; ++i) early += stats[static_cast<std::size_t>(i)].avg;
+  for (int i = 7 * n / 8; i < n; ++i) late += stats[static_cast<std::size_t>(i)].avg;
+  early /= n / 8.0;
+  late /= n / 8.0;
+  EXPECT_LT(early, late * 0.5);
+}
+
+TEST(TraceModelTest, AggregatePerShotInPaperBand) {
+  // Paper: 38-50 GB per shot; scaled /1000 -> 38-50 MB.
+  TraceModel model;
+  for (std::uint64_t shot = 0; shot < 32; ++shot) {
+    const double mb =
+        static_cast<double>(TraceModel::ShotBytes(model.GenerateShot(shot))) / 1e6;
+    EXPECT_GT(mb, 30.0) << "shot " << shot;
+    EXPECT_LT(mb, 60.0) << "shot " << shot;
+  }
+}
+
+TEST(TraceModelTest, MedianNearUniformSize) {
+  // The 128 MB uniform size is "roughly the 50th percentile" of the traces.
+  TraceModel model;
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t shot = 0; shot < 16; ++shot) {
+    const auto sizes = model.GenerateShot(shot);
+    all.insert(all.end(), sizes.begin(), sizes.end());
+  }
+  std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(all.size() / 2),
+                   all.end());
+  const double median = static_cast<double>(all[all.size() / 2]);
+  const double uniform = static_cast<double>(model.config().uniform_size);
+  EXPECT_GT(median, uniform * 0.6);
+  EXPECT_LT(median, uniform * 1.6);
+}
+
+TEST(TraceModelTest, SnapshotStatsEnvelopeConsistent) {
+  TraceModel model;
+  const auto stats = model.SnapshotStats(8);
+  ASSERT_EQ(stats.size(), 384u);
+  for (const auto& s : stats) {
+    EXPECT_LE(s.min, static_cast<std::uint64_t>(s.avg) + 1);
+    EXPECT_GE(s.max, static_cast<std::uint64_t>(s.avg));
+    EXPECT_LE(s.max, model.config().max_size);
+  }
+}
+
+TEST(TraceModelTest, VariableSpreadAcrossShots) {
+  // Within one snapshot index, different shots must differ (min < max) for
+  // most of the shot — the fragmentation driver.
+  TraceModel model;
+  const auto stats = model.SnapshotStats(32);
+  int spread = 0;
+  for (const auto& s : stats) {
+    if (s.max > s.min) ++spread;
+  }
+  EXPECT_GT(spread, 300);
+}
+
+TEST(TraceModelTest, GenerateDispatch) {
+  TraceModel model;
+  EXPECT_EQ(model.Generate(SizeMode::kUniform, 5), model.GenerateUniform());
+  EXPECT_EQ(model.Generate(SizeMode::kVariable, 5), model.GenerateShot(5));
+  EXPECT_STREQ(to_string(SizeMode::kUniform), "uniform");
+  EXPECT_STREQ(to_string(SizeMode::kVariable), "variable");
+}
+
+}  // namespace
+}  // namespace ckpt::rtm

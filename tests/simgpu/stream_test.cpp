@@ -1,0 +1,122 @@
+#include "simgpu/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ckpt::sim {
+namespace {
+
+TEST(EventTest, CompleteWakesWaiters) {
+  Event e;
+  EXPECT_FALSE(e.Query());
+  std::atomic<bool> woke{false};
+  std::jthread waiter([&] {
+    e.Synchronize();
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  e.Complete();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_TRUE(e.Query());
+}
+
+TEST(EventTest, ResetRearms) {
+  Event e;
+  e.Complete();
+  EXPECT_TRUE(e.Query());
+  e.Reset();
+  EXPECT_FALSE(e.Query());
+}
+
+TEST(StreamTest, OpsRunInFifoOrder) {
+  Stream s("t");
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s.Enqueue([&, i] {
+      std::lock_guard lock(mu);
+      order.push_back(i);
+    }));
+  }
+  s.Synchronize();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(StreamTest, SynchronizeWaitsForPriorWork) {
+  Stream s;
+  std::atomic<bool> done{false};
+  s.Enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    done = true;
+  });
+  s.Synchronize();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(s.Idle());
+}
+
+TEST(StreamTest, RecordEventCompletesInOrder) {
+  Stream s;
+  auto e = std::make_shared<Event>();
+  std::atomic<bool> first_done{false};
+  s.Enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    first_done = true;
+  });
+  s.RecordEvent(e);
+  e->Synchronize();
+  EXPECT_TRUE(first_done.load());
+}
+
+TEST(StreamTest, WaitEventOrdersAcrossStreams) {
+  Stream producer("p");
+  Stream consumer("c");
+  auto e = std::make_shared<Event>();
+  std::atomic<int> stage{0};
+  producer.Enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stage = 1;
+  });
+  producer.RecordEvent(e);
+  consumer.WaitEvent(e);
+  std::atomic<int> observed{-1};
+  consumer.Enqueue([&] { observed = stage.load(); });
+  consumer.Synchronize();
+  EXPECT_EQ(observed.load(), 1);
+}
+
+TEST(StreamTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    Stream s;
+    for (int i = 0; i < 20; ++i) {
+      s.Enqueue([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+  }  // ~Stream drains remaining ops
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(StreamTest, IdleReflectsState) {
+  Stream s;
+  EXPECT_TRUE(s.Idle());
+  std::atomic<bool> release{false};
+  s.Enqueue([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  EXPECT_FALSE(s.Idle());
+  release = true;
+  s.Synchronize();
+  EXPECT_TRUE(s.Idle());
+}
+
+}  // namespace
+}  // namespace ckpt::sim

@@ -1,0 +1,123 @@
+#include "simgpu/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "simgpu/cluster.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+TEST(TopologyConfigTest, PaperRatiosPreservedInScaled) {
+  const auto paper = TopologyConfig::Paper();
+  const auto scaled = TopologyConfig::Scaled();
+  // The figures depend on bandwidth *ratios*; scaled must preserve them.
+  const double paper_d2d_over_pcie =
+      static_cast<double>(paper.d2d_bw) / static_cast<double>(paper.pcie_link_bw);
+  const double scaled_d2d_over_pcie =
+      static_cast<double>(scaled.d2d_bw) / static_cast<double>(scaled.pcie_link_bw);
+  EXPECT_NEAR(paper_d2d_over_pcie, scaled_d2d_over_pcie,
+              paper_d2d_over_pcie * 0.05);
+  const double paper_pcie_over_nvme = static_cast<double>(paper.pcie_link_bw) /
+                                      static_cast<double>(paper.nvme_drive_bw);
+  const double scaled_pcie_over_nvme = static_cast<double>(scaled.pcie_link_bw) /
+                                       static_cast<double>(scaled.nvme_drive_bw);
+  EXPECT_NEAR(paper_pcie_over_nvme, scaled_pcie_over_nvme,
+              paper_pcie_over_nvme * 0.05);
+}
+
+TEST(TopologyConfigTest, DgxShape) {
+  const auto cfg = TopologyConfig::Scaled();
+  EXPECT_EQ(cfg.gpus_per_node, 8);
+  EXPECT_EQ(cfg.gpus_per_pcie_link, 2);
+  EXPECT_EQ(cfg.nvme_drives_per_node, 4);
+  EXPECT_EQ(cfg.pcie_links_per_node(), 4);
+}
+
+TEST(TopologyTest, RankGpuMapping) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 4;
+  Topology topo(cfg);
+  EXPECT_EQ(topo.gpu_of_rank(0), (GpuId{0, 0}));
+  EXPECT_EQ(topo.gpu_of_rank(3), (GpuId{0, 3}));
+  EXPECT_EQ(topo.gpu_of_rank(4), (GpuId{1, 0}));
+  EXPECT_EQ(topo.gpu_of_rank(7), (GpuId{1, 3}));
+  for (Rank r = 0; r < 8; ++r) {
+    EXPECT_EQ(topo.rank_of_gpu(topo.gpu_of_rank(r)), r);
+  }
+  EXPECT_EQ(topo.node_of_rank(5), 1);
+}
+
+TEST(TopologyTest, GpuPairsSharePcieLink) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.gpus_per_node = 8;
+  cfg.gpus_per_pcie_link = 2;
+  Topology topo(cfg);
+  const auto d2h = Topology::LinkDir::kD2H;
+  const auto h2d = Topology::LinkDir::kH2D;
+  EXPECT_EQ(&topo.pcie_link({0, 0}, d2h), &topo.pcie_link({0, 1}, d2h));
+  EXPECT_NE(&topo.pcie_link({0, 1}, d2h), &topo.pcie_link({0, 2}, d2h));
+  EXPECT_EQ(&topo.pcie_link({0, 6}, h2d), &topo.pcie_link({0, 7}, h2d));
+  // Full duplex: the two directions are independent engines.
+  EXPECT_NE(&topo.pcie_link({0, 0}, d2h), &topo.pcie_link({0, 0}, h2d));
+}
+
+TEST(TopologyTest, NvmeStripingAcrossDrives) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.gpus_per_node = 8;
+  cfg.nvme_drives_per_node = 4;
+  Topology topo(cfg);
+  // Ranks 0 and 4 share drive 0; ranks 0 and 1 use different drives.
+  EXPECT_EQ(&topo.nvme_for_rank(0), &topo.nvme_for_rank(4));
+  EXPECT_NE(&topo.nvme_for_rank(0), &topo.nvme_for_rank(1));
+}
+
+TEST(TopologyTest, PerNodeResourcesAreDistinct) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 2;
+  Topology topo(cfg);
+  EXPECT_NE(&topo.host_mem({0, 0}), &topo.host_mem({1, 0}));
+  // Within a node, each GPU pair has its own NUMA-domain DDR limiter.
+  EXPECT_EQ(&topo.host_mem({0, 0}), &topo.host_mem({0, 1}));
+  EXPECT_NE(&topo.pcie_link({0, 0}, Topology::LinkDir::kD2H),
+            &topo.pcie_link({1, 0}, Topology::LinkDir::kD2H));
+  EXPECT_NE(&topo.d2d({0, 0}), &topo.d2d({1, 0}));
+  // One PFS shared by everything.
+  EXPECT_EQ(&topo.pfs(), &topo.pfs());
+}
+
+TEST(TopologyTest, InvalidConfigThrows) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.gpus_per_node = 0;
+  EXPECT_THROW(Topology topo(cfg), std::invalid_argument);
+}
+
+TEST(ClusterTest, DevicesMatchTopology) {
+  TopologyConfig cfg = TopologyConfig::Testing();
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 2;
+  cfg.hbm_capacity = 1 << 20;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.total_gpus(), 4);
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.device(r).id(), cluster.topology().gpu_of_rank(r));
+    EXPECT_GE(cluster.device(r).capacity(), 1u << 20);
+  }
+}
+
+TEST(ClusterTest, MemcpyMovesData) {
+  Cluster cluster(TopologyConfig::Testing());
+  auto src = cluster.device(0).Allocate(1024);
+  auto dst = cluster.device(0).Allocate(1024);
+  ASSERT_TRUE(src.ok() && dst.ok());
+  for (int i = 0; i < 1024; ++i) (*src)[i] = static_cast<std::byte>(i & 0xff);
+  ASSERT_TRUE(cluster.Memcpy(0, *dst, *src, 1024, MemcpyKind::kD2D).ok());
+  EXPECT_EQ(std::memcmp(*dst, *src, 1024), 0);
+}
+
+}  // namespace
+}  // namespace ckpt::sim

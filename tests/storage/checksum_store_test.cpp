@@ -1,0 +1,112 @@
+#include "storage/checksum_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/mem_store.hpp"
+
+namespace ckpt::storage {
+namespace {
+
+std::vector<std::byte> Blob(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 7 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(ChecksumStoreTest, RoundTripVerifies) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(4096, 1);
+  ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(blob.size());
+  ASSERT_TRUE(store.Get({0, 0}, out.data(), out.size()).ok());
+  EXPECT_EQ(out, blob);
+  EXPECT_EQ(store.verified(), 1u);
+  EXPECT_EQ(store.failures(), 0u);
+}
+
+TEST(ChecksumStoreTest, SizeReportsPayloadNotFramed) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(1000, 2);
+  ASSERT_TRUE(store.Put({1, 2}, blob.data(), blob.size()).ok());
+  EXPECT_EQ(*store.Size({1, 2}), 1000u);
+  // The inner store holds payload + trailer.
+  EXPECT_EQ(*inner->Size({1, 2}), 1000u + ChecksumStore::kTrailerBytes);
+}
+
+TEST(ChecksumStoreTest, DetectsPayloadCorruption) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(512, 3);
+  ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+  // Corrupt one payload byte in the inner store.
+  std::vector<std::byte> framed(*inner->Size({0, 0}));
+  ASSERT_TRUE(inner->Get({0, 0}, framed.data(), framed.size()).ok());
+  framed[100] ^= std::byte{0x01};
+  ASSERT_TRUE(inner->Put({0, 0}, framed.data(), framed.size()).ok());
+
+  std::vector<std::byte> out(blob.size());
+  const auto st = store.Get({0, 0}, out.data(), out.size());
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
+  EXPECT_EQ(store.failures(), 1u);
+}
+
+TEST(ChecksumStoreTest, DetectsTrailerCorruptionAndMissingTrailer) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(128, 4);
+  ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+  // Clobber the magic.
+  std::vector<std::byte> framed(*inner->Size({0, 0}));
+  ASSERT_TRUE(inner->Get({0, 0}, framed.data(), framed.size()).ok());
+  framed[blob.size()] ^= std::byte{0xFF};
+  ASSERT_TRUE(inner->Put({0, 0}, framed.data(), framed.size()).ok());
+  std::vector<std::byte> out(blob.size());
+  EXPECT_EQ(store.Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kIoError);
+
+  // An object written without a trailer at all.
+  const auto raw = Blob(4, 5);
+  ASSERT_TRUE(inner->Put({9, 9}, raw.data(), raw.size()).ok());
+  EXPECT_EQ(store.Get({9, 9}, out.data(), out.size()).code(),
+            util::ErrorCode::kIoError);
+}
+
+TEST(ChecksumStoreTest, EmptyObjectRoundTrips) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  ASSERT_TRUE(store.Put({0, 0}, nullptr, 0).ok());
+  EXPECT_EQ(*store.Size({0, 0}), 0u);
+  std::byte sink;
+  EXPECT_TRUE(store.Get({0, 0}, &sink, 1).ok());
+}
+
+TEST(ChecksumStoreTest, BufferTooSmallRejectedBeforeRead) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(256, 6);
+  ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(100);
+  EXPECT_EQ(store.Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(ChecksumStoreTest, DelegatesMetadataOps) {
+  auto inner = std::make_shared<MemStore>();
+  ChecksumStore store(inner);
+  const auto blob = Blob(64, 7);
+  ASSERT_TRUE(store.Put({3, 4}, blob.data(), blob.size()).ok());
+  EXPECT_TRUE(store.Exists({3, 4}));
+  EXPECT_EQ(store.Keys().size(), 1u);
+  ASSERT_TRUE(store.Erase({3, 4}).ok());
+  EXPECT_FALSE(store.Exists({3, 4}));
+}
+
+}  // namespace
+}  // namespace ckpt::storage

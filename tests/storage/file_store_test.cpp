@@ -1,0 +1,123 @@
+#include "storage/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace ckpt::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("ckpt_filestore_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static std::vector<std::byte> Blob(std::size_t n, std::uint8_t seed) {
+    std::vector<std::byte> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::byte>((i * 3 + seed) & 0xff);
+    }
+    return v;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FileStoreTest, PutGetRoundTrip) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const auto blob = Blob(10000, 5);
+  ASSERT_TRUE((*store)->Put({0, 3}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(blob.size());
+  ASSERT_TRUE((*store)->Get({0, 3}, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), blob.data(), blob.size()), 0);
+}
+
+TEST_F(FileStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = FileStore::Open(root_);
+    ASSERT_TRUE(store.ok());
+    const auto blob = Blob(512, 1);
+    ASSERT_TRUE((*store)->Put({4, 9}, blob.data(), blob.size()).ok());
+  }
+  auto reopened = FileStore::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->Exists({4, 9}));
+  EXPECT_EQ(*(*reopened)->Size({4, 9}), 512u);
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE((*reopened)->Get({4, 9}, out.data(), out.size()).ok());
+  EXPECT_EQ(out, Blob(512, 1));
+}
+
+TEST_F(FileStoreTest, IgnoresForeignFilesOnReopen) {
+  fs::create_directories(root_);
+  std::ofstream(root_ / "not_a_checkpoint.txt") << "hello";
+  std::ofstream(root_ / "r1_vbad.ckpt") << "junk";
+  std::ofstream(root_ / "r1_v2.ckpt.tmp") << "torn";
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Keys().empty());
+}
+
+TEST_F(FileStoreTest, EraseRemovesFile) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto blob = Blob(64, 2);
+  ASSERT_TRUE((*store)->Put({0, 0}, blob.data(), blob.size()).ok());
+  EXPECT_TRUE(fs::exists(root_ / "r0_v0.ckpt"));
+  ASSERT_TRUE((*store)->Erase({0, 0}).ok());
+  EXPECT_FALSE(fs::exists(root_ / "r0_v0.ckpt"));
+  EXPECT_FALSE((*store)->Exists({0, 0}));
+}
+
+TEST_F(FileStoreTest, GetMissingAndTooSmall) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  std::byte b;
+  EXPECT_EQ((*store)->Get({0, 0}, &b, 1).code(), util::ErrorCode::kNotFound);
+  const auto blob = Blob(100, 3);
+  ASSERT_TRUE((*store)->Put({0, 0}, blob.data(), blob.size()).ok());
+  EXPECT_EQ((*store)->Get({0, 0}, &b, 1).code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FileStoreTest, OverwriteIsAtomicReplacement) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto a = Blob(100, 1);
+  const auto b = Blob(200, 2);
+  ASSERT_TRUE((*store)->Put({0, 0}, a.data(), a.size()).ok());
+  ASSERT_TRUE((*store)->Put({0, 0}, b.data(), b.size()).ok());
+  EXPECT_EQ(*(*store)->Size({0, 0}), 200u);
+  std::vector<std::byte> out(200);
+  ASSERT_TRUE((*store)->Get({0, 0}, out.data(), 200).ok());
+  EXPECT_EQ(out, b);
+  // No stray temp files left behind.
+  for (const auto& e : fs::directory_iterator(root_)) {
+    EXPECT_EQ(e.path().extension(), ".ckpt");
+  }
+}
+
+TEST_F(FileStoreTest, TotalBytesAndKeys) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto blob = Blob(128, 4);
+  for (std::uint64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE((*store)->Put({1, v}, blob.data(), blob.size()).ok());
+  }
+  EXPECT_EQ((*store)->Keys().size(), 5u);
+  EXPECT_EQ((*store)->TotalBytes(), 5u * 128);
+}
+
+}  // namespace
+}  // namespace ckpt::storage

@@ -1,0 +1,112 @@
+#include "storage/mem_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace ckpt::storage {
+namespace {
+
+std::vector<std::byte> Blob(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(MemStoreTest, PutGetRoundTrip) {
+  MemStore store;
+  const auto blob = Blob(4096, 1);
+  ASSERT_TRUE(store.Put({0, 1}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(store.Get({0, 1}, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), blob.data(), blob.size()), 0);
+}
+
+TEST(MemStoreTest, GetMissingFails) {
+  MemStore store;
+  std::byte b;
+  EXPECT_EQ(store.Get({1, 2}, &b, 1).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(MemStoreTest, GetBufferTooSmallFails) {
+  MemStore store;
+  const auto blob = Blob(100, 2);
+  ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(50);
+  EXPECT_EQ(store.Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(MemStoreTest, OverwriteReplacesObject) {
+  MemStore store;
+  const auto a = Blob(64, 1);
+  const auto b = Blob(128, 9);
+  ASSERT_TRUE(store.Put({0, 0}, a.data(), a.size()).ok());
+  ASSERT_TRUE(store.Put({0, 0}, b.data(), b.size()).ok());
+  EXPECT_EQ(*store.Size({0, 0}), 128u);
+  EXPECT_EQ(store.TotalBytes(), 128u);
+}
+
+TEST(MemStoreTest, SizeExistsEraseKeys) {
+  MemStore store;
+  const auto blob = Blob(64, 3);
+  ASSERT_TRUE(store.Put({2, 7}, blob.data(), blob.size()).ok());
+  EXPECT_TRUE(store.Exists({2, 7}));
+  EXPECT_FALSE(store.Exists({2, 8}));
+  EXPECT_EQ(*store.Size({2, 7}), 64u);
+  EXPECT_EQ(store.Keys().size(), 1u);
+  EXPECT_EQ(store.Keys()[0], (ObjectKey{2, 7}));
+  EXPECT_TRUE(store.Erase({2, 7}).ok());
+  EXPECT_FALSE(store.Exists({2, 7}));
+  EXPECT_EQ(store.Erase({2, 7}).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(MemStoreTest, DistinctKeysPerRankAndVersion) {
+  MemStore store;
+  const auto a = Blob(16, 1);
+  const auto b = Blob(16, 2);
+  ASSERT_TRUE(store.Put({0, 5}, a.data(), a.size()).ok());
+  ASSERT_TRUE(store.Put({1, 5}, b.data(), b.size()).ok());
+  std::vector<std::byte> out(16);
+  ASSERT_TRUE(store.Get({1, 5}, out.data(), 16).ok());
+  EXPECT_EQ(std::memcmp(out.data(), b.data(), 16), 0);
+}
+
+TEST(MemStoreTest, ConcurrentPutsAndGets) {
+  MemStore store;
+  constexpr int kThreads = 8;
+  constexpr int kObjects = 50;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kObjects; ++i) {
+          const auto blob = Blob(256, static_cast<std::uint8_t>(t));
+          ASSERT_TRUE(store
+                          .Put({t, static_cast<std::uint64_t>(i)}, blob.data(),
+                               blob.size())
+                          .ok());
+          std::vector<std::byte> out(256);
+          ASSERT_TRUE(store
+                          .Get({t, static_cast<std::uint64_t>(i)}, out.data(),
+                               out.size())
+                          .ok());
+          EXPECT_EQ(std::memcmp(out.data(), blob.data(), 256), 0);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(store.Keys().size(), static_cast<std::size_t>(kThreads * kObjects));
+  EXPECT_EQ(store.TotalBytes(), static_cast<std::uint64_t>(kThreads * kObjects) * 256);
+}
+
+TEST(ObjectKeyTest, ToStringFormat) {
+  EXPECT_EQ((ObjectKey{3, 17}).ToString(), "r3_v17");
+}
+
+}  // namespace
+}  // namespace ckpt::storage

@@ -1,0 +1,114 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckpt::util {
+namespace {
+
+TEST(ParseSizeTest, PlainIntegers) {
+  EXPECT_EQ(*ParseSize("0"), 0);
+  EXPECT_EQ(*ParseSize("42"), 42);
+  EXPECT_EQ(*ParseSize("-7"), -7);
+}
+
+TEST(ParseSizeTest, DecimalSuffixes) {
+  EXPECT_EQ(*ParseSize("1k"), 1000);
+  EXPECT_EQ(*ParseSize("2K"), 2000);
+  EXPECT_EQ(*ParseSize("3m"), 3'000'000);
+  EXPECT_EQ(*ParseSize("4G"), 4'000'000'000);
+  EXPECT_EQ(*ParseSize("1t"), 1'000'000'000'000);
+}
+
+TEST(ParseSizeTest, BinarySuffixes) {
+  EXPECT_EQ(*ParseSize("1ki"), 1024);
+  EXPECT_EQ(*ParseSize("4Mi"), 4ll << 20);
+  EXPECT_EQ(*ParseSize("2Gi"), 2ll << 30);
+  EXPECT_EQ(*ParseSize("1Ti"), 1ll << 40);
+}
+
+TEST(ParseSizeTest, TrailingByteMarker) {
+  EXPECT_EQ(*ParseSize("128kb"), 128'000);
+  EXPECT_EQ(*ParseSize("4MiB"), 4ll << 20);
+}
+
+TEST(ParseSizeTest, Whitespace) {
+  EXPECT_EQ(*ParseSize("  64 Ki "), 64 * 1024);
+}
+
+TEST(ParseSizeTest, Rejections) {
+  EXPECT_FALSE(ParseSize("").ok());
+  EXPECT_FALSE(ParseSize("abc").ok());
+  EXPECT_FALSE(ParseSize("12x").ok());
+  EXPECT_FALSE(ParseSize("12kq").ok());
+}
+
+TEST(ConfigTest, ParsesLinesAndComments) {
+  auto cfg = Config::Parse(
+      "# a comment\n"
+      "gpu_cache = 4Mi\n"
+      "name = score\n"
+      "ratio = 0.75, enabled = true\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("gpu_cache", 0), 4ll << 20);
+  EXPECT_EQ(cfg->GetString("name", ""), "score");
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("ratio", 0), 0.75);
+  EXPECT_TRUE(cfg->GetBool("enabled", false));
+}
+
+TEST(ConfigTest, LaterKeysOverrideEarlier) {
+  auto cfg = Config::Parse("a=1\na=2");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", 0), 2);
+}
+
+TEST(ConfigTest, MissingEqualsIsError) {
+  EXPECT_FALSE(Config::Parse("just a line").ok());
+}
+
+TEST(ConfigTest, EmptyKeyIsError) {
+  EXPECT_FALSE(Config::Parse("= 5").ok());
+}
+
+TEST(ConfigTest, DefaultsOnMissingKeys) {
+  Config cfg;
+  EXPECT_EQ(cfg.GetInt("nope", 9), 9);
+  EXPECT_EQ(cfg.GetString("nope", "d"), "d");
+  EXPECT_FALSE(cfg.Has("nope"));
+  EXPECT_EQ(cfg.GetInt("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ConfigTest, BoolVariants) {
+  auto cfg = Config::Parse("a=yes\nb=OFF\nc=1\nd=false\ne=maybe");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBool("a", false));
+  EXPECT_FALSE(cfg->GetBool("b", true));
+  EXPECT_TRUE(cfg->GetBool("c", false));
+  EXPECT_FALSE(cfg->GetBool("d", true));
+  EXPECT_FALSE(cfg->GetBool("e").ok());
+}
+
+TEST(ConfigTest, SetOverridesAndEntriesVisible) {
+  Config cfg;
+  cfg.Set("k", "128ki");
+  EXPECT_EQ(cfg.GetInt("k", 0), 128 * 1024);
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+TEST(EnvTest, EnvIntFallsBackWithoutVariable) {
+  ::unsetenv("CKPT_TEST_ENV_INT");
+  EXPECT_EQ(EnvInt("CKPT_TEST_ENV_INT", 5), 5);
+  ::setenv("CKPT_TEST_ENV_INT", "2Mi", 1);
+  EXPECT_EQ(EnvInt("CKPT_TEST_ENV_INT", 5), 2ll << 20);
+  ::unsetenv("CKPT_TEST_ENV_INT");
+}
+
+TEST(EnvTest, EnvDoubleAndString) {
+  ::setenv("CKPT_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CKPT_TEST_ENV_D", 0), 2.5);
+  ::unsetenv("CKPT_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(EnvDouble("CKPT_TEST_ENV_D", 1.5), 1.5);
+  EXPECT_EQ(EnvString("CKPT_TEST_ENV_S", "x"), "x");
+}
+
+}  // namespace
+}  // namespace ckpt::util

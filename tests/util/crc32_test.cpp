@@ -1,0 +1,46 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ckpt::util {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / published CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  const std::string digits = "123456789";
+  EXPECT_EQ(Crc32c(digits.data(), digits.size()), 0xE3069283u);
+  std::vector<unsigned char> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<unsigned char> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32c(data.data(), data.size());
+  std::uint32_t chained = 0;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, data.size() - i);
+    chained = Crc32c(data.data() + i, n, chained);
+  }
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::vector<unsigned char> buf(256);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<unsigned char>(i);
+  const std::uint32_t base = Crc32c(buf.data(), buf.size());
+  for (std::size_t bit = 0; bit < buf.size() * 8; bit += 97) {
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), base) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), base);
+}
+
+}  // namespace
+}  // namespace ckpt::util

@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckpt::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, UnknownLevelDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST_F(LoggingTest, MacroFiltersBelowLevel) {
+  // The macro's streaming expression must not evaluate when filtered.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  CKPT_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kTrace);
+  CKPT_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EmitDoesNotCrashAcrossLevels) {
+  set_log_level(LogLevel::kTrace);
+  CKPT_LOG(kTrace, "t") << "trace " << 1;
+  CKPT_LOG(kDebug, "t") << "debug " << 2.5;
+  CKPT_LOG(kInfo, "t") << "info " << "str";
+  CKPT_LOG(kWarn, "t") << "warn";
+  CKPT_LOG(kError, "t") << "error";
+}
+
+}  // namespace
+}  // namespace ckpt::util

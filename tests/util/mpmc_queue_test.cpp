@@ -1,0 +1,136 @@
+#include "util/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ckpt::util {
+namespace {
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNothing) {
+  MpmcQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueueTest, PushFrontTakesPriority) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.PushFront(0);
+  EXPECT_EQ(*q.Pop(), 0);
+  EXPECT_EQ(*q.Pop(), 1);
+}
+
+TEST(MpmcQueueTest, BoundedTryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpmcQueueTest, BoundedPushBlocksUntilSpace) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::jthread producer([&] {
+    q.Push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenReturnsNullopt) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumers) {
+  MpmcQueue<int> q;
+  std::atomic<int> finished{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int i = 0; i < 3; ++i) {
+      consumers.emplace_back([&] {
+        while (q.Pop().has_value()) {
+        }
+        ++finished;
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+  }
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersNoLossNoDup) {
+  MpmcQueue<int> q(64);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::mutex mu;
+  std::set<int> seen;
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(q.Push(p * kPerProducer + i));
+        }
+      });
+    }
+    std::atomic<int> consumed{0};
+    for (int cidx = 0; cidx < kConsumers; ++cidx) {
+      threads.emplace_back([&] {
+        while (consumed.load() < kProducers * kPerProducer) {
+          auto v = q.TryPop();
+          if (!v) {
+            std::this_thread::yield();
+            continue;
+          }
+          ++consumed;
+          std::lock_guard lock(mu);
+          EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(MpmcQueueTest, MoveOnlyElements) {
+  MpmcQueue<std::unique_ptr<int>> q;
+  q.Push(std::make_unique<int>(5));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace ckpt::util

@@ -1,0 +1,124 @@
+#include "util/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace ckpt::util {
+namespace {
+
+TEST(RateLimiterTest, UnlimitedNeverBlocks) {
+  RateLimiter rl(0);
+  const Stopwatch sw;
+  for (int i = 0; i < 1000; ++i) rl.Acquire(1 << 20);
+  EXPECT_LT(sw.ElapsedSec(), 0.5);
+  EXPECT_EQ(rl.admitted_bytes(), 1000ull << 20);
+}
+
+TEST(RateLimiterTest, EnforcesLongTermRate) {
+  // 10 MB/s; acquire ~2 MB => at least ~150 ms (allowing burst credit).
+  RateLimiter rl(10 << 20, /*burst=*/64 << 10);
+  const Stopwatch sw;
+  for (int i = 0; i < 32; ++i) rl.Acquire(64 << 10);  // 2 MiB total
+  const double elapsed = sw.ElapsedSec();
+  EXPECT_GT(elapsed, 0.12);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(RateLimiterTest, FirstAcquireAdmittedInstantly) {
+  // Debt model: the bucket starts empty but a solvent (zero-token) bucket
+  // admits one request immediately; only the *next* request pays.
+  RateLimiter rl(1 << 20, /*burst=*/1 << 20);
+  const Stopwatch sw;
+  rl.Acquire(1 << 20);
+  EXPECT_LT(sw.ElapsedSec(), 0.05);
+}
+
+TEST(RateLimiterTest, TryAcquireFailsWhenInsolvent) {
+  RateLimiter rl(1 << 10, /*burst=*/1 << 10);
+  EXPECT_TRUE(rl.TryAcquire(4 << 10));   // zero tokens is solvent
+  EXPECT_FALSE(rl.TryAcquire(1));        // deep debt now blocks
+  rl.set_rate(100 << 20);                // debt drains almost instantly
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(rl.TryAcquire(1));
+}
+
+TEST(RateLimiterTest, AcquireForTimesOut) {
+  RateLimiter rl(1 << 10, /*burst=*/1);
+  rl.Acquire(64 << 10);  // 64 s of debt at 1 KiB/s
+  const auto st = rl.AcquireFor(1, std::chrono::milliseconds(50));
+  EXPECT_EQ(st.code(), ErrorCode::kTimeout);
+}
+
+TEST(RateLimiterTest, AcquireForSucceedsWithinDeadline) {
+  RateLimiter rl(1 << 20, /*burst=*/1 << 20);
+  EXPECT_TRUE(rl.AcquireFor(1 << 10, std::chrono::seconds(1)).ok());
+}
+
+TEST(RateLimiterTest, SetRateTakesEffect) {
+  RateLimiter rl(1, /*burst=*/1);
+  rl.Acquire(1);  // now deeply in debt at 1 B/s
+  rl.set_rate(100 << 20);
+  const Stopwatch sw;
+  rl.Acquire(1 << 20);
+  EXPECT_LT(sw.ElapsedSec(), 1.0);
+  EXPECT_EQ(rl.rate(), 100ull << 20);
+}
+
+TEST(RateLimiterTest, SharedLinkSplitsBandwidthFairly) {
+  // Two contenders on a 20 MB/s link, 1 MiB each in 64 KiB chunks: total
+  // ~2 MiB should take ~100 ms, and both must finish (FIFO, no starvation).
+  RateLimiter rl(20 << 20, /*burst=*/64 << 10);
+  std::atomic<int> done{0};
+  const Stopwatch sw;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 16; ++i) rl.Acquire(64 << 10);
+        ++done;
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_GT(sw.ElapsedSec(), 0.06);
+  EXPECT_LT(sw.ElapsedSec(), 1.0);
+}
+
+TEST(RateLimiterTest, EstimateDelayGrowsWithBacklog) {
+  RateLimiter rl(1 << 20, /*burst=*/1);
+  const auto d0 = rl.EstimateDelay(1 << 20);
+  rl.Acquire(2 << 20);  // deep debt
+  const auto d1 = rl.EstimateDelay(1 << 20);
+  EXPECT_GT(d1, d0);
+}
+
+TEST(RateLimiterTest, EstimateDelayZeroWhenUnlimited) {
+  RateLimiter rl(0);
+  EXPECT_EQ(rl.EstimateDelay(1 << 30).count(), 0);
+}
+
+TEST(RateLimiterTest, ManyThreadsAllAdmitted) {
+  RateLimiter rl(100 << 20, 64 << 10);
+  std::atomic<std::uint64_t> total{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          rl.Acquire(4 << 10);
+          total += 4 << 10;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(total.load(), 8ull * 50 * (4 << 10));
+  EXPECT_EQ(rl.admitted_bytes(), total.load());
+}
+
+}  // namespace
+}  // namespace ckpt::util

@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ckpt::util {
+namespace {
+
+TEST(RngTest, SplitMixIsDeterministic) {
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(42), SplitMix64(43));
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    seeds.insert(DeriveSeed(7, s));
+  }
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions across streams
+}
+
+TEST(RngTest, MakeRngReproducible) {
+  auto a = MakeRng(1, 2);
+  auto b = MakeRng(1, 2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+  auto c = MakeRng(1, 3);
+  EXPECT_NE(a(), c());
+}
+
+TEST(RngTest, ClampedLognormalBounds) {
+  auto rng = MakeRng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = ClampedLognormal(rng, std::log(100.0), 1.0, 50.0, 400.0);
+    EXPECT_GE(v, 50.0);
+    EXPECT_LE(v, 400.0);
+  }
+}
+
+TEST(RngTest, ClampedLognormalMeanRoughlyPreserved) {
+  auto rng = MakeRng(11);
+  const double sigma = 0.3;
+  const double target_mean = 128.0;
+  const double mu = std::log(target_mean) - sigma * sigma / 2;
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += ClampedLognormal(rng, mu, sigma, 1.0, 1e9);
+  }
+  EXPECT_NEAR(sum / kN, target_mean, target_mean * 0.05);
+}
+
+}  // namespace
+}  // namespace ckpt::util

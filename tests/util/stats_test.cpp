@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ckpt::util {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombinedStream) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> dist(10.0, 3.0);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.Add(1.0);
+  OnlineStats a2 = a;
+  a2.Merge(b);  // empty rhs
+  EXPECT_EQ(a2.count(), 1u);
+  b.Merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SampleSeriesTest, PercentilesExact) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 1e-9);
+}
+
+TEST(SampleSeriesTest, AggregatesAndEmpty) {
+  SampleSeries s;
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Sum(), 0.0);
+  s.Add(3);
+  s.Add(1);
+  s.Add(2);
+  EXPECT_DOUBLE_EQ(s.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps to bucket 0
+  h.Add(0.5);    // bucket 0
+  h.Add(3.0);    // bucket 1
+  h.Add(9.99);   // bucket 4
+  h.Add(100.0);  // clamps to bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(FormatTest, RatesAndBytes) {
+  EXPECT_EQ(FormatRate(25e9), "25.00 GB/s");
+  EXPECT_EQ(FormatRate(512), "512.00 B/s");
+  EXPECT_EQ(FormatBytes(4e6), "4.00 MB");
+  EXPECT_EQ(FormatBytes(1.5e12), "1.50 TB");
+}
+
+}  // namespace
+}  // namespace ckpt::util

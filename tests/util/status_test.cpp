@@ -1,0 +1,89 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckpt::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("ckpt 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "ckpt 42");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: ckpt 42");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(NotFound("a"), NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == InvalidArgument("a"));
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(OutOfMemory("").code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(CapacityExceeded("").code(), ErrorCode::kCapacityExceeded);
+  EXPECT_EQ(Unavailable("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(FailedPrecondition("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Cancelled("").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(IoError("").code(), ErrorCode::kIoError);
+  EXPECT_EQ(Timeout("").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(ShutdownError("").code(), ErrorCode::kShutdown);
+  EXPECT_EQ(Internal("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ToStringNamesEveryCode) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "OK");
+  EXPECT_EQ(to_string(ErrorCode::kOutOfMemory), "OUT_OF_MEMORY");
+  EXPECT_EQ(to_string(ErrorCode::kShutdown), "SHUTDOWN");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Chain(int x, int& out) {
+  CKPT_ASSIGN_OR_RETURN(const int h, Half(x));
+  CKPT_RETURN_IF_ERROR(OkStatus());
+  out = h;
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(Chain(8, out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(Chain(7, out).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckpt::util
