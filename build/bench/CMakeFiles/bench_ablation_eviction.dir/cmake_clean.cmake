@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eviction.dir/bench_ablation_eviction.cpp.o"
+  "CMakeFiles/bench_ablation_eviction.dir/bench_ablation_eviction.cpp.o.d"
+  "bench_ablation_eviction"
+  "bench_ablation_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gpudirect.dir/bench_ablation_gpudirect.cpp.o"
+  "CMakeFiles/bench_ablation_gpudirect.dir/bench_ablation_gpudirect.cpp.o.d"
+  "bench_ablation_gpudirect"
+  "bench_ablation_gpudirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpudirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

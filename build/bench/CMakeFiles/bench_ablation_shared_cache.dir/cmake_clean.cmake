@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_cache.dir/bench_ablation_shared_cache.cpp.o"
+  "CMakeFiles/bench_ablation_shared_cache.dir/bench_ablation_shared_cache.cpp.o.d"
+  "bench_ablation_shared_cache"
+  "bench_ablation_shared_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

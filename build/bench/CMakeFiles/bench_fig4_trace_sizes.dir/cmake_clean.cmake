@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_trace_sizes.dir/bench_fig4_trace_sizes.cpp.o"
+  "CMakeFiles/bench_fig4_trace_sizes.dir/bench_fig4_trace_sizes.cpp.o.d"
+  "bench_fig4_trace_sizes"
+  "bench_fig4_trace_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_trace_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

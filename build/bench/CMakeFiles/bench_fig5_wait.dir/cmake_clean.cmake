@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_wait.dir/bench_fig5_wait.cpp.o"
+  "CMakeFiles/bench_fig5_wait.dir/bench_fig5_wait.cpp.o.d"
+  "bench_fig5_wait"
+  "bench_fig5_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

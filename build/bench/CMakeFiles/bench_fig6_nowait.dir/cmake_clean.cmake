@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nowait.dir/bench_fig6_nowait.cpp.o"
+  "CMakeFiles/bench_fig6_nowait.dir/bench_fig6_nowait.cpp.o.d"
+  "bench_fig6_nowait"
+  "bench_fig6_nowait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nowait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

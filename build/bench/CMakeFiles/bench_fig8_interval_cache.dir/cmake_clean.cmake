@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_interval_cache.dir/bench_fig8_interval_cache.cpp.o"
+  "CMakeFiles/bench_fig8_interval_cache.dir/bench_fig8_interval_cache.cpp.o.d"
+  "bench_fig8_interval_cache"
+  "bench_fig8_interval_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_interval_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ckpt_bench_common.dir/bench_common.cpp.o.d"
+  "libckpt_bench_common.a"
+  "libckpt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

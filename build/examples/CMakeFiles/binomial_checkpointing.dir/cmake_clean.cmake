@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binomial_checkpointing.dir/binomial_checkpointing.cpp.o"
+  "CMakeFiles/binomial_checkpointing.dir/binomial_checkpointing.cpp.o.d"
+  "binomial_checkpointing"
+  "binomial_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binomial_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

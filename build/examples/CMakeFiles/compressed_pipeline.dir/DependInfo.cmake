@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compressed_pipeline.cpp" "examples/CMakeFiles/compressed_pipeline.dir/compressed_pipeline.cpp.o" "gcc" "examples/CMakeFiles/compressed_pipeline.dir/compressed_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/ckpt_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtm/CMakeFiles/ckpt_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ckpt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ckpt_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ckpt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/ckpt_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

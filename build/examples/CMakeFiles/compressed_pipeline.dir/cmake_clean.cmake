@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_pipeline.dir/compressed_pipeline.cpp.o"
+  "CMakeFiles/compressed_pipeline.dir/compressed_pipeline.cpp.o.d"
+  "compressed_pipeline"
+  "compressed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproducibility_replay.dir/reproducibility_replay.cpp.o"
+  "CMakeFiles/reproducibility_replay.dir/reproducibility_replay.cpp.o.d"
+  "reproducibility_replay"
+  "reproducibility_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducibility_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_adjoint.dir/rtm_adjoint.cpp.o"
+  "CMakeFiles/rtm_adjoint.dir/rtm_adjoint.cpp.o.d"
+  "rtm_adjoint"
+  "rtm_adjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_adjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtm_adjoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_api.dir/veloc.cpp.o"
+  "CMakeFiles/ckpt_api.dir/veloc.cpp.o.d"
+  "CMakeFiles/ckpt_api.dir/veloc_c.cpp.o"
+  "CMakeFiles/ckpt_api.dir/veloc_c.cpp.o.d"
+  "libckpt_api.a"
+  "libckpt_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

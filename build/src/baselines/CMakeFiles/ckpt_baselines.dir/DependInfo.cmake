@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adios/adios_runtime.cpp" "src/baselines/CMakeFiles/ckpt_baselines.dir/adios/adios_runtime.cpp.o" "gcc" "src/baselines/CMakeFiles/ckpt_baselines.dir/adios/adios_runtime.cpp.o.d"
+  "/root/repo/src/baselines/uvm/uvm_runtime.cpp" "src/baselines/CMakeFiles/ckpt_baselines.dir/uvm/uvm_runtime.cpp.o" "gcc" "src/baselines/CMakeFiles/ckpt_baselines.dir/uvm/uvm_runtime.cpp.o.d"
+  "/root/repo/src/baselines/uvm/uvm_space.cpp" "src/baselines/CMakeFiles/ckpt_baselines.dir/uvm/uvm_space.cpp.o" "gcc" "src/baselines/CMakeFiles/ckpt_baselines.dir/uvm/uvm_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/ckpt_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

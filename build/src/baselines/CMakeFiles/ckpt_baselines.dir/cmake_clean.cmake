@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_baselines.dir/adios/adios_runtime.cpp.o"
+  "CMakeFiles/ckpt_baselines.dir/adios/adios_runtime.cpp.o.d"
+  "CMakeFiles/ckpt_baselines.dir/uvm/uvm_runtime.cpp.o"
+  "CMakeFiles/ckpt_baselines.dir/uvm/uvm_runtime.cpp.o.d"
+  "CMakeFiles/ckpt_baselines.dir/uvm/uvm_space.cpp.o"
+  "CMakeFiles/ckpt_baselines.dir/uvm/uvm_space.cpp.o.d"
+  "libckpt_baselines.a"
+  "libckpt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

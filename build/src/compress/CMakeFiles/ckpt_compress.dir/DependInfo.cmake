@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/ckpt_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/ckpt_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/compressed_store.cpp" "src/compress/CMakeFiles/ckpt_compress.dir/compressed_store.cpp.o" "gcc" "src/compress/CMakeFiles/ckpt_compress.dir/compressed_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/ckpt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_compress.dir/codec.cpp.o"
+  "CMakeFiles/ckpt_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/ckpt_compress.dir/compressed_store.cpp.o"
+  "CMakeFiles/ckpt_compress.dir/compressed_store.cpp.o.d"
+  "libckpt_compress.a"
+  "libckpt_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

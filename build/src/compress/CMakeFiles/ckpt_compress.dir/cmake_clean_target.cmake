@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libckpt_compress.a"
+)

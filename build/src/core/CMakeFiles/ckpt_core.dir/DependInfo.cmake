@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_table.cpp" "src/core/CMakeFiles/ckpt_core.dir/allocation_table.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/allocation_table.cpp.o.d"
+  "/root/repo/src/core/cache_buffer.cpp" "src/core/CMakeFiles/ckpt_core.dir/cache_buffer.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/cache_buffer.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ckpt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/eviction.cpp" "src/core/CMakeFiles/ckpt_core.dir/eviction.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/eviction.cpp.o.d"
+  "/root/repo/src/core/lifecycle.cpp" "src/core/CMakeFiles/ckpt_core.dir/lifecycle.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ckpt_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/restore_queue.cpp" "src/core/CMakeFiles/ckpt_core.dir/restore_queue.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/restore_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/ckpt_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

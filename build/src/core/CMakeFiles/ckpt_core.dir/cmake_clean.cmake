@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_core.dir/allocation_table.cpp.o"
+  "CMakeFiles/ckpt_core.dir/allocation_table.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/cache_buffer.cpp.o"
+  "CMakeFiles/ckpt_core.dir/cache_buffer.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/engine.cpp.o"
+  "CMakeFiles/ckpt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/eviction.cpp.o"
+  "CMakeFiles/ckpt_core.dir/eviction.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/lifecycle.cpp.o"
+  "CMakeFiles/ckpt_core.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/metrics.cpp.o"
+  "CMakeFiles/ckpt_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/restore_queue.cpp.o"
+  "CMakeFiles/ckpt_core.dir/restore_queue.cpp.o.d"
+  "libckpt_core.a"
+  "libckpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ckpt_harness.dir/experiment.cpp.o.d"
+  "libckpt_harness.a"
+  "libckpt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_rtm.dir/trace.cpp.o"
+  "CMakeFiles/ckpt_rtm.dir/trace.cpp.o.d"
+  "CMakeFiles/ckpt_rtm.dir/workload.cpp.o"
+  "CMakeFiles/ckpt_rtm.dir/workload.cpp.o.d"
+  "libckpt_rtm.a"
+  "libckpt_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

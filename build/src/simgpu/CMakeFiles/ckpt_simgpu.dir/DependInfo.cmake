@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/cluster.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/cluster.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/cluster.cpp.o.d"
+  "/root/repo/src/simgpu/copy.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/copy.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/copy.cpp.o.d"
+  "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/device.cpp.o.d"
+  "/root/repo/src/simgpu/pinned.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/pinned.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/pinned.cpp.o.d"
+  "/root/repo/src/simgpu/stream.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/stream.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/stream.cpp.o.d"
+  "/root/repo/src/simgpu/topology.cpp" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/topology.cpp.o" "gcc" "src/simgpu/CMakeFiles/ckpt_simgpu.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_simgpu.dir/cluster.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/cluster.cpp.o.d"
+  "CMakeFiles/ckpt_simgpu.dir/copy.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/copy.cpp.o.d"
+  "CMakeFiles/ckpt_simgpu.dir/device.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/device.cpp.o.d"
+  "CMakeFiles/ckpt_simgpu.dir/pinned.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/pinned.cpp.o.d"
+  "CMakeFiles/ckpt_simgpu.dir/stream.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/stream.cpp.o.d"
+  "CMakeFiles/ckpt_simgpu.dir/topology.cpp.o"
+  "CMakeFiles/ckpt_simgpu.dir/topology.cpp.o.d"
+  "libckpt_simgpu.a"
+  "libckpt_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

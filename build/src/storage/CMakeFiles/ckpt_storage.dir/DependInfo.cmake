@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checksum_store.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/checksum_store.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/checksum_store.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/file_store.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/file_store.cpp.o.d"
+  "/root/repo/src/storage/mem_store.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/mem_store.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/mem_store.cpp.o.d"
+  "/root/repo/src/storage/throttled_store.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/throttled_store.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/throttled_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/ckpt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_storage.dir/checksum_store.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/checksum_store.cpp.o.d"
+  "CMakeFiles/ckpt_storage.dir/file_store.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/file_store.cpp.o.d"
+  "CMakeFiles/ckpt_storage.dir/mem_store.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/mem_store.cpp.o.d"
+  "CMakeFiles/ckpt_storage.dir/throttled_store.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/throttled_store.cpp.o.d"
+  "libckpt_storage.a"
+  "libckpt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_util.dir/config.cpp.o"
+  "CMakeFiles/ckpt_util.dir/config.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/crc32.cpp.o"
+  "CMakeFiles/ckpt_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/logging.cpp.o"
+  "CMakeFiles/ckpt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/rate_limiter.cpp.o"
+  "CMakeFiles/ckpt_util.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/stats.cpp.o"
+  "CMakeFiles/ckpt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/status.cpp.o"
+  "CMakeFiles/ckpt_util.dir/status.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ckpt_util.dir/thread_pool.cpp.o.d"
+  "libckpt_util.a"
+  "libckpt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adios.dir/baselines/adios_runtime_test.cpp.o"
+  "CMakeFiles/test_adios.dir/baselines/adios_runtime_test.cpp.o.d"
+  "test_adios"
+  "test_adios.pdb"
+  "test_adios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

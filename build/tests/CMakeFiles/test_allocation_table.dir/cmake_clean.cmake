@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocation_table.dir/core/allocation_table_test.cpp.o"
+  "CMakeFiles/test_allocation_table.dir/core/allocation_table_test.cpp.o.d"
+  "test_allocation_table"
+  "test_allocation_table.pdb"
+  "test_allocation_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

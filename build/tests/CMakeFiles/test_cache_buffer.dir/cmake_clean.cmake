@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_buffer.dir/core/cache_buffer_test.cpp.o"
+  "CMakeFiles/test_cache_buffer.dir/core/cache_buffer_test.cpp.o.d"
+  "test_cache_buffer"
+  "test_cache_buffer.pdb"
+  "test_cache_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum_store.dir/storage/checksum_store_test.cpp.o"
+  "CMakeFiles/test_checksum_store.dir/storage/checksum_store_test.cpp.o.d"
+  "test_checksum_store"
+  "test_checksum_store.pdb"
+  "test_checksum_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed_store.dir/compress/compressed_store_test.cpp.o"
+  "CMakeFiles/test_compressed_store.dir/compress/compressed_store_test.cpp.o.d"
+  "test_compressed_store"
+  "test_compressed_store.pdb"
+  "test_compressed_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_copy.dir/simgpu/copy_test.cpp.o"
+  "CMakeFiles/test_copy.dir/simgpu/copy_test.cpp.o.d"
+  "test_copy"
+  "test_copy.pdb"
+  "test_copy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc32.dir/util/crc32_test.cpp.o"
+  "CMakeFiles/test_crc32.dir/util/crc32_test.cpp.o.d"
+  "test_crc32"
+  "test_crc32.pdb"
+  "test_crc32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_concurrency.dir/simgpu/device_concurrency_test.cpp.o"
+  "CMakeFiles/test_device_concurrency.dir/simgpu/device_concurrency_test.cpp.o.d"
+  "test_device_concurrency"
+  "test_device_concurrency.pdb"
+  "test_device_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endurance.dir/integration/endurance_test.cpp.o"
+  "CMakeFiles/test_endurance.dir/integration/endurance_test.cpp.o.d"
+  "test_endurance"
+  "test_endurance.pdb"
+  "test_endurance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_extensions.dir/core/engine_extensions_test.cpp.o"
+  "CMakeFiles/test_engine_extensions.dir/core/engine_extensions_test.cpp.o.d"
+  "test_engine_extensions"
+  "test_engine_extensions.pdb"
+  "test_engine_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_gpudirect.dir/core/engine_gpudirect_test.cpp.o"
+  "CMakeFiles/test_engine_gpudirect.dir/core/engine_gpudirect_test.cpp.o.d"
+  "test_engine_gpudirect"
+  "test_engine_gpudirect.pdb"
+  "test_engine_gpudirect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_gpudirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_stress.dir/core/engine_stress_test.cpp.o"
+  "CMakeFiles/test_engine_stress.dir/core/engine_stress_test.cpp.o.d"
+  "test_engine_stress"
+  "test_engine_stress.pdb"
+  "test_engine_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

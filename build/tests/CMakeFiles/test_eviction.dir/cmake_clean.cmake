@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eviction.dir/core/eviction_test.cpp.o"
+  "CMakeFiles/test_eviction.dir/core/eviction_test.cpp.o.d"
+  "test_eviction"
+  "test_eviction.pdb"
+  "test_eviction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_store.dir/storage/file_store_test.cpp.o"
+  "CMakeFiles/test_file_store.dir/storage/file_store_test.cpp.o.d"
+  "test_file_store"
+  "test_file_store.pdb"
+  "test_file_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

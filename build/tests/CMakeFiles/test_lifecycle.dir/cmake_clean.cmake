@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle.dir/core/lifecycle_test.cpp.o"
+  "CMakeFiles/test_lifecycle.dir/core/lifecycle_test.cpp.o.d"
+  "test_lifecycle"
+  "test_lifecycle.pdb"
+  "test_lifecycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_store.dir/storage/mem_store_test.cpp.o"
+  "CMakeFiles/test_mem_store.dir/storage/mem_store_test.cpp.o.d"
+  "test_mem_store"
+  "test_mem_store.pdb"
+  "test_mem_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

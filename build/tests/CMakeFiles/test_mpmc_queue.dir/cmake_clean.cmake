@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmc_queue.dir/util/mpmc_queue_test.cpp.o"
+  "CMakeFiles/test_mpmc_queue.dir/util/mpmc_queue_test.cpp.o.d"
+  "test_mpmc_queue"
+  "test_mpmc_queue.pdb"
+  "test_mpmc_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

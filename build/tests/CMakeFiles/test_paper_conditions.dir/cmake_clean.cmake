@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_conditions.dir/core/paper_conditions_test.cpp.o"
+  "CMakeFiles/test_paper_conditions.dir/core/paper_conditions_test.cpp.o.d"
+  "test_paper_conditions"
+  "test_paper_conditions.pdb"
+  "test_paper_conditions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinned.dir/simgpu/pinned_test.cpp.o"
+  "CMakeFiles/test_pinned.dir/simgpu/pinned_test.cpp.o.d"
+  "test_pinned"
+  "test_pinned.pdb"
+  "test_pinned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

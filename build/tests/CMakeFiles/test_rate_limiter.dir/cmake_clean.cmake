@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_limiter.dir/util/rate_limiter_test.cpp.o"
+  "CMakeFiles/test_rate_limiter.dir/util/rate_limiter_test.cpp.o.d"
+  "test_rate_limiter"
+  "test_rate_limiter.pdb"
+  "test_rate_limiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_rate_limiter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rate_limiter.
+# This may be replaced when dependencies are built.

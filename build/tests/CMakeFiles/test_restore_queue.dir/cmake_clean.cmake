@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restore_queue.dir/core/restore_queue_test.cpp.o"
+  "CMakeFiles/test_restore_queue.dir/core/restore_queue_test.cpp.o.d"
+  "test_restore_queue"
+  "test_restore_queue.pdb"
+  "test_restore_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restore_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throttled_store.dir/storage/throttled_store_test.cpp.o"
+  "CMakeFiles/test_throttled_store.dir/storage/throttled_store_test.cpp.o.d"
+  "test_throttled_store"
+  "test_throttled_store.pdb"
+  "test_throttled_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throttled_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm_runtime.dir/baselines/uvm_runtime_test.cpp.o"
+  "CMakeFiles/test_uvm_runtime.dir/baselines/uvm_runtime_test.cpp.o.d"
+  "test_uvm_runtime"
+  "test_uvm_runtime.pdb"
+  "test_uvm_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

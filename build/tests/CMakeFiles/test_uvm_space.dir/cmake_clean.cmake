@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm_space.dir/baselines/uvm_space_test.cpp.o"
+  "CMakeFiles/test_uvm_space.dir/baselines/uvm_space_test.cpp.o.d"
+  "test_uvm_space"
+  "test_uvm_space.pdb"
+  "test_uvm_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

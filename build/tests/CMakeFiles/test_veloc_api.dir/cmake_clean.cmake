@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_veloc_api.dir/api/veloc_test.cpp.o"
+  "CMakeFiles/test_veloc_api.dir/api/veloc_test.cpp.o.d"
+  "test_veloc_api"
+  "test_veloc_api.pdb"
+  "test_veloc_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_veloc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_veloc_c.dir/api/veloc_c_test.cpp.o"
+  "CMakeFiles/test_veloc_c.dir/api/veloc_c_test.cpp.o.d"
+  "test_veloc_c"
+  "test_veloc_c.pdb"
+  "test_veloc_c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_veloc_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
