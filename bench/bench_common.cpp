@@ -15,6 +15,8 @@ int ApplyBenchScale(harness::ExperimentConfig& cfg) {
   cfg.shot.trace.num_snapshots = scale.num_ckpts;
   cfg.shot.compute_interval = scale.interval;
   cfg.num_ranks = scale.num_ranks;
+  cfg.ssd_fault_rate = scale.fault_rate;
+  cfg.ssd_fault_seed = scale.fault_seed;
   return scale.num_ranks;
 }
 

@@ -8,6 +8,7 @@
 #include "simgpu/copy.hpp"
 #include "util/clock.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace ckpt::core {
 
@@ -143,16 +144,18 @@ Engine::Engine(sim::Cluster& cluster, std::shared_ptr<storage::ObjectStore> ssd,
 Engine::~Engine() { Shutdown(); }
 
 void Engine::Shutdown() {
-  if (shutdown_) return;
-  shutdown_ = true;
+  if (shutdown_.exchange(true)) return;  // idempotent, even across threads
   for (auto& c : ranks_) {
     {
+      // Set the stop flag and signal under the same mutex every background
+      // CV wait checks, so no T_D2H/T_H2F/T_PF thread can read the flag as
+      // clear, then miss the final wakeup and hang the joins below.
       std::lock_guard lock(c->mu);
       c->shutdown = true;
+      c->cv.notify_all();
     }
     c->d2h_q.Close();
     c->h2f_q.Close();
-    c->cv.notify_all();
   }
   for (auto& c : ranks_) {
     if (c->t_pin.joinable()) c->t_pin.join();
@@ -352,6 +355,137 @@ void Engine::FinishFlush(RankCtx& ctx_, Record& rec) {
   ctx_.cv.notify_all();
 }
 
+// ---------------------------------------------------------------------------
+// Failure model helpers (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+Engine::TerminalPutResult Engine::PutTerminal(RankCtx& ctx_, Version v,
+                                              sim::ConstBytePtr src,
+                                              std::uint64_t size,
+                                              std::mt19937_64& rng) {
+  TerminalPutResult r;
+  const storage::ObjectKey key = KeyOf(ctx_.rank, v);
+  const auto put_tier = [&](storage::ObjectStore& store, const char* tier) {
+    const util::RetryOutcome out = util::RetryWithBackoff(
+        options_.flush_retry, rng, [&] { return store.Put(key, src, size); });
+    r.retries += out.retries();
+    if (!out.ok()) {
+      ++r.failures;
+      CKPT_LOG(kWarn, "flush")
+          << "rank " << ctx_.rank << " ckpt " << v << ": " << tier
+          << " put failed after " << out.attempts
+          << " attempt(s): " << out.status.ToString();
+    }
+    return out.ok();
+  };
+  r.ssd_ok = put_tier(*ssd_, "SSD");
+  // The PFS stage is attempted even when the SSD stage failed: a surviving
+  // deeper copy still makes the checkpoint durable.
+  if (options_.terminal_tier == Tier::kPfs && pfs_ != nullptr) {
+    r.pfs_ok = put_tier(*pfs_, "PFS");
+  }
+  return r;
+}
+
+void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
+                              const TerminalPutResult& r) {
+  ctx_.metrics.flush_retries += r.retries;
+  ctx_.metrics.flush_failures += r.failures;
+  if (r.ssd_ok) rec.on_ssd = true;
+  if (r.pfs_ok) rec.on_pfs = true;
+  const bool reached =
+      options_.terminal_tier == Tier::kPfs ? rec.on_pfs : rec.on_ssd;
+  if (reached) {
+    ++ctx_.metrics.flushes_completed;
+    FinishFlush(ctx_, rec);
+    return;
+  }
+  // The terminal tier is permanently unreachable for this checkpoint.
+  const bool cached = rec.gpu.valid || rec.host.valid;
+  // Strict mode may only drop the copies of a record no concurrent reader
+  // or transfer is touching; anything in flight forces the degrade path.
+  const bool strict_drop_safe =
+      rec.state == CkptState::kWriteInProgress && !rec.restore_waiting &&
+      !rec.prefetch_claimed && !rec.gpu.busy() && !rec.host.busy();
+  if (rec.on_ssd || rec.on_pfs ||
+      (cached && (options_.degraded_durability || !strict_drop_safe))) {
+    // Graceful degradation: the checkpoint stays durable at the deepest
+    // tier still holding a copy. SafeBelow() already refuses to evict a
+    // cached copy with no durable backing, so the surviving copy is pinned
+    // without any extra bookkeeping and Restore() serves it normally.
+    rec.degraded = true;
+    ++ctx_.metrics.tier_degradations;
+    const Tier deepest = rec.on_pfs    ? Tier::kPfs
+                         : rec.on_ssd  ? Tier::kSsd
+                         : rec.host.valid ? Tier::kHost
+                                          : Tier::kGpu;
+    CKPT_LOG(kWarn, "flush")
+        << "rank " << ctx_.rank << " ckpt " << rec.version
+        << ": terminal tier unreachable; degraded durability at tier "
+        << to_string(deepest);
+    FinishFlush(ctx_, rec);
+    return;
+  }
+  // No surviving copy (or strict mode): the checkpoint is lost.
+  MarkFlushFailed(ctx_, rec);
+}
+
+void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
+  if (rec.gpu.valid) {
+    (void)BufferFor(ctx_, Tier::kGpu, rec.gpu.part).Release(rec.version);
+    rec.gpu.Clear();
+  }
+  if (rec.host.valid) {
+    (void)BufferFor(ctx_, Tier::kHost, rec.host.part).Release(rec.version);
+    rec.host.Clear();
+  }
+  if (!rec.flush_done) {
+    rec.flush_done = true;
+    --ctx_.inflight_flushes;
+  }
+  if (rec.state == CkptState::kWriteInProgress) {
+    ++ctx_.flush_failed_count;
+    ++ctx_.metrics.checkpoints_lost;
+    CKPT_LOG(kError, "flush")
+        << "rank " << ctx_.rank << " ckpt " << rec.version
+        << ": flush permanently failed; checkpoint lost";
+    Advance(ctx_, rec, CkptState::kFlushFailed);  // notifies waiters
+  } else {
+    // The data already reached the application (restore overtook the flush);
+    // nothing durable remains but nothing is owed either.
+    ctx_.cv.notify_all();
+  }
+}
+
+util::Status Engine::GetDurable(RankCtx& ctx_, Version v, sim::BytePtr dst,
+                                std::uint64_t size, bool on_ssd, bool on_pfs,
+                                std::mt19937_64& rng,
+                                const std::function<bool()>& abort,
+                                std::uint64_t& retries, bool& fell_back) {
+  const storage::ObjectKey key = KeyOf(ctx_.rank, v);
+  util::Status last =
+      util::NotFound("checkpoint " + key.ToString() + " has no durable copy");
+  const auto get_tier = [&](storage::ObjectStore& store, const char* tier) {
+    const util::RetryOutcome out = util::RetryWithBackoff(
+        options_.fetch_retry, rng, [&] { return store.Get(key, dst, size); },
+        abort);
+    retries += out.retries();
+    if (out.ok()) return true;
+    last = out.status;
+    CKPT_LOG(kWarn, "fetch")
+        << "rank " << ctx_.rank << " ckpt " << v << ": " << tier
+        << " read failed after " << out.attempts
+        << " attempt(s): " << out.status.ToString();
+    return false;
+  };
+  if (on_ssd && get_tier(*ssd_, "SSD")) return util::OkStatus();
+  if (on_pfs && pfs_ != nullptr) {
+    fell_back = on_ssd;  // serving from the deeper tier after an SSD failure
+    if (get_tier(*pfs_, "PFS")) return util::OkStatus();
+  }
+  return last;
+}
+
 void Engine::ReleasePin(RankCtx& ctx_, Record& rec) {
   if (rec.pinned_counted) {
     ctx_.prefetched_pinned_bytes -= rec.size;
@@ -496,17 +630,32 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
       lock.unlock();
       sim::PinnedArena staging(cluster_.topology(),
                                cluster_.topology().node_of_rank(rank), size);
-      util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
-                                             staging.data(), src, size,
-                                             sim::MemcpyKind::kD2H);
-      if (st.ok()) st = ssd_->Put(KeyOf(rank, v), staging.data(), size);
-      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
-        st = pfs_->Put(KeyOf(rank, v), staging.data(), size);
+      const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                                   staging.data(), src, size,
+                                                   sim::MemcpyKind::kD2H);
+      if (!st.ok()) {
+        lock.lock();
+        return cleanup_failure(st);
       }
+      std::mt19937_64 rng = util::MakeRng(
+          options_.retry_seed ^ v, static_cast<std::uint64_t>(rank) * 4 + 3);
+      const TerminalPutResult r = PutTerminal(c, v, staging.data(), size, rng);
       lock.lock();
-      if (!st.ok()) return cleanup_failure(st);
-      rec.on_ssd = true;
-      if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
+      c.metrics.flush_retries += r.retries;
+      c.metrics.flush_failures += r.failures;
+      if (!r.ssd_ok && !r.pfs_ok) {
+        // Nothing durable and nothing cached. The caller still owns the
+        // source buffer, so surface the failure instead of losing data.
+        return cleanup_failure(util::IoError(
+            "write-through flush of checkpoint " + std::to_string(v) +
+            " failed on every durable tier"));
+      }
+      rec.on_ssd = r.ssd_ok;
+      rec.on_pfs = r.pfs_ok;
+      if (options_.terminal_tier == Tier::kPfs ? !rec.on_pfs : !rec.on_ssd) {
+        rec.degraded = true;
+        ++c.metrics.tier_degradations;
+      }
       FinishFlush(c, rec);
     } else {
       return cleanup_failure(hoff.status());
@@ -537,6 +686,12 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     return util::InvalidArgument("Restore: buffer of " + std::to_string(capacity) +
                                  " bytes < checkpoint size " +
                                  std::to_string(rec.size));
+  }
+
+  if (rec.state == CkptState::kFlushFailed) {
+    return util::IoError("checkpoint " + std::to_string(v) +
+                         " was lost: its flush permanently failed on every "
+                         "durable tier");
   }
 
   const std::uint64_t pdist = ComputePrefetchDistance(c);
@@ -582,11 +737,17 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     ++c.metrics.restores_from_host;
   } else if (rec.on_ssd || rec.on_pfs) {
     const bool from_ssd = rec.on_ssd;
+    const bool from_pfs = rec.on_pfs;
     const std::uint64_t size = rec.size;
+    std::uint64_t fetch_retries = 0;
+    bool fell_back = false;
+    std::mt19937_64 rng = util::MakeRng(
+        options_.retry_seed ^ v, static_cast<std::uint64_t>(rank) * 4 + 3);
     lock.unlock();
     if (options_.gpudirect) {
       // GPUDirect read: store -> application device buffer over PCIe DMA.
-      st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(rank, v), dst, size);
+      st = GetDurable(c, v, dst, size, from_ssd, from_pfs, rng, /*abort=*/{},
+                      fetch_retries, fell_back);
       if (st.ok()) {
         sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                                 sim::Topology::LinkDir::kH2D);
@@ -597,13 +758,16 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
       // deviating from the hints / running without foreknowledge.
       sim::PinnedArena staging(cluster_.topology(),
                                cluster_.topology().node_of_rank(rank), size);
-      st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(rank, v), staging.data(), size);
+      st = GetDurable(c, v, staging.data(), size, from_ssd, from_pfs, rng,
+                      /*abort=*/{}, fetch_retries, fell_back);
       if (st.ok()) {
         st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, staging.data(),
                                   size, sim::MemcpyKind::kH2D);
       }
     }
     lock.lock();
+    c.metrics.fetch_retries += fetch_retries;
+    if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
     ++c.metrics.restores_from_store;
   } else {
     rec.restore_waiting = false;
@@ -671,6 +835,11 @@ util::Status Engine::WaitForFlushes(sim::Rank rank) {
   if (c.shutdown && c.inflight_flushes != 0) {
     return util::ShutdownError("engine stopped with flushes pending");
   }
+  if (c.flush_failed_count > 0) {
+    return util::IoError(
+        std::to_string(c.flush_failed_count) +
+        " checkpoint(s) permanently failed to flush and were lost");
+  }
   return util::OkStatus();
 }
 
@@ -684,6 +853,28 @@ util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
   auto it = c.records.find(v);
   if (it == c.records.end()) return util::NotFound("no record");
   return it->second.state;
+}
+
+util::StatusOr<Tier> Engine::DurableTierOf(sim::Rank rank, Version v) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  auto it = c.records.find(v);
+  if (it == c.records.end()) return util::NotFound("no record");
+  const Record& rec = it->second;
+  if (rec.state == CkptState::kFlushFailed) {
+    return util::IoError("checkpoint " + std::to_string(v) +
+                         " was lost: flush permanently failed");
+  }
+  if (!rec.flush_done) {
+    return util::FailedPrecondition("flush of checkpoint " +
+                                    std::to_string(v) + " still in flight");
+  }
+  if (rec.on_pfs) return Tier::kPfs;
+  if (rec.on_ssd) return Tier::kSsd;
+  if (rec.host.valid) return Tier::kHost;
+  if (rec.gpu.valid) return Tier::kGpu;
+  return util::NotFound("checkpoint " + std::to_string(v) +
+                        " holds no copy on any tier");
 }
 
 bool Engine::ResidentOn(sim::Rank rank, Version v, Tier tier) const {
@@ -730,6 +921,8 @@ std::uint64_t Engine::PrefetchDistance(sim::Rank rank) const {
 
 void Engine::FlushD2HLoop(RankCtx& c) {
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
+  std::mt19937_64 rng =
+      util::MakeRng(options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4);
   while (auto vo = c.d2h_q.Pop()) {
     const Version v = *vo;
     std::unique_lock lock(c.mu);
@@ -764,8 +957,7 @@ void Engine::FlushD2HLoop(RankCtx& c) {
       } else if (!rec.flush_done) {
         CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
                                   << ": GPU copy lost before D2H flush";
-        rec.flush_done = true;
-        --c.inflight_flushes;
+        MarkFlushFailed(c, rec);
       }
       continue;
     }
@@ -780,21 +972,11 @@ void Engine::FlushD2HLoop(RankCtx& c) {
       lock.unlock();
       sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                               sim::Topology::LinkDir::kD2H);
-      util::Status st = ssd_->Put(KeyOf(c.rank, v), src, size);
-      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
-        st = pfs_->Put(KeyOf(c.rank, v), src, size);
-      }
+      const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
       lock.lock();
       --rec.gpu.read_refs;
       c.d2h_backlog_bytes -= size;
-      if (st.ok()) {
-        rec.on_ssd = true;
-        if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
-        ++c.metrics.flushes_completed;
-      } else {
-        CKPT_LOG(kError, "flush") << "GPUDirect flush failed: " << st.ToString();
-      }
-      FinishFlush(c, rec);
+      ApplyFlushResult(c, rec, r);
       continue;
     }
 
@@ -813,24 +995,19 @@ void Engine::FlushD2HLoop(RankCtx& c) {
       const std::uint64_t size = rec.size;
       lock.unlock();
       sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
-      util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
-                                             staging.data(), src, size,
-                                             sim::MemcpyKind::kD2H);
-      if (st.ok()) st = ssd_->Put(KeyOf(c.rank, v), staging.data(), size);
-      if (st.ok() && options_.terminal_tier == Tier::kPfs) {
-        st = pfs_->Put(KeyOf(c.rank, v), staging.data(), size);
+      const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                                   staging.data(), src, size,
+                                                   sim::MemcpyKind::kD2H);
+      TerminalPutResult r;
+      if (st.ok()) {
+        r = PutTerminal(c, v, staging.data(), size, rng);
+      } else {
+        CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
       }
       lock.lock();
       --rec.gpu.read_refs;
       c.d2h_backlog_bytes -= size;
-      if (st.ok()) {
-        rec.on_ssd = true;
-        if (options_.terminal_tier == Tier::kPfs) rec.on_pfs = true;
-        ++c.metrics.flushes_completed;
-      } else {
-        CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
-      }
-      FinishFlush(c, rec);
+      ApplyFlushResult(c, rec, r);
       continue;
     }
     if (!hoff.ok()) {
@@ -870,6 +1047,8 @@ void Engine::FlushD2HLoop(RankCtx& c) {
 }
 
 void Engine::FlushH2FLoop(RankCtx& c) {
+  std::mt19937_64 rng = util::MakeRng(
+      options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4 + 1);
   while (auto vo = c.h2f_q.Pop()) {
     const Version v = *vo;
     std::unique_lock lock(c.mu);
@@ -888,10 +1067,21 @@ void Engine::FlushH2FLoop(RankCtx& c) {
       continue;
     }
     if (!rec.host.valid) {
-      CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
-                                << ": host copy lost before H2F flush";
       c.h2f_backlog_bytes -= rec.size;
-      FinishFlush(c, rec);
+      if (rec.on_ssd || rec.on_pfs) {
+        // Already durable from an earlier stage; the missing copy is moot.
+        FinishFlush(c, rec);
+      } else if (rec.gpu.valid) {
+        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
+                                  << ": host copy lost before H2F flush";
+        rec.degraded = true;
+        ++c.metrics.tier_degradations;
+        FinishFlush(c, rec);
+      } else {
+        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
+                                  << ": host copy lost before H2F flush";
+        MarkFlushFailed(c, rec);
+      }
       continue;
     }
     ++rec.host.read_refs;
@@ -900,26 +1090,19 @@ void Engine::FlushH2FLoop(RankCtx& c) {
     const std::uint64_t size = rec.size;
     lock.unlock();
 
-    util::Status st = ssd_->Put(KeyOf(c.rank, v), src, size);
-    const bool to_pfs = st.ok() && options_.terminal_tier == Tier::kPfs;
-    if (to_pfs) st = pfs_->Put(KeyOf(c.rank, v), src, size);
+    const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
 
     lock.lock();
     --rec.host.read_refs;
-    if (!st.ok()) {
-      CKPT_LOG(kError, "flush") << "H2F flush failed: " << st.ToString();
-    } else {
-      rec.on_ssd = true;
-      if (to_pfs) rec.on_pfs = true;
-      ++c.metrics.flushes_completed;
-    }
     c.h2f_backlog_bytes -= size;
-    FinishFlush(c, rec);
+    ApplyFlushResult(c, rec, r);
   }
 }
 
 void Engine::PrefetchLoop(RankCtx& c) {
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
+  std::mt19937_64 rng = util::MakeRng(
+      options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4 + 2);
   const std::uint64_t pin_cap = static_cast<std::uint64_t>(
       static_cast<double>(options_.gpu_cache_bytes) *
       options_.prefetch_pin_fraction);
@@ -958,8 +1141,9 @@ void Engine::PrefetchLoop(RankCtx& c) {
     }
 
     if (!rec.gpu.valid && !rec.host.valid && !rec.on_ssd && !rec.on_pfs) {
-      if (rec.state == CkptState::kConsumed) {
-        c.hints.PopHead();  // data discarded (condition (5)); nothing to fetch
+      if (rec.state == CkptState::kConsumed ||
+          rec.state == CkptState::kFlushFailed) {
+        c.hints.PopHead();  // discarded (condition (5)) or lost: no fetch
       } else {
         // The write that produces this version is still copying into the
         // GPU cache; no residency is valid yet. Wait for it to land.
@@ -1035,14 +1219,26 @@ void Engine::PrefetchLoop(RankCtx& c) {
       sim::BytePtr gdst =
           BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).PtrAt(rec.gpu.offset);
       const bool from_ssd = rec.on_ssd;
+      const bool from_pfs = rec.on_pfs;
       const std::uint64_t size = rec.size;
+      std::uint64_t fetch_retries = 0;
+      bool fell_back = false;
+      // Give up between retry attempts once the application blocks on this
+      // version: the rollback below hands it to the direct restore path.
+      const auto abandon = [&c, &rec] {
+        std::lock_guard l(c.mu);
+        return c.shutdown || rec.restore_waiting;
+      };
       lock.unlock();
-      util::Status st = (from_ssd ? ssd_ : pfs_)->Get(KeyOf(c.rank, v), gdst, size);
+      util::Status st = GetDurable(c, v, gdst, size, from_ssd, from_pfs, rng,
+                                   abandon, fetch_retries, fell_back);
       if (st.ok()) {
         sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                                 sim::Topology::LinkDir::kH2D);
       }
       lock.lock();
+      c.metrics.fetch_retries += fetch_retries;
+      if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
       rec.gpu.io_pending = false;
       if (!st.ok()) {
         CKPT_LOG(kError, "prefetch") << "GPUDirect read failed: " << st.ToString();
@@ -1079,11 +1275,20 @@ void Engine::PrefetchLoop(RankCtx& c) {
       sim::BytePtr hdst =
           BufferFor(c, Tier::kHost, ReservePurpose::kPrefetch).PtrAt(*hoff);
       const bool from_ssd = rec.on_ssd;
+      const bool from_pfs = rec.on_pfs;
       const std::uint64_t size = rec.size;
+      std::uint64_t fetch_retries = 0;
+      bool fell_back = false;
+      const auto abandon = [&c, &rec] {
+        std::lock_guard l(c.mu);
+        return c.shutdown || rec.restore_waiting;
+      };
       lock.unlock();
-      const util::Status st =
-          (from_ssd ? ssd_ : pfs_)->Get(KeyOf(c.rank, v), hdst, size);
+      const util::Status st = GetDurable(c, v, hdst, size, from_ssd, from_pfs,
+                                         rng, abandon, fetch_retries, fell_back);
       lock.lock();
+      c.metrics.fetch_retries += fetch_retries;
+      if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
       rec.host.io_pending = false;
       if (!st.ok()) {
         CKPT_LOG(kError, "prefetch") << "store read failed: " << st.ToString();

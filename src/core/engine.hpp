@@ -16,9 +16,11 @@
 // application buffer, served from the fastest tier holding it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "simgpu/pinned.hpp"
 #include "storage/object_store.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/retry.hpp"
 
 namespace ckpt::core {
 
@@ -86,6 +89,32 @@ struct EngineOptions {
   /// host cache still serves as a middle tier for data that happens to be
   /// there, but the flush/prefetch pipelines no longer stage through it.
   bool gpudirect = false;
+
+  // --- Failure model (DESIGN.md §8) ---
+
+  /// Retry policy for durable-store writes in the flush pipelines. A
+  /// transient tier error (kUnavailable / kTimeout) is retried with
+  /// jittered exponential backoff; exhaustion or a permanent error counts
+  /// as a permanent tier failure for that checkpoint.
+  util::RetryPolicy flush_retry{};
+
+  /// Retry policy for durable-store reads (prefetch promotions and direct
+  /// restores). Kept shorter than flush_retry so a blocked Restore() falls
+  /// back to a deeper tier — or fails — quickly.
+  util::RetryPolicy fetch_retry{.max_attempts = 3,
+                                .initial_backoff = std::chrono::microseconds(100),
+                                .max_backoff = std::chrono::microseconds(2000)};
+
+  /// When the terminal tier permanently fails: true (default) keeps the
+  /// checkpoint durable at the deepest tier still holding a copy (the copy
+  /// is pinned against eviction; tier_degradations counts it). False is
+  /// strict mode: the checkpoint is marked FLUSH_FAILED, its cache space is
+  /// reclaimed, and Restore()/WaitForFlushes() surface the failure.
+  bool degraded_durability = true;
+
+  /// Master seed for retry backoff jitter (per-rank/thread streams are
+  /// derived from it, so failure runs reproduce deterministically).
+  std::uint64_t retry_seed = 0xC5EEDull;
 };
 
 class Engine final : public Runtime {
@@ -139,6 +168,11 @@ class Engine final : public Runtime {
   // --- Introspection for tests ---
   [[nodiscard]] util::StatusOr<CkptState> StateOf(sim::Rank rank, Version v) const;
   [[nodiscard]] bool ResidentOn(sim::Rank rank, Version v, Tier tier) const;
+  /// Deepest tier still holding a copy of a flushed checkpoint. For a
+  /// degraded checkpoint this is shallower than the configured terminal
+  /// tier. Errors: kFailedPrecondition while the flush is in flight,
+  /// kIoError once the checkpoint entered FLUSH_FAILED.
+  [[nodiscard]] util::StatusOr<Tier> DurableTierOf(sim::Rank rank, Version v) const;
   [[nodiscard]] std::uint64_t GpuCacheUsed(sim::Rank rank) const;
   [[nodiscard]] std::uint64_t HostCacheUsed(sim::Rank rank) const;
   /// Consecutive hinted successors already promoted to the GPU cache
@@ -173,6 +207,8 @@ class Engine final : public Runtime {
     bool prefetch_claimed = false;  ///< T_PF owns an in-flight promotion
     bool pinned_counted = false;    ///< counted in prefetched_pinned_bytes
     bool flush_done = false;        ///< reached terminal tier (or cancelled)
+    bool degraded = false;          ///< durable at a shallower tier than
+                                    ///< configured (terminal tier failed)
     std::uint64_t lru_seq = 0;
     std::uint64_t fifo_seq = 0;
   };
@@ -207,6 +243,7 @@ class Engine final : public Runtime {
     std::uint64_t prefetched_pinned_count = 0;
     std::uint64_t seq_counter = 0;
     std::uint64_t restore_counter = 0;
+    std::uint64_t flush_failed_count = 0;  ///< records in FLUSH_FAILED
 
     RankMetrics metrics;
 
@@ -242,6 +279,37 @@ class Engine final : public Runtime {
                                           const std::function<bool()>& abort);
   /// Marks a flush stage reaching the terminal tier; advances the FSM.
   void FinishFlush(RankCtx& ctx, Record& rec);
+
+  // --- Failure model helpers (DESIGN.md §8) ---
+  /// Result of writing one checkpoint to the durable store(s) with retries.
+  struct TerminalPutResult {
+    bool ssd_ok = false;
+    bool pfs_ok = false;          ///< only attempted when terminal == kPfs
+    std::uint64_t retries = 0;    ///< extra attempts across both tiers
+    std::uint64_t failures = 0;   ///< tiers that permanently failed
+  };
+  /// Writes (rank, v) to the SSD store — and the PFS store when the
+  /// terminal tier is kPfs — retrying transient errors per flush_retry.
+  /// Called WITHOUT ctx.mu held; aborts early on engine shutdown.
+  TerminalPutResult PutTerminal(RankCtx& ctx, Version v, sim::ConstBytePtr src,
+                                std::uint64_t size, std::mt19937_64& rng);
+  /// Applies a TerminalPutResult to the record (ctx.mu held): marks durable
+  /// tiers and finishes the flush; on a permanent terminal-tier failure
+  /// either degrades durability to the deepest surviving copy or — in
+  /// strict mode / with no copy left — marks the record FLUSH_FAILED.
+  void ApplyFlushResult(RankCtx& ctx, Record& rec, const TerminalPutResult& r);
+  /// Transitions the record to FLUSH_FAILED, reclaiming its cache space and
+  /// unblocking WaitForFlushes / pending restores (ctx.mu held).
+  void MarkFlushFailed(RankCtx& ctx, Record& rec);
+  /// Reads (rank, v) from the durable stores with bounded retries,
+  /// preferring the SSD copy and falling back to the PFS copy. Called
+  /// WITHOUT ctx.mu held. Accumulates retry/fallback counts into the
+  /// out-params (caller charges metrics under the lock).
+  util::Status GetDurable(RankCtx& ctx, Version v, sim::BytePtr dst,
+                          std::uint64_t size, bool on_ssd, bool on_pfs,
+                          std::mt19937_64& rng,
+                          const std::function<bool()>& abort,
+                          std::uint64_t& retries, bool& fell_back);
   /// FSM transition with legality check (aborts the process on violation —
   /// an illegal edge is an engine bug, never a user error).
   void Advance(RankCtx& ctx, Record& rec, CkptState to);
@@ -261,7 +329,7 @@ class Engine final : public Runtime {
   std::shared_ptr<storage::ObjectStore> pfs_;
   EngineOptions options_;
   std::vector<std::unique_ptr<RankCtx>> ranks_;
-  bool shutdown_ = false;
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace ckpt::core

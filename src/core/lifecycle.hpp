@@ -23,6 +23,8 @@ enum class CkptState : std::uint8_t {
   kReadInProgress,    ///< prefetching path: promotion to faster tiers running
   kReadComplete,      ///< resident on the fast tier, pinned until consumed
   kConsumed,          ///< restored into the app buffer: eligible for eviction
+  kFlushFailed,       ///< flush permanently failed with no surviving copy:
+                      ///< the checkpoint is lost (terminal state)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(CkptState s) noexcept {
@@ -34,6 +36,7 @@ enum class CkptState : std::uint8_t {
     case CkptState::kReadInProgress: return "READ_IN_PROGRESS";
     case CkptState::kReadComplete: return "READ_COMPLETE";
     case CkptState::kConsumed: return "CONSUMED";
+    case CkptState::kFlushFailed: return "FLUSH_FAILED";
   }
   return "?";
 }
@@ -55,7 +58,7 @@ enum class CkptState : std::uint8_t {
 ///                                       needed for repeated replay)
 ///   CONSUMED -> READ_COMPLETE          (re-read while still cached)
 ///
-/// Two pragmatic extension edges beyond Figure 1 (documented in DESIGN.md):
+/// Three pragmatic extension edges beyond Figure 1 (documented in DESIGN.md):
 ///   WRITE_IN_PROGRESS -> READ_IN_PROGRESS  (the GPU copy was already
 ///     evicted while lower-tier flushes are still pending, and a prefetch
 ///     must re-promote from the host cache)
@@ -63,13 +66,17 @@ enum class CkptState : std::uint8_t {
 ///     the application deviated from its hints and the restore fell back to
 ///     the direct read path; the checkpoint rolls back to FLUSHED when
 ///     already durable, or WRITE_IN_PROGRESS when flushes are still pending)
+///   WRITE_IN_PROGRESS -> FLUSH_FAILED  (failure model, DESIGN.md §8: the
+///     flush pipeline permanently failed to reach any durable tier and no
+///     cached copy survives — or strict durability mode deliberately drops
+///     the cached copies. Terminal: restores of the version return an error)
 [[nodiscard]] constexpr bool TransitionLegal(CkptState from, CkptState to) noexcept {
   switch (from) {
     case CkptState::kInit:
       return to == CkptState::kWriteInProgress;
     case CkptState::kWriteInProgress:
       return to == CkptState::kWriteComplete || to == CkptState::kReadComplete ||
-             to == CkptState::kReadInProgress;
+             to == CkptState::kReadInProgress || to == CkptState::kFlushFailed;
     case CkptState::kWriteComplete:
       return to == CkptState::kFlushed || to == CkptState::kReadComplete;
     case CkptState::kFlushed:
@@ -81,6 +88,8 @@ enum class CkptState : std::uint8_t {
       return to == CkptState::kConsumed;
     case CkptState::kConsumed:
       return to == CkptState::kReadInProgress || to == CkptState::kReadComplete;
+    case CkptState::kFlushFailed:
+      return false;  // terminal: the data is gone
   }
   return false;
 }

@@ -20,6 +20,12 @@ void RankMetrics::Merge(const RankMetrics& other) {
   flushes_completed += other.flushes_completed;
   flushes_cancelled += other.flushes_cancelled;
   wait_for_flush_s += other.wait_for_flush_s;
+  flush_retries += other.flush_retries;
+  flush_failures += other.flush_failures;
+  tier_degradations += other.tier_degradations;
+  fetch_retries += other.fetch_retries;
+  fetch_fallbacks += other.fetch_fallbacks;
+  checkpoints_lost += other.checkpoints_lost;
   init_s += other.init_s;
   restore_series.insert(restore_series.end(), other.restore_series.begin(),
                         other.restore_series.end());

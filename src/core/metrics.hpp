@@ -50,6 +50,16 @@ struct RankMetrics {
   std::uint64_t flushes_cancelled = 0;     // condition (5) skips
   double wait_for_flush_s = 0.0;           // WAIT-mode barrier time
 
+  // Failure model / degraded mode telemetry (DESIGN.md §8).
+  std::uint64_t flush_retries = 0;      // extra durable-store write attempts
+  std::uint64_t flush_failures = 0;     // store writes that failed for good
+  std::uint64_t tier_degradations = 0;  // ckpts durable at a shallower tier
+                                        // than the configured terminal tier
+  std::uint64_t fetch_retries = 0;      // extra durable-store read attempts
+  std::uint64_t fetch_fallbacks = 0;    // reads served by the other durable
+                                        // tier after the preferred one failed
+  std::uint64_t checkpoints_lost = 0;   // records that entered FLUSH_FAILED
+
   // Engine init cost (slow pinned host-cache allocation, §5.4.2).
   double init_s = 0.0;
 

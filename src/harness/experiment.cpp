@@ -25,8 +25,18 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
   // Durable tiers: in-memory object stores behind the NVMe / PFS bandwidth
   // models (benches avoid real disk I/O variance; the FileStore path is
   // exercised by tests and examples).
-  auto ssd = storage::MakeSsdStore(cluster.topology(),
-                                   std::make_shared<storage::MemStore>());
+  std::shared_ptr<storage::ObjectStore> ssd_backend =
+      std::make_shared<storage::MemStore>();
+  if (cfg.ssd_fault_rate > 0.0) {
+    storage::FaultyStore::Options fopts;
+    fopts.seed = cfg.ssd_fault_seed;
+    fopts.put_fail_rate = cfg.ssd_fault_rate;
+    fopts.get_fail_rate = cfg.ssd_fault_rate;
+    fopts.rate_fault_kind = storage::FaultKind::kTransient;
+    ssd_backend =
+        std::make_shared<storage::FaultyStore>(std::move(ssd_backend), fopts);
+  }
+  auto ssd = storage::MakeSsdStore(cluster.topology(), std::move(ssd_backend));
   auto pfs = storage::MakePfsStore(cluster.topology(),
                                    std::make_shared<storage::MemStore>());
 
@@ -85,6 +95,9 @@ BenchScale LoadBenchScale() {
   scale.num_ranks = static_cast<int>(util::EnvInt("CKPT_BENCH_RANKS", 8));
   scale.interval = std::chrono::microseconds(
       util::EnvInt("CKPT_BENCH_INTERVAL_US", 1000));
+  scale.fault_rate = util::EnvDouble("CKPT_BENCH_FAULT_RATE", 0.0);
+  scale.fault_seed =
+      static_cast<std::uint64_t>(util::EnvInt("CKPT_BENCH_FAULT_SEED", 42));
   return scale;
 }
 

@@ -12,6 +12,7 @@
 #include "core/engine.hpp"
 #include "rtm/workload.hpp"
 #include "simgpu/cluster.hpp"
+#include "storage/faulty_store.hpp"
 #include "storage/mem_store.hpp"
 #include "storage/throttled_store.hpp"
 
@@ -48,6 +49,12 @@ struct ExperimentConfig {
   bool discard_after_restore = false;
   bool gpudirect = false;  ///< Score engine only: GPUDirect Storage extension
   core::Tier terminal_tier = core::Tier::kSsd;
+
+  /// Fault injection on the SSD tier (DESIGN.md §8): every put/get fails
+  /// transiently with this probability, exercising the retry/degradation
+  /// machinery under load. 0 disables the FaultyStore wrapper entirely.
+  double ssd_fault_rate = 0.0;
+  std::uint64_t ssd_fault_seed = 42;
 };
 
 struct ExperimentResult {
@@ -68,10 +75,15 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg);
 ///                        GPU cache and 1.5x the host cache)
 ///   CKPT_BENCH_RANKS     simulated GPUs (default 8)
 ///   CKPT_BENCH_INTERVAL_US  compute interval in microseconds (default 1000)
+///   CKPT_BENCH_FAULT_RATE   transient SSD fault probability per op
+///                           (default 0 = no fault injection)
+///   CKPT_BENCH_FAULT_SEED   seed for the fault schedule (default 42)
 struct BenchScale {
   int num_ckpts;
   int num_ranks;
   std::chrono::nanoseconds interval;
+  double fault_rate;
+  std::uint64_t fault_seed;
 };
 [[nodiscard]] BenchScale LoadBenchScale();
 

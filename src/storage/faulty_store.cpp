@@ -1,0 +1,157 @@
+#include "storage/faulty_store.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+namespace ckpt::storage {
+
+namespace {
+
+const char* OpName(FaultOp op) { return op == FaultOp::kPut ? "put" : "get"; }
+
+}  // namespace
+
+FaultyStore::FaultyStore(std::shared_ptr<ObjectStore> inner, Options options)
+    : inner_(std::move(inner)),
+      options_(std::move(options)),
+      rng_(util::MakeRng(options_.seed)) {}
+
+void FaultyStore::FailNext(FaultOp op, FaultKind kind, std::uint64_t count) {
+  std::lock_guard lock(mu_);
+  forced_left_[static_cast<int>(op)] = count;
+  forced_kind_[static_cast<int>(op)] = kind;
+}
+
+void FaultyStore::SetDown(bool down) {
+  std::lock_guard lock(mu_);
+  down_ = down;
+}
+
+bool FaultyStore::down() const {
+  std::lock_guard lock(mu_);
+  return down_;
+}
+
+std::uint64_t FaultyStore::puts_attempted() const {
+  std::lock_guard lock(mu_);
+  return puts_;
+}
+
+std::uint64_t FaultyStore::gets_attempted() const {
+  std::lock_guard lock(mu_);
+  return gets_;
+}
+
+std::uint64_t FaultyStore::faults_injected() const {
+  std::lock_guard lock(mu_);
+  return faults_;
+}
+
+FaultyStore::Decision FaultyStore::Decide(FaultOp op, std::uint64_t idx) {
+  Decision d;
+  // The seeded draws are consumed unconditionally and in a fixed order so
+  // the schedule depends only on (seed, op sequence), not on which other
+  // rules fired first.
+  const double rate = op == FaultOp::kPut ? options_.put_fail_rate
+                                          : options_.get_fail_rate;
+  bool rate_hit = false;
+  if (rate > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    rate_hit = u(rng_) < rate;
+  }
+  bool spike_hit = false;
+  if (options_.spike_rate > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    spike_hit = u(rng_) < options_.spike_rate;
+  }
+  if (spike_hit) d.stall = options_.spike;
+
+  if (down_) {
+    d.kind = FaultKind::kPermanent;
+    return d;
+  }
+  auto& forced = forced_left_[static_cast<int>(op)];
+  if (forced > 0) {
+    --forced;
+    d.kind = forced_kind_[static_cast<int>(op)];
+    return d;
+  }
+  const auto& scheduled =
+      op == FaultOp::kPut ? options_.fail_puts : options_.fail_gets;
+  if (std::find(scheduled.begin(), scheduled.end(), idx) != scheduled.end()) {
+    d.kind = options_.scheduled_fault_kind;
+    return d;
+  }
+  if (rate_hit) d.kind = options_.rate_fault_kind;
+  return d;
+}
+
+util::Status FaultyStore::Inject(FaultOp op, FaultKind kind, std::uint64_t idx) {
+  ++faults_;
+  const std::string where =
+      std::string(OpName(op)) + " #" + std::to_string(idx);
+  if (kind == FaultKind::kPermanent) {
+    if (options_.permanent_is_terminal) down_ = true;
+    return util::IoError("injected permanent fault on " + where);
+  }
+  return util::Unavailable("injected transient fault on " + where);
+}
+
+util::Status FaultyStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
+                              std::uint64_t size) {
+  Decision d;
+  std::uint64_t idx = 0;
+  {
+    std::lock_guard lock(mu_);
+    idx = ++puts_;
+    d = Decide(FaultOp::kPut, idx);
+    if (d.kind != FaultKind::kNone) return Inject(FaultOp::kPut, d.kind, idx);
+  }
+  if (d.stall.count() > 0) std::this_thread::sleep_for(d.stall);
+  return inner_->Put(key, data, size);
+}
+
+util::Status FaultyStore::Get(const ObjectKey& key, sim::BytePtr dst,
+                              std::uint64_t size) {
+  Decision d;
+  std::uint64_t idx = 0;
+  {
+    std::lock_guard lock(mu_);
+    idx = ++gets_;
+    d = Decide(FaultOp::kGet, idx);
+    if (d.kind != FaultKind::kNone) return Inject(FaultOp::kGet, d.kind, idx);
+  }
+  if (d.stall.count() > 0) std::this_thread::sleep_for(d.stall);
+  return inner_->Get(key, dst, size);
+}
+
+util::StatusOr<std::uint64_t> FaultyStore::Size(const ObjectKey& key) const {
+  {
+    std::lock_guard lock(mu_);
+    if (down_) return util::Status(util::IoError("store down: size unavailable"));
+  }
+  return inner_->Size(key);
+}
+
+bool FaultyStore::Exists(const ObjectKey& key) const {
+  {
+    std::lock_guard lock(mu_);
+    if (down_) return false;  // a dead device advertises nothing
+  }
+  return inner_->Exists(key);
+}
+
+util::Status FaultyStore::Erase(const ObjectKey& key) {
+  {
+    std::lock_guard lock(mu_);
+    if (down_) return util::IoError("store down: erase failed");
+  }
+  return inner_->Erase(key);
+}
+
+std::vector<ObjectKey> FaultyStore::Keys() const { return inner_->Keys(); }
+
+std::uint64_t FaultyStore::TotalBytes() const { return inner_->TotalBytes(); }
+
+}  // namespace ckpt::storage

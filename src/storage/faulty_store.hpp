@@ -1,0 +1,109 @@
+// Fault-injecting decorator for object stores. Wraps a durable tier (SSD /
+// PFS) and makes it fail on a deterministic, seeded schedule so the engine's
+// retry / degradation machinery can be exercised reproducibly: in production
+// the SSD fills up and the PFS times out, and the async flush pipelines are
+// exactly where such failures hide.
+//
+// Fault vocabulary:
+//   * transient  -> kUnavailable  (retry may succeed: busy queue, timeout)
+//   * permanent  -> kIoError      (retry is pointless: dead or full device);
+//     by default a permanent fault "bricks" the store — every subsequent
+//     operation fails until SetDown(false) revives it.
+//
+// Schedules compose (checked in order: down-state, forced FailNext budget,
+// per-op index list, Bernoulli rate). All randomness derives from the seed
+// via util/rng.hpp, so a fixed seed and op sequence reproduce the exact same
+// fault pattern.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "storage/object_store.hpp"
+#include "util/rng.hpp"
+
+namespace ckpt::storage {
+
+enum class FaultKind : std::uint8_t { kNone = 0, kTransient, kPermanent };
+enum class FaultOp : std::uint8_t { kPut = 0, kGet };
+
+class FaultyStore final : public ObjectStore {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+
+    /// Bernoulli faults: each put/get independently fails with this
+    /// probability (deterministic for a fixed seed and op order).
+    double put_fail_rate = 0.0;
+    double get_fail_rate = 0.0;
+    FaultKind rate_fault_kind = FaultKind::kTransient;
+
+    /// Explicit schedule: the listed 1-based operation indices fail
+    /// (puts and gets are counted independently).
+    std::vector<std::uint64_t> fail_puts;
+    std::vector<std::uint64_t> fail_gets;
+    FaultKind scheduled_fault_kind = FaultKind::kTransient;
+
+    /// A permanent fault takes the whole store down (disk-full / device
+    /// death): every later op fails with kIoError until SetDown(false).
+    bool permanent_is_terminal = true;
+
+    /// Latency spikes: with probability `spike_rate` an op stalls for
+    /// `spike` before executing (degraded-but-working device).
+    double spike_rate = 0.0;
+    std::chrono::microseconds spike{0};
+  };
+
+  FaultyStore(std::shared_ptr<ObjectStore> inner, Options options);
+
+  // --- Manual controls (tests / benches) ---
+  /// Forces the next `count` operations of type `op` to fail with `kind`.
+  /// Forced faults take precedence over the seeded schedules.
+  void FailNext(FaultOp op, FaultKind kind, std::uint64_t count = 1);
+  /// Forces the store down (every op fails permanently) or revives it.
+  void SetDown(bool down);
+
+  [[nodiscard]] bool down() const;
+  [[nodiscard]] std::uint64_t puts_attempted() const;
+  [[nodiscard]] std::uint64_t gets_attempted() const;
+  [[nodiscard]] std::uint64_t faults_injected() const;
+
+  // --- ObjectStore ---
+  util::Status Put(const ObjectKey& key, sim::ConstBytePtr data,
+                   std::uint64_t size) override;
+  util::Status Get(const ObjectKey& key, sim::BytePtr dst,
+                   std::uint64_t size) override;
+  [[nodiscard]] util::StatusOr<std::uint64_t> Size(const ObjectKey& key) const override;
+  [[nodiscard]] bool Exists(const ObjectKey& key) const override;
+  util::Status Erase(const ObjectKey& key) override;
+  [[nodiscard]] std::vector<ObjectKey> Keys() const override;
+  [[nodiscard]] std::uint64_t TotalBytes() const override;
+
+ private:
+  /// Decides the fault for the op with 1-based index `idx`; advances the
+  /// seeded draws and the forced budgets. Requires mu_ held. Returns the
+  /// fault kind plus the spike to apply (zero when none).
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    std::chrono::microseconds stall{0};
+  };
+  Decision Decide(FaultOp op, std::uint64_t idx);
+  util::Status Inject(FaultOp op, FaultKind kind, std::uint64_t idx);
+
+  std::shared_ptr<ObjectStore> inner_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t forced_left_[2] = {0, 0};       // indexed by FaultOp
+  FaultKind forced_kind_[2] = {FaultKind::kNone, FaultKind::kNone};
+  bool down_ = false;
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,53 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ckpt::util {
+
+RetryOutcome RetryWithBackoff(
+    const RetryPolicy& policy, std::mt19937_64& rng,
+    const std::function<Status()>& op, const std::function<bool()>& abort,
+    const std::function<void(std::chrono::microseconds)>& sleep) {
+  RetryOutcome out;
+  const auto start = std::chrono::steady_clock::now();
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  auto backoff = policy.initial_backoff;
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (abort && abort()) {
+      if (out.attempts == 0) {
+        out.status = Cancelled("retry aborted before first attempt");
+      }
+      return out;  // keep the last attempt's status otherwise
+    }
+    out.status = op();
+    out.attempts = attempt;
+    if (out.status.ok() || !IsRetryable(out.status.code())) return out;
+    if (attempt == max_attempts) return out;
+
+    // Jittered exponential backoff before the next attempt.
+    std::uniform_real_distribution<double> scale(
+        std::max(0.0, 1.0 - policy.jitter), 1.0 + policy.jitter);
+    auto wait = std::chrono::microseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * scale(rng)));
+    wait = std::min(wait, policy.max_backoff);
+    if (policy.deadline.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      if (elapsed + wait >= policy.deadline) return out;  // would overrun
+    }
+    if (sleep) {
+      sleep(wait);
+    } else {
+      std::this_thread::sleep_for(wait);
+    }
+    backoff = std::min(
+        policy.max_backoff,
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) * policy.backoff_multiplier)));
+  }
+  return out;
+}
+
+}  // namespace ckpt::util

@@ -1,0 +1,60 @@
+// Bounded-retry policy with exponential, jittered backoff for storage-tier
+// operations. Transient tier errors (a busy NVMe queue, a PFS timeout) are
+// retried a bounded number of times; the jitter decorrelates the flush
+// pipelines of different ranks so retries do not stampede a recovering
+// device. Jitter comes from the caller's seeded rng (util/rng.hpp), so a
+// retry schedule reproduces bit-identically for a fixed seed.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <random>
+
+#include "util/status.hpp"
+
+namespace ckpt::util {
+
+/// True for error codes that signal a transient condition worth retrying.
+/// Everything else (kIoError, kNotFound, ...) is permanent for the op.
+[[nodiscard]] constexpr bool IsRetryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles (times `backoff_multiplier`)
+  /// after each failed attempt, capped at `max_backoff`.
+  std::chrono::microseconds initial_backoff{200};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5000};
+  /// Each sleep is scaled by U[1 - jitter, 1 + jitter] drawn from the rng.
+  double jitter = 0.5;
+  /// Overall wall-clock budget for the op including sleeps; a retry that
+  /// would overrun it is not attempted. Zero disables the deadline.
+  std::chrono::microseconds deadline{0};
+};
+
+struct RetryOutcome {
+  Status status = OkStatus();
+  int attempts = 0;  ///< ops actually issued
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+  /// Extra attempts beyond the first (the `flush_retries` metric unit).
+  [[nodiscard]] std::uint64_t retries() const noexcept {
+    return attempts > 1 ? static_cast<std::uint64_t>(attempts - 1) : 0;
+  }
+};
+
+/// Runs `op` until it succeeds, fails with a non-retryable code, exhausts
+/// `policy.max_attempts` / `policy.deadline`, or `abort` returns true
+/// (checked before every attempt). Returns the final status and the number
+/// of attempts issued. `sleep` overrides the inter-attempt wait (tests);
+/// the default is std::this_thread::sleep_for.
+RetryOutcome RetryWithBackoff(
+    const RetryPolicy& policy, std::mt19937_64& rng,
+    const std::function<Status()>& op,
+    const std::function<bool()>& abort = {},
+    const std::function<void(std::chrono::microseconds)>& sleep = {});
+
+}  // namespace ckpt::util

@@ -12,7 +12,7 @@ const std::vector<CkptState> kAllStates = {
     CkptState::kInit,          CkptState::kWriteInProgress,
     CkptState::kWriteComplete, CkptState::kFlushed,
     CkptState::kReadInProgress, CkptState::kReadComplete,
-    CkptState::kConsumed,
+    CkptState::kConsumed,      CkptState::kFlushFailed,
 };
 
 TEST(LifecycleTest, CheckpointingPathEdges) {
@@ -63,6 +63,25 @@ TEST(LifecycleTest, IllegalEdgesRejected) {
   EXPECT_FALSE(
       TransitionLegal(CkptState::kReadComplete, CkptState::kReadInProgress));
   EXPECT_FALSE(TransitionLegal(CkptState::kWriteInProgress, CkptState::kFlushed));
+}
+
+TEST(LifecycleTest, FlushFailureEdges) {
+  // The only way in is a failed flush of an in-progress write (DESIGN.md §8).
+  EXPECT_TRUE(
+      TransitionLegal(CkptState::kWriteInProgress, CkptState::kFlushFailed));
+  for (CkptState s : kAllStates) {
+    if (s != CkptState::kWriteInProgress) {
+      EXPECT_FALSE(TransitionLegal(s, CkptState::kFlushFailed)) << to_string(s);
+    }
+    // Terminal: the data is gone, nothing leaves FLUSH_FAILED.
+    EXPECT_FALSE(TransitionLegal(CkptState::kFlushFailed, s)) << to_string(s);
+  }
+}
+
+TEST(LifecycleTest, FlushFailedIsNeitherEvictableNorPinned) {
+  // Its cache space is reclaimed eagerly by the engine, not via eviction.
+  EXPECT_FALSE(StateEvictionEligible(CkptState::kFlushFailed));
+  EXPECT_FALSE(StatePinsFastTier(CkptState::kFlushFailed));
 }
 
 TEST(LifecycleTest, NoSelfLoops) {

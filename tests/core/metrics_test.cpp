@@ -26,6 +26,12 @@ TEST(RankMetricsTest, MergeAccumulatesEverything) {
   a.prefetch_promotions = 2;
   a.flushes_cancelled = 3;
   a.reserve_wait_write_s = 0.5;
+  a.flush_retries = 1;
+  a.flush_failures = 2;
+  a.tier_degradations = 3;
+  a.fetch_retries = 4;
+  a.fetch_fallbacks = 5;
+  a.checkpoints_lost = 6;
   a.restore_series.push_back({0, 7, 0.1, 64, 2});
 
   RankMetrics b;
@@ -35,6 +41,12 @@ TEST(RankMetricsTest, MergeAccumulatesEverything) {
   b.prefetch_promotions = 5;
   b.flushes_cancelled = 6;
   b.reserve_wait_write_s = 1.5;
+  b.flush_retries = 10;
+  b.flush_failures = 20;
+  b.tier_degradations = 30;
+  b.fetch_retries = 40;
+  b.fetch_fallbacks = 50;
+  b.checkpoints_lost = 60;
   b.restore_series.push_back({1, 8, 0.2, 128, 3});
 
   a.Merge(b);
@@ -45,6 +57,12 @@ TEST(RankMetricsTest, MergeAccumulatesEverything) {
   EXPECT_EQ(a.prefetch_promotions, 7u);
   EXPECT_EQ(a.flushes_cancelled, 9u);
   EXPECT_DOUBLE_EQ(a.reserve_wait_write_s, 2.0);
+  EXPECT_EQ(a.flush_retries, 11u);
+  EXPECT_EQ(a.flush_failures, 22u);
+  EXPECT_EQ(a.tier_degradations, 33u);
+  EXPECT_EQ(a.fetch_retries, 44u);
+  EXPECT_EQ(a.fetch_fallbacks, 55u);
+  EXPECT_EQ(a.checkpoints_lost, 66u);
   ASSERT_EQ(a.restore_series.size(), 2u);
   EXPECT_EQ(a.restore_series[1].version, 8u);
   EXPECT_EQ(a.restore_series[1].prefetch_distance, 3u);

@@ -1,0 +1,181 @@
+// Tests of the fault-injecting store decorator: deterministic seeded
+// schedules, forced faults, down-state semantics and pass-through behavior.
+#include "storage/faulty_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "storage/mem_store.hpp"
+
+namespace ckpt::storage {
+namespace {
+
+std::vector<std::byte> Blob(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i + seed) & 0xff);
+  }
+  return v;
+}
+
+std::shared_ptr<FaultyStore> Make(FaultyStore::Options opts = {}) {
+  return std::make_shared<FaultyStore>(std::make_shared<MemStore>(), opts);
+}
+
+TEST(FaultyStoreTest, NoFaultsIsTransparent) {
+  auto store = Make();
+  const auto blob = Blob(4096, 1);
+  ASSERT_TRUE(store->Put({0, 1}, blob.data(), blob.size()).ok());
+  EXPECT_TRUE(store->Exists({0, 1}));
+  EXPECT_EQ(*store->Size({0, 1}), 4096u);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(store->Get({0, 1}, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), blob.data(), blob.size()), 0);
+  EXPECT_EQ(store->faults_injected(), 0u);
+  EXPECT_EQ(store->puts_attempted(), 1u);
+  EXPECT_EQ(store->gets_attempted(), 1u);
+}
+
+TEST(FaultyStoreTest, ScheduledPutIndicesFail) {
+  FaultyStore::Options opts;
+  opts.fail_puts = {1, 3};
+  auto store = Make(opts);
+  const auto blob = Blob(64, 2);
+  EXPECT_EQ(store->Put({0, 0}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kUnavailable);  // put #1
+  EXPECT_TRUE(store->Put({0, 1}, blob.data(), blob.size()).ok());   // #2
+  EXPECT_EQ(store->Put({0, 2}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kUnavailable);  // #3
+  EXPECT_TRUE(store->Put({0, 3}, blob.data(), blob.size()).ok());   // #4
+  EXPECT_EQ(store->faults_injected(), 2u);
+  EXPECT_FALSE(store->Exists({0, 0}));  // the faulted put wrote nothing
+  EXPECT_TRUE(store->Exists({0, 1}));
+}
+
+TEST(FaultyStoreTest, ScheduledGetIndicesIndependentFromPuts) {
+  FaultyStore::Options opts;
+  opts.fail_gets = {2};
+  auto store = Make(opts);
+  const auto blob = Blob(64, 3);
+  ASSERT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(64);
+  EXPECT_TRUE(store->Get({0, 0}, out.data(), out.size()).ok());  // get #1
+  EXPECT_EQ(store->Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kUnavailable);  // get #2
+  EXPECT_TRUE(store->Get({0, 0}, out.data(), out.size()).ok());  // get #3
+}
+
+TEST(FaultyStoreTest, RateScheduleIsDeterministicForFixedSeed) {
+  const auto run = [] {
+    FaultyStore::Options opts;
+    opts.seed = 99;
+    opts.put_fail_rate = 0.5;
+    auto store = Make(opts);
+    const auto blob = Blob(16, 4);
+    std::vector<bool> pattern;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      pattern.push_back(store->Put({0, v}, blob.data(), blob.size()).ok());
+    }
+    return pattern;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // A 0.5 rate over 64 ops produces both outcomes with near-certainty.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultyStoreTest, ForcedFaultBudgetIsConsumedExactly) {
+  auto store = Make();
+  store->FailNext(FaultOp::kPut, FaultKind::kTransient, 2);
+  const auto blob = Blob(16, 5);
+  EXPECT_EQ(store->Put({0, 0}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_EQ(store->Put({0, 1}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_TRUE(store->Put({0, 2}, blob.data(), blob.size()).ok());
+  EXPECT_EQ(store->faults_injected(), 2u);
+}
+
+TEST(FaultyStoreTest, TransientFaultDoesNotBrickTheStore) {
+  auto store = Make();
+  store->FailNext(FaultOp::kGet, FaultKind::kTransient, 1);
+  const auto blob = Blob(16, 6);
+  ASSERT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(store->Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_FALSE(store->down());
+  EXPECT_TRUE(store->Get({0, 0}, out.data(), out.size()).ok());  // retry works
+}
+
+TEST(FaultyStoreTest, PermanentFaultBricksTheStore) {
+  auto store = Make();
+  const auto blob = Blob(16, 7);
+  ASSERT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  store->FailNext(FaultOp::kPut, FaultKind::kPermanent, 1);
+  EXPECT_EQ(store->Put({0, 1}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kIoError);
+  EXPECT_TRUE(store->down());
+  // Every later op fails until revived; a dead device advertises nothing.
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(store->Get({0, 0}, out.data(), out.size()).code(),
+            util::ErrorCode::kIoError);
+  EXPECT_FALSE(store->Exists({0, 0}));
+  EXPECT_FALSE(store->Size({0, 0}).ok());
+  EXPECT_EQ(store->Erase({0, 0}).code(), util::ErrorCode::kIoError);
+  store->SetDown(false);
+  EXPECT_TRUE(store->Get({0, 0}, out.data(), out.size()).ok());
+  EXPECT_TRUE(store->Exists({0, 0}));  // data survived below the fault layer
+}
+
+TEST(FaultyStoreTest, PermanentNotTerminalFailsSingleOp) {
+  FaultyStore::Options opts;
+  opts.permanent_is_terminal = false;
+  auto store = Make(opts);
+  store->FailNext(FaultOp::kPut, FaultKind::kPermanent, 1);
+  const auto blob = Blob(16, 8);
+  EXPECT_EQ(store->Put({0, 0}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kIoError);
+  EXPECT_FALSE(store->down());
+  EXPECT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+}
+
+TEST(FaultyStoreTest, SetDownTakesEffectImmediately) {
+  auto store = Make();
+  const auto blob = Blob(16, 9);
+  ASSERT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  store->SetDown(true);
+  EXPECT_EQ(store->Put({0, 1}, blob.data(), blob.size()).code(),
+            util::ErrorCode::kIoError);
+  EXPECT_EQ(store->faults_injected(), 1u);
+}
+
+TEST(FaultyStoreTest, LatencySpikeStallsButSucceeds) {
+  FaultyStore::Options opts;
+  opts.spike_rate = 1.0;
+  opts.spike = std::chrono::microseconds(100);
+  auto store = Make(opts);
+  const auto blob = Blob(16, 10);
+  EXPECT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(16);
+  EXPECT_TRUE(store->Get({0, 0}, out.data(), out.size()).ok());
+  EXPECT_EQ(store->faults_injected(), 0u);  // spikes are not faults
+}
+
+TEST(FaultyStoreTest, KeysAndTotalBytesDelegate) {
+  auto store = Make();
+  const auto blob = Blob(128, 11);
+  ASSERT_TRUE(store->Put({0, 0}, blob.data(), blob.size()).ok());
+  ASSERT_TRUE(store->Put({1, 4}, blob.data(), blob.size()).ok());
+  EXPECT_EQ(store->Keys().size(), 2u);
+  EXPECT_EQ(store->TotalBytes(), 256u);
+}
+
+}  // namespace
+}  // namespace ckpt::storage

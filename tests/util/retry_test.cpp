@@ -1,0 +1,195 @@
+// Tests of the bounded-retry / jittered-backoff helper. All timing is
+// injected through the `sleep` hook so the tests are instant and exact.
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ckpt::util {
+namespace {
+
+using std::chrono::microseconds;
+
+std::mt19937_64 Rng(std::uint64_t seed = 1) { return MakeRng(seed); }
+
+TEST(RetryTest, IsRetryableTaxonomy) {
+  EXPECT_TRUE(IsRetryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kTimeout));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kIoError));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kOk));
+}
+
+TEST(RetryTest, FirstTrySuccessDoesNotSleep) {
+  auto rng = Rng();
+  int calls = 0;
+  std::vector<microseconds> sleeps;
+  const auto out = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&] {
+        ++calls;
+        return OkStatus();
+      },
+      {}, [&](microseconds us) { sleeps.push_back(us); });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.retries(), 0u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, TransientFailuresRetryUntilSuccess) {
+  auto rng = Rng();
+  int calls = 0;
+  std::vector<microseconds> sleeps;
+  const auto out = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&] {
+        ++calls;
+        return calls < 3 ? Unavailable("busy") : OkStatus();
+      },
+      {}, [&](microseconds us) { sleeps.push_back(us); });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.retries(), 2u);
+  EXPECT_EQ(sleeps.size(), 2u);
+}
+
+TEST(RetryTest, PermanentErrorFailsImmediately) {
+  auto rng = Rng();
+  int calls = 0;
+  const auto out = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&] {
+        ++calls;
+        return IoError("dead device");
+      },
+      {}, [](microseconds) {});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsMaxAttempts) {
+  auto rng = Rng();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  const auto out = RetryWithBackoff(
+      policy, rng,
+      [&] {
+        ++calls;
+        return Timeout("pfs stall");
+      },
+      {}, [](microseconds) {});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(out.retries(), 2u);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  auto rng = Rng();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = microseconds(100);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = microseconds(300);
+  policy.jitter = 0.0;  // exact schedule
+  std::vector<microseconds> sleeps;
+  (void)RetryWithBackoff(
+      policy, rng, [] { return Unavailable("busy"); }, {},
+      [&](microseconds us) { sleeps.push_back(us); });
+  ASSERT_EQ(sleeps.size(), 4u);
+  EXPECT_EQ(sleeps[0], microseconds(100));
+  EXPECT_EQ(sleeps[1], microseconds(200));
+  EXPECT_EQ(sleeps[2], microseconds(300));  // capped
+  EXPECT_EQ(sleeps[3], microseconds(300));
+}
+
+TEST(RetryTest, JitterStaysWithinBoundsAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = microseconds(1000);
+  policy.backoff_multiplier = 1.0;  // isolate the jitter factor
+  policy.max_backoff = microseconds(10000);
+  policy.jitter = 0.5;
+  const auto run = [&] {
+    auto rng = Rng(42);
+    std::vector<microseconds> sleeps;
+    (void)RetryWithBackoff(
+        policy, rng, [] { return Unavailable("busy"); }, {},
+        [&](microseconds us) { sleeps.push_back(us); });
+    return sleeps;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same seed -> identical schedule
+  ASSERT_EQ(a.size(), 7u);
+  for (microseconds us : a) {
+    EXPECT_GE(us, microseconds(500));
+    EXPECT_LE(us, microseconds(1500));
+  }
+}
+
+TEST(RetryTest, AbortBeforeFirstAttemptReturnsCancelled) {
+  auto rng = Rng();
+  int calls = 0;
+  const auto out = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&] {
+        ++calls;
+        return OkStatus();
+      },
+      /*abort=*/[] { return true; }, [](microseconds) {});
+  EXPECT_EQ(out.status.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(out.attempts, 0);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, AbortBetweenAttemptsKeepsLastStatus) {
+  auto rng = Rng();
+  int abort_checks = 0;
+  const auto out = RetryWithBackoff(
+      RetryPolicy{}, rng, [] { return Unavailable("busy"); },
+      /*abort=*/[&] { return ++abort_checks > 1; }, [](microseconds) {});
+  EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(out.attempts, 1);
+}
+
+TEST(RetryTest, DeadlineSkipsRetriesThatWouldOverrun) {
+  auto rng = Rng();
+  RetryPolicy policy;
+  policy.initial_backoff = microseconds(1000);
+  policy.jitter = 0.0;
+  policy.deadline = microseconds(1);  // any backoff overruns it
+  std::vector<microseconds> sleeps;
+  const auto out = RetryWithBackoff(
+      policy, rng, [] { return Unavailable("busy"); }, {},
+      [&](microseconds us) { sleeps.push_back(us); });
+  EXPECT_EQ(out.status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, MaxAttemptsFlooredAtOne) {
+  auto rng = Rng();
+  RetryPolicy policy;
+  policy.max_attempts = 0;  // nonsense input: still issue one attempt
+  int calls = 0;
+  const auto out = RetryWithBackoff(policy, rng, [&] {
+    ++calls;
+    return OkStatus();
+  });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ckpt::util
