@@ -17,6 +17,8 @@ int ApplyBenchScale(harness::ExperimentConfig& cfg) {
   cfg.num_ranks = scale.num_ranks;
   cfg.ssd_fault_rate = scale.fault_rate;
   cfg.ssd_fault_seed = scale.fault_seed;
+  cfg.tiers = scale.tiers;
+  cfg.terminal_tier_name = scale.terminal;
   return scale.num_ranks;
 }
 

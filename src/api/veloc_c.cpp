@@ -7,6 +7,7 @@
 
 #include "api/veloc.hpp"
 #include "core/engine.hpp"
+#include "core/tier_stack.hpp"
 #include "storage/file_store.hpp"
 #include "storage/mem_store.hpp"
 #include "storage/throttled_store.hpp"
@@ -83,19 +84,6 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
     return Fail(VELOCX_EINVAL, "num_ranks exceeds simulated GPUs");
   }
 
-  const std::string ssd_dir = cfg.GetString("ssd_dir", "");
-  std::shared_ptr<storage::ObjectStore> ssd_raw;
-  if (ssd_dir.empty()) {
-    ssd_raw = std::make_shared<storage::MemStore>();
-  } else {
-    auto fs = storage::FileStore::Open(ssd_dir);
-    if (!fs.ok()) return FromStatus(fs.status());
-    ssd_raw = std::shared_ptr<storage::ObjectStore>(std::move(*fs));
-  }
-  ctx->ssd = storage::MakeSsdStore(ctx->cluster->topology(), std::move(ssd_raw));
-  ctx->pfs = storage::MakePfsStore(ctx->cluster->topology(),
-                                   std::make_shared<storage::MemStore>());
-
   core::EngineOptions opts;
   opts.gpu_cache_bytes =
       static_cast<std::uint64_t>(cfg.GetInt("gpu_cache", 4ll << 20));
@@ -115,17 +103,61 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
   } else {
     return Fail(VELOCX_EINVAL, "unknown eviction policy '" + eviction + "'");
   }
-  const std::string terminal = cfg.GetString("terminal_tier", "ssd");
-  if (terminal == "ssd") {
-    opts.terminal_tier = core::Tier::kSsd;
-  } else if (terminal == "pfs") {
-    opts.terminal_tier = core::Tier::kPfs;
+  // Tier layout: a "tiers" key describes an arbitrary N-tier stack
+  // ("name:kind[:arg],..." — see core/tier_stack.hpp); without it the
+  // classic GPU -> host -> SSD [-> PFS] stack is built from the legacy
+  // gpu_cache/host_cache/terminal_tier keys.
+  const sim::Topology& topo = ctx->cluster->topology();
+  const auto open_backend =
+      [](std::string_view tier, std::string_view backend)
+      -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+    if (backend.empty() || backend == "mem") {
+      return std::shared_ptr<storage::ObjectStore>(
+          std::make_shared<storage::MemStore>());
+    }
+    if (backend.substr(0, 5) == "file=") {
+      auto fs = storage::FileStore::Open(std::string(backend.substr(5)));
+      if (!fs.ok()) return fs.status();
+      return std::shared_ptr<storage::ObjectStore>(std::move(*fs));
+    }
+    return util::InvalidArgument("tier '" + std::string(tier) +
+                                 "': unknown backend '" + std::string(backend) +
+                                 "' (want mem or file=<dir>)");
+  };
+  if (cfg.Has("tiers")) {
+    const core::TierStoreFactory factory =
+        [&topo, &open_backend](std::string_view tier, std::string_view backend,
+                               int ordinal)
+        -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+      auto raw = open_backend(tier, backend);
+      if (!raw.ok()) return raw.status();
+      // The first durable tier gets node-local SSD drive bandwidth; every
+      // deeper one shares the PFS uplink.
+      return ordinal == 0 ? storage::MakeSsdStore(topo, std::move(*raw))
+                          : storage::MakePfsStore(topo, std::move(*raw));
+    };
+    auto stack = core::TierStackFromConfig(cfg, factory);
+    if (!stack.ok()) return FromStatus(stack.status());
+    ctx->engine = std::make_unique<core::Engine>(
+        *ctx->cluster, std::move(**stack), opts, num_ranks);
   } else {
-    return Fail(VELOCX_EINVAL, "unknown terminal tier '" + terminal + "'");
+    const std::string terminal = cfg.GetString("terminal_tier", "ssd");
+    if (terminal == "ssd") {
+      opts.terminal_tier = core::Tier::kSsd;
+    } else if (terminal == "pfs") {
+      opts.terminal_tier = core::Tier::kPfs;
+    } else {
+      return Fail(VELOCX_EINVAL, "unknown terminal tier '" + terminal + "'");
+    }
+    const std::string ssd_dir = cfg.GetString("ssd_dir", "");
+    const std::string ssd_backend = ssd_dir.empty() ? "" : "file=" + ssd_dir;
+    auto ssd_raw = open_backend("ssd", ssd_backend);
+    if (!ssd_raw.ok()) return FromStatus(ssd_raw.status());
+    ctx->ssd = storage::MakeSsdStore(topo, std::move(*ssd_raw));
+    ctx->pfs = storage::MakePfsStore(topo, std::make_shared<storage::MemStore>());
+    ctx->engine = std::make_unique<core::Engine>(*ctx->cluster, ctx->ssd,
+                                                 ctx->pfs, opts, num_ranks);
   }
-
-  ctx->engine = std::make_unique<core::Engine>(*ctx->cluster, ctx->ssd, ctx->pfs,
-                                               opts, num_ranks);
   for (int r = 0; r < num_ranks; ++r) {
     ctx->clients.push_back(
         std::make_unique<api::VelocClient>(*ctx->engine, *ctx->cluster, r));

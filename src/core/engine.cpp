@@ -29,112 +29,158 @@ storage::ObjectKey KeyOf(sim::Rank rank, Version v) {
 // Construction / teardown
 // ---------------------------------------------------------------------------
 
+Engine::Engine(sim::Cluster& cluster, TierStack stack, EngineOptions options,
+               int num_ranks)
+    : cluster_(cluster), stack_(std::move(stack)), options_(options) {
+  assert(!stack_.empty() && "Engine requires a validated TierStack");
+  Init(num_ranks);
+}
+
 Engine::Engine(sim::Cluster& cluster, std::shared_ptr<storage::ObjectStore> ssd,
                std::shared_ptr<storage::ObjectStore> pfs, EngineOptions options,
                int num_ranks)
-    : cluster_(cluster), ssd_(std::move(ssd)), pfs_(std::move(pfs)),
-      options_(options) {
-  assert(ssd_ != nullptr && "Engine requires an SSD-tier store");
+    : cluster_(cluster), options_(options) {
+  assert(ssd != nullptr && "Engine requires an SSD-tier store");
+  auto stack = TierStack::Default(std::move(ssd), std::move(pfs),
+                                  options_.gpu_cache_bytes,
+                                  options_.host_cache_bytes,
+                                  options_.terminal_tier);
+  if (!stack.ok()) {
+    // The legacy constructor's historical contract is assert-on-misuse
+    // (e.g. terminal_tier == kPfs without a PFS store).
+    CKPT_LOG(kError, "engine") << "invalid default tier stack: "
+                               << stack.status().ToString();
+    std::abort();
+  }
+  stack_ = std::move(*stack);
+  Init(num_ranks);
+}
+
+void Engine::Init(int num_ranks) {
   assert(num_ranks > 0 && num_ranks <= cluster_.total_gpus());
-  assert(!(options_.terminal_tier == Tier::kPfs && pfs_ == nullptr) &&
-         "terminal_tier == kPfs requires a PFS store");
+  const int ncache = stack_.num_cache_tiers();
+  const auto& cfg = cluster_.config();
+
+  // Drain-bandwidth estimate per cache tier, toward the next tier down:
+  // device tiers drain over their PCIe link, host->host over DDR, and the
+  // last cache tier into the NVMe-backed first durable tier.
+  drain_bw_.resize(static_cast<std::size_t>(ncache));
+  for (int i = 0; i < ncache; ++i) {
+    std::uint64_t bw = 0;
+    if (stack_.is_device(i)) {
+      bw = cfg.pcie_link_bw;
+    } else if (i + 1 < ncache) {
+      bw = cfg.host_mem_bw;
+    } else {
+      bw = cfg.nvme_drive_bw;
+    }
+    drain_bw_[static_cast<std::size_t>(i)] = static_cast<double>(bw);
+  }
 
   ranks_.reserve(static_cast<std::size_t>(num_ranks));
   for (sim::Rank r = 0; r < num_ranks; ++r) {
     auto c = std::make_unique<RankCtx>();
     c->rank = r;
     const Stopwatch init_sw;
+    c->metrics.restores_from_tier.resize(stack_.size(), 0);
+    c->metrics.flush_bytes_to_tier.resize(stack_.size(), 0);
 
-    // Pre-allocate the GPU cache out of the rank's HBM (§4.1.4). Paying the
-    // allocation cost here, once, is a core design principle.
-    auto gpu_mem = cluster_.device(r).Allocate(options_.gpu_cache_bytes);
-    if (!gpu_mem.ok()) {
-      CKPT_LOG(kError, "engine") << "rank " << r << ": GPU cache allocation failed: "
-                                 << gpu_mem.status();
-      std::abort();
-    }
-    c->gpu_base = *gpu_mem;
-
-    // Host partition size: equal shares by default, or demand-weighted
-    // (future-work extension: load-balance variable-sized checkpoints).
-    std::uint64_t host_bytes = options_.host_cache_bytes;
-    if (!options_.host_cache_weights.empty()) {
-      double total_w = 0;
-      for (double w : options_.host_cache_weights) total_w += w;
-      const double w =
-          r < static_cast<int>(options_.host_cache_weights.size()) && total_w > 0
-              ? options_.host_cache_weights[static_cast<std::size_t>(r)] / total_w
-              : 0.0;
-      host_bytes = static_cast<std::uint64_t>(
-          static_cast<double>(options_.host_cache_bytes) *
-          static_cast<double>(num_ranks) * w);
-      host_bytes = std::max<std::uint64_t>(host_bytes, 64 << 10);
-    }
-    c->host_cache_bytes = host_bytes;
-
-    if (options_.split_flush_prefetch) {
-      const auto pf_gpu = static_cast<std::uint64_t>(
-          static_cast<double>(options_.gpu_cache_bytes) *
-          options_.split_prefetch_fraction);
-      c->gpu_write = std::make_unique<CacheBuffer>(
-          "gpu-w/" + std::to_string(r), c->gpu_base,
-          options_.gpu_cache_bytes - pf_gpu, MakePolicy(options_.eviction));
-      c->gpu_prefetch = std::make_unique<CacheBuffer>(
-          "gpu-p/" + std::to_string(r),
-          c->gpu_base + (options_.gpu_cache_bytes - pf_gpu), pf_gpu,
-          MakePolicy(options_.eviction));
-    } else {
-      c->gpu_write = std::make_unique<CacheBuffer>(
-          "gpu/" + std::to_string(r), c->gpu_base, options_.gpu_cache_bytes,
-          MakePolicy(options_.eviction));
+    c->tiers.resize(static_cast<std::size_t>(ncache));
+    for (int i = 0; i < ncache; ++i) {
+      auto t = std::make_unique<CacheTierRt>();
+      // Pinned-host tier share: equal by default, or demand-weighted
+      // (future-work extension: load-balance variable-sized checkpoints).
+      std::uint64_t cap = stack_[static_cast<std::size_t>(i)].capacity_bytes;
+      if (!stack_.is_device(i) && !options_.host_cache_weights.empty()) {
+        double total_w = 0;
+        for (double w : options_.host_cache_weights) total_w += w;
+        const double w =
+            r < static_cast<int>(options_.host_cache_weights.size()) &&
+                    total_w > 0
+                ? options_.host_cache_weights[static_cast<std::size_t>(r)] /
+                      total_w
+                : 0.0;
+        cap = static_cast<std::uint64_t>(static_cast<double>(cap) *
+                                         static_cast<double>(num_ranks) * w);
+        cap = std::max<std::uint64_t>(cap, 64 << 10);
+      }
+      t->capacity = cap;
+      c->tiers[static_cast<std::size_t>(i)] = std::move(t);
     }
 
-    // Pre-allocate and pin the host cache (slow: ~4 GB/s registration) —
-    // inline by default, or on a background thread with async_pin_init
-    // ([Maurya et al., HiPC'22]): the application starts checkpointing into
-    // the GPU cache immediately while the host cache registers.
-    const int node = cluster_.topology().node_of_rank(r);
-    RankCtx* cp = c.get();
-    auto build_host = [this, cp, node, r] {
-      auto arena = std::make_unique<sim::PinnedArena>(cluster_.topology(), node,
-                                                      cp->host_cache_bytes);
-      std::unique_ptr<CacheBuffer> write_buf;
-      std::unique_ptr<CacheBuffer> prefetch_buf;
+    // Builds the tier's CacheBuffer(s) over `base` (split mode carves a
+    // prefetch partition off the top).
+    const auto build_bufs = [this, r](CacheTierRt& t, int i,
+                                      sim::BytePtr base) {
+      const std::string nm(stack_.name(static_cast<std::size_t>(i)));
       if (options_.split_flush_prefetch) {
-        const auto pf_host = static_cast<std::uint64_t>(
-            static_cast<double>(cp->host_cache_bytes) *
-            options_.split_prefetch_fraction);
-        write_buf = std::make_unique<CacheBuffer>(
-            "host-w/" + std::to_string(r), arena->data(),
-            cp->host_cache_bytes - pf_host, MakePolicy(options_.eviction));
-        prefetch_buf = std::make_unique<CacheBuffer>(
-            "host-p/" + std::to_string(r),
-            arena->data() + (cp->host_cache_bytes - pf_host), pf_host,
+        const auto pf = static_cast<std::uint64_t>(
+            static_cast<double>(t.capacity) * options_.split_prefetch_fraction);
+        t.write_buf = std::make_unique<CacheBuffer>(
+            nm + "-w/" + std::to_string(r), base, t.capacity - pf,
+            MakePolicy(options_.eviction));
+        t.prefetch_buf = std::make_unique<CacheBuffer>(
+            nm + "-p/" + std::to_string(r), base + (t.capacity - pf), pf,
             MakePolicy(options_.eviction));
       } else {
-        write_buf = std::make_unique<CacheBuffer>(
-            "host/" + std::to_string(r), arena->data(), cp->host_cache_bytes,
+        t.write_buf = std::make_unique<CacheBuffer>(
+            nm + "/" + std::to_string(r), base, t.capacity,
             MakePolicy(options_.eviction));
       }
-      std::lock_guard lock(cp->mu);
-      cp->host_arena = std::move(arena);
-      cp->host_write = std::move(write_buf);
-      cp->host_prefetch = std::move(prefetch_buf);
-      cp->host_ready = true;
-      cp->cv.notify_all();
+    };
+
+    // Pre-allocate the device cache out of the rank's HBM (§4.1.4). Paying
+    // the allocation cost here, once, is a core design principle.
+    if (ncache > 0 && stack_.is_device(0)) {
+      CacheTierRt& t = *c->tiers[0];
+      auto gpu_mem = cluster_.device(r).Allocate(t.capacity);
+      if (!gpu_mem.ok()) {
+        CKPT_LOG(kError, "engine")
+            << "rank " << r
+            << ": GPU cache allocation failed: " << gpu_mem.status();
+        std::abort();
+      }
+      t.gpu_base = *gpu_mem;
+      build_bufs(t, 0, t.gpu_base);
+      t.ready = true;
+    }
+
+    // Pre-allocate and pin the host-side caches (slow: ~4 GB/s
+    // registration) — inline by default, or on a background thread with
+    // async_pin_init ([Maurya et al., HiPC'22]): the application starts
+    // checkpointing into the device cache immediately while the pinned
+    // tiers register.
+    const int node = cluster_.topology().node_of_rank(r);
+    RankCtx* cp = c.get();
+    auto build_pinned = [this, cp, node, ncache, build_bufs] {
+      for (int i = 0; i < ncache; ++i) {
+        if (stack_.is_device(i)) continue;
+        CacheTierRt& t = *cp->tiers[static_cast<std::size_t>(i)];
+        auto arena = std::make_unique<sim::PinnedArena>(cluster_.topology(),
+                                                        node, t.capacity);
+        sim::BytePtr base = arena->data();
+        std::lock_guard lock(cp->mu);
+        t.arena = std::move(arena);
+        build_bufs(t, i, base);
+        t.ready = true;
+        cp->cv.notify_all();
+      }
     };
     if (options_.async_pin_init) {
-      c->t_pin = std::jthread(build_host);
+      c->t_pin = std::jthread(build_pinned);
     } else {
-      build_host();
+      build_pinned();
     }
 
     c->metrics.init_s = init_sw.ElapsedSec();
 
-    // Dedicated background threads (§4.3.1).
+    // Dedicated background threads (§4.3.1): one flush stage per cache
+    // tier plus the prefetcher.
     RankCtx* ctx_ptr = c.get();
-    c->t_d2h = std::jthread([this, ctx_ptr] { FlushD2HLoop(*ctx_ptr); });
-    c->t_h2f = std::jthread([this, ctx_ptr] { FlushH2FLoop(*ctx_ptr); });
+    for (int i = 0; i < ncache; ++i) {
+      c->tiers[static_cast<std::size_t>(i)]->worker =
+          std::jthread([this, ctx_ptr, i] { FlushStageLoop(*ctx_ptr, i); });
+    }
     c->t_pf = std::jthread([this, ctx_ptr] { PrefetchLoop(*ctx_ptr); });
 
     ranks_.push_back(std::move(c));
@@ -148,26 +194,28 @@ void Engine::Shutdown() {
   for (auto& c : ranks_) {
     {
       // Set the stop flag and signal under the same mutex every background
-      // CV wait checks, so no T_D2H/T_H2F/T_PF thread can read the flag as
+      // CV wait checks, so no flush/prefetch thread can read the flag as
       // clear, then miss the final wakeup and hang the joins below.
       std::lock_guard lock(c->mu);
       c->shutdown = true;
       c->cv.notify_all();
     }
-    c->d2h_q.Close();
-    c->h2f_q.Close();
+    for (auto& t : c->tiers) t->flush_q.Close();
   }
   for (auto& c : ranks_) {
     if (c->t_pin.joinable()) c->t_pin.join();
-    if (c->t_d2h.joinable()) c->t_d2h.join();
-    if (c->t_h2f.joinable()) c->t_h2f.join();
+    for (auto& t : c->tiers) {
+      if (t->worker.joinable()) t->worker.join();
+    }
     if (c->t_pf.joinable()) c->t_pf.join();
   }
-  // Release the GPU cache arenas back to the devices.
+  // Release the device cache arenas back to the devices.
   for (auto& c : ranks_) {
-    if (c->gpu_base != nullptr) {
-      (void)cluster_.device(c->rank).Free(c->gpu_base);
-      c->gpu_base = nullptr;
+    for (auto& t : c->tiers) {
+      if (t->gpu_base != nullptr) {
+        (void)cluster_.device(c->rank).Free(t->gpu_base);
+        t->gpu_base = nullptr;
+      }
     }
   }
 }
@@ -179,9 +227,31 @@ const Engine::RankCtx& Engine::ctx(sim::Rank rank) const {
   return *ranks_.at(static_cast<std::size_t>(rank));
 }
 
+std::mt19937_64 Engine::RngFor(const RankCtx& ctx_, std::uint64_t stream,
+                               std::uint64_t salt) const {
+  // Distinct deterministic stream per rank and per worker: flush stage i
+  // uses stream i, the prefetcher num_cache, direct paths num_cache + 1.
+  const auto stride =
+      static_cast<std::uint64_t>(stack_.num_cache_tiers()) + 2;
+  return util::MakeRng(options_.retry_seed ^ salt,
+                       static_cast<std::uint64_t>(ctx_.rank) * stride + stream);
+}
+
 // ---------------------------------------------------------------------------
 // Life-cycle / eviction metadata helpers (ctx.mu held)
 // ---------------------------------------------------------------------------
+
+Engine::Record Engine::NewRecord(RankCtx& ctx_, Version v,
+                                 std::uint64_t size) const {
+  Record rec;
+  rec.version = v;
+  rec.size = size;
+  rec.res.resize(static_cast<std::size_t>(stack_.num_cache_tiers()));
+  rec.durable.assign(static_cast<std::size_t>(stack_.num_durable_tiers()), 0);
+  rec.fifo_seq = ++ctx_.seq_counter;
+  rec.lru_seq = rec.fifo_seq;
+  return rec;
+}
 
 void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
   const util::Status st = CheckTransition(rec.state, to);
@@ -194,27 +264,25 @@ void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
   ctx_.cv.notify_all();
 }
 
-bool Engine::SafeBelow(const Record& rec, Tier tier) const {
-  switch (tier) {
-    case Tier::kGpu:
-      return rec.host.valid || rec.on_ssd || rec.on_pfs;
-    case Tier::kHost:
-      return rec.on_ssd || rec.on_pfs;
-    default:
-      return true;  // durable stores are never evicted
+bool Engine::SafeBelow(const Record& rec, TierIndex tier) const {
+  if (stack_.is_durable(tier)) return true;  // durable stores never evict
+  for (std::size_t j = static_cast<std::size_t>(tier) + 1; j < rec.res.size();
+       ++j) {
+    if (rec.res[j].valid) return true;
   }
+  return rec.AnyDurable();
 }
 
-bool Engine::ExcludedOn(const Record& rec, Tier tier) const {
-  const Residency& res = tier == Tier::kGpu ? rec.gpu : rec.host;
+bool Engine::ExcludedOn(const Record& rec, TierIndex tier) const {
+  const Residency& res = rec.res[static_cast<std::size_t>(tier)];
   if (res.busy()) return true;
   // Condition (4): a prefetched checkpoint is pinned on the fast tier until
   // consumed.
-  if (tier == Tier::kGpu && StatePinsFastTier(rec.state)) return true;
+  if (tier == 0 && StatePinsFastTier(rec.state)) return true;
   return false;
 }
 
-bool Engine::EvictableNow(const Record& rec, Tier tier) const {
+bool Engine::EvictableNow(const Record& rec, TierIndex tier) const {
   if (ExcludedOn(rec, tier)) return false;
   if (SafeBelow(rec, tier)) return true;
   // A consumed checkpoint without a lower-tier copy may only be dropped
@@ -223,30 +291,27 @@ bool Engine::EvictableNow(const Record& rec, Tier tier) const {
   return rec.state == CkptState::kConsumed && options_.discard_after_restore;
 }
 
-double Engine::EtaSeconds(const RankCtx& ctx_, const Record& rec, Tier tier) const {
+double Engine::EtaSeconds(const RankCtx& ctx_, const Record& rec,
+                          TierIndex tier) const {
   if (EvictableNow(rec, tier)) return 0.0;
-  const auto& cfg = cluster_.config();
   // The fragment is waiting on the flush pipeline: estimate the backlog
   // drain time on the link it is queued behind (predict_evictable, §4.2).
-  if (tier == Tier::kGpu) {
-    const double bw = static_cast<double>(cfg.pcie_link_bw);
-    if (bw <= 0) return 1e-6;
-    return (static_cast<double>(ctx_.d2h_backlog_bytes) +
-            static_cast<double>(rec.size)) / bw;
-  }
-  const double bw = static_cast<double>(cfg.nvme_drive_bw);
+  const double bw = drain_bw_[static_cast<std::size_t>(tier)];
   if (bw <= 0) return 1e-6;
-  return (static_cast<double>(ctx_.h2f_backlog_bytes) +
+  return (static_cast<double>(
+              ctx_.tiers[static_cast<std::size_t>(tier)]->backlog_bytes) +
           static_cast<double>(rec.size)) / bw;
 }
 
-CacheBuffer& Engine::BufferFor(RankCtx& ctx_, Tier tier, ReservePurpose purpose) {
-  const bool pf = options_.split_flush_prefetch && purpose == ReservePurpose::kPrefetch;
-  if (tier == Tier::kGpu) return pf ? *ctx_.gpu_prefetch : *ctx_.gpu_write;
-  return pf ? *ctx_.host_prefetch : *ctx_.host_write;
+CacheBuffer& Engine::BufferFor(RankCtx& ctx_, TierIndex tier,
+                               ReservePurpose purpose) {
+  CacheTierRt& t = *ctx_.tiers[static_cast<std::size_t>(tier)];
+  const bool pf =
+      options_.split_flush_prefetch && purpose == ReservePurpose::kPrefetch;
+  return pf ? *t.prefetch_buf : *t.write_buf;
 }
 
-CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, Tier tier) {
+CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, TierIndex tier) {
   return [this, &ctx_, tier](EntryId id, FragmentView& v) {
     auto it = ctx_.records.find(id);
     if (it == ctx_.records.end()) {
@@ -268,7 +333,7 @@ CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, Tier tier) {
   };
 }
 
-util::Status Engine::EvictVictims(RankCtx& ctx_, Tier tier,
+util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
                                   const std::vector<EntryId>& victims) {
   for (EntryId id : victims) {
     auto it = ctx_.records.find(id);
@@ -279,18 +344,19 @@ util::Status Engine::EvictVictims(RankCtx& ctx_, Tier tier,
     if (!EvictableNow(rec, tier)) {
       return util::Internal("eviction victim not evictable at commit time");
     }
-    (tier == Tier::kGpu ? rec.gpu : rec.host).Clear();
+    rec.res[static_cast<std::size_t>(tier)].Clear();
   }
   return util::OkStatus();
 }
 
 util::StatusOr<std::uint64_t> Engine::ReserveOn(
-    RankCtx& ctx_, std::unique_lock<std::mutex>& lock, Tier tier,
+    RankCtx& ctx_, std::unique_lock<std::mutex>& lock, TierIndex tier,
     ReservePurpose purpose, Version v, std::uint64_t size,
     const std::function<bool()>& abort) {
-  if (tier == Tier::kHost) {
-    // async_pin_init: the host cache may still be registering.
-    ctx_.cv.wait(lock, [&] { return ctx_.host_ready || ctx_.shutdown; });
+  CacheTierRt& t = *ctx_.tiers[static_cast<std::size_t>(tier)];
+  if (!t.ready) {
+    // async_pin_init: this pinned tier may still be registering.
+    ctx_.cv.wait(lock, [&] { return t.ready || ctx_.shutdown; });
     if (ctx_.shutdown) return util::ShutdownError("engine stopping");
   }
   CacheBuffer& buf = BufferFor(ctx_, tier, purpose);
@@ -364,25 +430,26 @@ Engine::TerminalPutResult Engine::PutTerminal(RankCtx& ctx_, Version v,
                                               std::uint64_t size,
                                               std::mt19937_64& rng) {
   TerminalPutResult r;
+  r.ok.assign(static_cast<std::size_t>(stack_.num_durable_tiers()), 0);
   const storage::ObjectKey key = KeyOf(ctx_.rank, v);
-  const auto put_tier = [&](storage::ObjectStore& store, const char* tier) {
+  // Every durable stage up to the terminal tier is attempted, even when a
+  // shallower one failed: a surviving deeper copy still makes the
+  // checkpoint durable.
+  for (int d = 0; d <= stack_.terminal_ordinal(); ++d) {
+    storage::ObjectStore& store = *stack_.durable_store(d);
     const util::RetryOutcome out = util::RetryWithBackoff(
         options_.flush_retry, rng, [&] { return store.Put(key, src, size); });
     r.retries += out.retries();
-    if (!out.ok()) {
+    if (out.ok()) {
+      r.ok[static_cast<std::size_t>(d)] = 1;
+    } else {
       ++r.failures;
       CKPT_LOG(kWarn, "flush")
-          << "rank " << ctx_.rank << " ckpt " << v << ": " << tier
+          << "rank " << ctx_.rank << " ckpt " << v << ": "
+          << stack_.name(static_cast<std::size_t>(stack_.durable_index(d)))
           << " put failed after " << out.attempts
           << " attempt(s): " << out.status.ToString();
     }
-    return out.ok();
-  };
-  r.ssd_ok = put_tier(*ssd_, "SSD");
-  // The PFS stage is attempted even when the SSD stage failed: a surviving
-  // deeper copy still makes the checkpoint durable.
-  if (options_.terminal_tier == Tier::kPfs && pfs_ != nullptr) {
-    r.pfs_ok = put_tier(*pfs_, "PFS");
   }
   return r;
 }
@@ -391,23 +458,29 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
                               const TerminalPutResult& r) {
   ctx_.metrics.flush_retries += r.retries;
   ctx_.metrics.flush_failures += r.failures;
-  if (r.ssd_ok) rec.on_ssd = true;
-  if (r.pfs_ok) rec.on_pfs = true;
+  const std::size_t n = std::min(r.ok.size(), rec.durable.size());
+  for (std::size_t d = 0; d < n; ++d) {
+    if (r.ok[d] && !rec.durable[d]) {
+      rec.durable[d] = 1;
+      ctx_.metrics.flush_bytes_to_tier[static_cast<std::size_t>(
+          stack_.durable_index(static_cast<int>(d)))] += rec.size;
+    }
+  }
   const bool reached =
-      options_.terminal_tier == Tier::kPfs ? rec.on_pfs : rec.on_ssd;
+      rec.durable[static_cast<std::size_t>(stack_.terminal_ordinal())] != 0;
   if (reached) {
     ++ctx_.metrics.flushes_completed;
     FinishFlush(ctx_, rec);
     return;
   }
   // The terminal tier is permanently unreachable for this checkpoint.
-  const bool cached = rec.gpu.valid || rec.host.valid;
+  const bool cached = rec.AnyCached();
   // Strict mode may only drop the copies of a record no concurrent reader
   // or transfer is touching; anything in flight forces the degrade path.
   const bool strict_drop_safe =
       rec.state == CkptState::kWriteInProgress && !rec.restore_waiting &&
-      !rec.prefetch_claimed && !rec.gpu.busy() && !rec.host.busy();
-  if (rec.on_ssd || rec.on_pfs ||
+      !rec.prefetch_claimed && !rec.AnyCacheBusy();
+  if (rec.AnyDurable() ||
       (cached && (options_.degraded_durability || !strict_drop_safe))) {
     // Graceful degradation: the checkpoint stays durable at the deepest
     // tier still holding a copy. SafeBelow() already refuses to evict a
@@ -415,14 +488,25 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
     // without any extra bookkeeping and Restore() serves it normally.
     rec.degraded = true;
     ++ctx_.metrics.tier_degradations;
-    const Tier deepest = rec.on_pfs    ? Tier::kPfs
-                         : rec.on_ssd  ? Tier::kSsd
-                         : rec.host.valid ? Tier::kHost
-                                          : Tier::kGpu;
+    int deepest = -1;
+    for (int d = stack_.num_durable_tiers() - 1; d >= 0; --d) {
+      if (rec.durable[static_cast<std::size_t>(d)]) {
+        deepest = stack_.durable_index(d);
+        break;
+      }
+    }
+    if (deepest < 0) {
+      for (int j = stack_.num_cache_tiers() - 1; j >= 0; --j) {
+        if (rec.res[static_cast<std::size_t>(j)].valid) {
+          deepest = j;
+          break;
+        }
+      }
+    }
     CKPT_LOG(kWarn, "flush")
         << "rank " << ctx_.rank << " ckpt " << rec.version
         << ": terminal tier unreachable; degraded durability at tier "
-        << to_string(deepest);
+        << stack_.name(static_cast<std::size_t>(deepest));
     FinishFlush(ctx_, rec);
     return;
   }
@@ -431,13 +515,12 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
 }
 
 void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
-  if (rec.gpu.valid) {
-    (void)BufferFor(ctx_, Tier::kGpu, rec.gpu.part).Release(rec.version);
-    rec.gpu.Clear();
-  }
-  if (rec.host.valid) {
-    (void)BufferFor(ctx_, Tier::kHost, rec.host.part).Release(rec.version);
-    rec.host.Clear();
+  for (std::size_t j = 0; j < rec.res.size(); ++j) {
+    if (rec.res[j].valid) {
+      (void)BufferFor(ctx_, static_cast<TierIndex>(j), rec.res[j].part)
+          .Release(rec.version);
+      rec.res[j].Clear();
+    }
   }
   if (!rec.flush_done) {
     rec.flush_done = true;
@@ -458,30 +541,37 @@ void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
 }
 
 util::Status Engine::GetDurable(RankCtx& ctx_, Version v, sim::BytePtr dst,
-                                std::uint64_t size, bool on_ssd, bool on_pfs,
+                                std::uint64_t size,
+                                const std::vector<unsigned char>& durable,
                                 std::mt19937_64& rng,
                                 const std::function<bool()>& abort,
-                                std::uint64_t& retries, bool& fell_back) {
+                                std::uint64_t& retries, bool& fell_back,
+                                TierIndex& served) {
   const storage::ObjectKey key = KeyOf(ctx_.rank, v);
   util::Status last =
       util::NotFound("checkpoint " + key.ToString() + " has no durable copy");
-  const auto get_tier = [&](storage::ObjectStore& store, const char* tier) {
+  int shallowest = -1;
+  for (int d = 0; d < stack_.num_durable_tiers() &&
+                  d < static_cast<int>(durable.size());
+       ++d) {
+    if (!durable[static_cast<std::size_t>(d)]) continue;
+    if (shallowest < 0) shallowest = d;
+    storage::ObjectStore& store = *stack_.durable_store(d);
     const util::RetryOutcome out = util::RetryWithBackoff(
         options_.fetch_retry, rng, [&] { return store.Get(key, dst, size); },
         abort);
     retries += out.retries();
-    if (out.ok()) return true;
+    if (out.ok()) {
+      served = stack_.durable_index(d);
+      fell_back = d != shallowest;  // a shallower durable copy failed first
+      return util::OkStatus();
+    }
     last = out.status;
     CKPT_LOG(kWarn, "fetch")
-        << "rank " << ctx_.rank << " ckpt " << v << ": " << tier
+        << "rank " << ctx_.rank << " ckpt " << v << ": "
+        << stack_.name(static_cast<std::size_t>(stack_.durable_index(d)))
         << " read failed after " << out.attempts
         << " attempt(s): " << out.status.ToString();
-    return false;
-  };
-  if (on_ssd && get_tier(*ssd_, "SSD")) return util::OkStatus();
-  if (on_pfs && pfs_ != nullptr) {
-    fell_back = on_ssd;  // serving from the deeper tier after an SSD failure
-    if (get_tier(*pfs_, "PFS")) return util::OkStatus();
   }
   return last;
 }
@@ -504,41 +594,35 @@ util::StatusOr<Engine::Record*> Engine::FindOrImport(RankCtx& ctx_, Version v) {
   auto it = ctx_.records.find(v);
   if (it != ctx_.records.end()) return &it->second;
   // Restart path: the object may exist on the durable stores from a
-  // previous engine lifetime.
+  // previous engine lifetime. The shallowest tier holding it wins.
   const storage::ObjectKey key = KeyOf(ctx_.rank, v);
   std::uint64_t size = 0;
-  bool on_ssd = false, on_pfs = false;
-  if (auto s = ssd_->Size(key); s.ok()) {
-    size = *s;
-    on_ssd = true;
-  } else if (pfs_ != nullptr) {
-    if (auto p = pfs_->Size(key); p.ok()) {
-      size = *p;
-      on_pfs = true;
+  int found = -1;
+  for (int d = 0; d < stack_.num_durable_tiers(); ++d) {
+    if (auto s = stack_.durable_store(d)->Size(key); s.ok()) {
+      size = *s;
+      found = d;
+      break;
     }
   }
-  if (!on_ssd && !on_pfs) {
+  if (found < 0) {
     return util::NotFound("checkpoint " + key.ToString() + " unknown");
   }
-  Record rec;
-  rec.version = v;
-  rec.size = size;
+  Record rec = NewRecord(ctx_, v, size);
   rec.state = CkptState::kFlushed;
-  rec.on_ssd = on_ssd;
-  rec.on_pfs = on_pfs;
+  rec.durable[static_cast<std::size_t>(found)] = 1;
   rec.flush_done = true;
-  rec.fifo_seq = ++ctx_.seq_counter;
-  rec.lru_seq = rec.fifo_seq;
-  auto [nit, inserted] = ctx_.records.emplace(v, rec);
+  auto [nit, inserted] = ctx_.records.emplace(v, std::move(rec));
   (void)inserted;
   return &nit->second;
 }
 
 std::uint64_t Engine::ComputePrefetchDistance(const RankCtx& ctx_) const {
-  // Fig. 7 metric: successor checkpoints already promoted to the GPU cache
-  // and pinned for consumption. The prefetcher promotes in hint order, so
-  // the pinned set is exactly the run of successive hints served ahead of
-  // the application (modulo deviation, where the count is an upper bound).
+  // Fig. 7 metric: successor checkpoints already promoted to the fast
+  // cache tier and pinned for consumption. The prefetcher promotes in hint
+  // order, so the pinned set is exactly the run of successive hints served
+  // ahead of the application (modulo deviation, where the count is an
+  // upper bound).
   return ctx_.prefetched_pinned_count;
 }
 
@@ -554,17 +638,14 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
+  const int ncache = stack_.num_cache_tiers();
   std::unique_lock lock(c.mu);
   if (c.shutdown) return util::ShutdownError("engine stopping");
   if (c.records.count(v) != 0) {
     return util::AlreadyExists("checkpoint version " + std::to_string(v) +
                                " already written (checkpoints are immutable)");
   }
-  Record& rec = c.records[v];
-  rec.version = v;
-  rec.size = size;
-  rec.fifo_seq = ++c.seq_counter;
-  rec.lru_seq = rec.fifo_seq;
+  Record& rec = (c.records[v] = NewRecord(c, v, size));
   Advance(c, rec, CkptState::kWriteInProgress);
   ++c.inflight_flushes;
 
@@ -575,93 +656,89 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     return st;
   };
 
-  // Fast path: into the GPU cache, then hand off to T_D2H (§4.3.2).
-  auto goff = ReserveOn(c, lock, Tier::kGpu, ReservePurpose::kWrite, v, size,
-                        /*abort=*/{});
-  if (goff.ok()) {
-    rec.gpu.offset = *goff;
-    rec.gpu.io_pending = true;
-    rec.gpu.part = ReservePurpose::kWrite;
-    sim::BytePtr dst = BufferFor(c, Tier::kGpu, ReservePurpose::kWrite).PtrAt(*goff);
+  // Fast path: into the shallowest cache tier with room, then hand off to
+  // its flush stage (§4.3.2). Oversize checkpoints fall through to deeper
+  // (larger) cache tiers.
+  int placed = -1;
+  std::uint64_t off = 0;
+  for (int ci = 0; ci < ncache; ++ci) {
+    auto o = ReserveOn(c, lock, ci, ReservePurpose::kWrite, v, size,
+                       /*abort=*/{});
+    if (o.ok()) {
+      placed = ci;
+      off = *o;
+      break;
+    }
+    if (o.status().code() != util::ErrorCode::kCapacityExceeded) {
+      return cleanup_failure(o.status());
+    }
+  }
+
+  if (placed >= 0) {
+    Residency& rr = rec.res[static_cast<std::size_t>(placed)];
+    rr.offset = off;
+    rr.io_pending = true;
+    rr.part = ReservePurpose::kWrite;
+    sim::BytePtr dst = BufferFor(c, placed, ReservePurpose::kWrite).PtrAt(off);
+    // The application source lives in device memory: device-tier writes are
+    // D2D, pinned-host-tier writes cross PCIe.
+    const sim::MemcpyKind kind =
+        stack_.is_device(placed) ? sim::MemcpyKind::kD2D : sim::MemcpyKind::kD2H;
     lock.unlock();
     const util::Status st =
-        sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size,
-                             sim::MemcpyKind::kD2D);
+        sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size, kind);
     lock.lock();
-    rec.gpu.io_pending = false;
+    rr.io_pending = false;
     if (!st.ok()) {
-      (void)BufferFor(c, Tier::kGpu, ReservePurpose::kWrite).Release(v);
-      rec.gpu.Clear();
+      (void)BufferFor(c, placed, ReservePurpose::kWrite).Release(v);
+      rr.Clear();
       return cleanup_failure(st);
     }
-    rec.gpu.valid = true;
-    c.d2h_backlog_bytes += size;
+    rr.valid = true;
+    c.tiers[static_cast<std::size_t>(placed)]->backlog_bytes += size;
+    c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(placed)] += size;
     c.cv.notify_all();
     lock.unlock();
-    c.d2h_q.Push(v);
-  } else if (goff.status().code() == util::ErrorCode::kCapacityExceeded) {
-    // Oversize for the GPU cache: write through to the host cache.
-    auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kWrite, v, size,
-                          /*abort=*/{});
-    if (hoff.ok()) {
-      rec.host.offset = *hoff;
-      rec.host.io_pending = true;
-      rec.host.part = ReservePurpose::kWrite;
-      sim::BytePtr dst =
-          BufferFor(c, Tier::kHost, ReservePurpose::kWrite).PtrAt(*hoff);
-      lock.unlock();
-      const util::Status st =
-          sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size,
-                               sim::MemcpyKind::kD2H);
-      lock.lock();
-      rec.host.io_pending = false;
-      if (!st.ok()) {
-        (void)BufferFor(c, Tier::kHost, ReservePurpose::kWrite).Release(v);
-        rec.host.Clear();
-        return cleanup_failure(st);
-      }
-      rec.host.valid = true;
-      c.h2f_backlog_bytes += size;
-      c.cv.notify_all();
-      lock.unlock();
-      c.h2f_q.Push(v);
-    } else if (hoff.status().code() == util::ErrorCode::kCapacityExceeded) {
-      // Oversize for both caches: synchronous write-through to the store.
-      lock.unlock();
-      sim::PinnedArena staging(cluster_.topology(),
-                               cluster_.topology().node_of_rank(rank), size);
-      const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
-                                                   staging.data(), src, size,
-                                                   sim::MemcpyKind::kD2H);
-      if (!st.ok()) {
-        lock.lock();
-        return cleanup_failure(st);
-      }
-      std::mt19937_64 rng = util::MakeRng(
-          options_.retry_seed ^ v, static_cast<std::uint64_t>(rank) * 4 + 3);
-      const TerminalPutResult r = PutTerminal(c, v, staging.data(), size, rng);
-      lock.lock();
-      c.metrics.flush_retries += r.retries;
-      c.metrics.flush_failures += r.failures;
-      if (!r.ssd_ok && !r.pfs_ok) {
-        // Nothing durable and nothing cached. The caller still owns the
-        // source buffer, so surface the failure instead of losing data.
-        return cleanup_failure(util::IoError(
-            "write-through flush of checkpoint " + std::to_string(v) +
-            " failed on every durable tier"));
-      }
-      rec.on_ssd = r.ssd_ok;
-      rec.on_pfs = r.pfs_ok;
-      if (options_.terminal_tier == Tier::kPfs ? !rec.on_pfs : !rec.on_ssd) {
-        rec.degraded = true;
-        ++c.metrics.tier_degradations;
-      }
-      FinishFlush(c, rec);
-    } else {
-      return cleanup_failure(hoff.status());
-    }
+    c.tiers[static_cast<std::size_t>(placed)]->flush_q.Push(v);
   } else {
-    return cleanup_failure(goff.status());
+    // Oversize for every cache tier: synchronous write-through to the
+    // durable store(s) from a transient pinned staging buffer.
+    lock.unlock();
+    sim::PinnedArena staging(cluster_.topology(),
+                             cluster_.topology().node_of_rank(rank), size);
+    const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                                 staging.data(), src, size,
+                                                 sim::MemcpyKind::kD2H);
+    if (!st.ok()) {
+      lock.lock();
+      return cleanup_failure(st);
+    }
+    std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(ncache) + 1, v);
+    const TerminalPutResult r = PutTerminal(c, v, staging.data(), size, rng);
+    lock.lock();
+    c.metrics.flush_retries += r.retries;
+    c.metrics.flush_failures += r.failures;
+    bool any = false;
+    for (std::size_t d = 0; d < r.ok.size(); ++d) {
+      if (r.ok[d]) {
+        any = true;
+        rec.durable[d] = 1;
+        c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(
+            stack_.durable_index(static_cast<int>(d)))] += size;
+      }
+    }
+    if (!any) {
+      // Nothing durable and nothing cached. The caller still owns the
+      // source buffer, so surface the failure instead of losing data.
+      return cleanup_failure(util::IoError(
+          "write-through flush of checkpoint " + std::to_string(v) +
+          " failed on every durable tier"));
+    }
+    if (!rec.durable[static_cast<std::size_t>(stack_.terminal_ordinal())]) {
+      rec.degraded = true;
+      ++c.metrics.tier_degradations;
+    }
+    FinishFlush(c, rec);
   }
 
   if (!lock.owns_lock()) lock.lock();
@@ -705,7 +782,8 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   // aborts stuck promotions when it sees restore_waiting, so this wait is
   // bounded.
   bool waited_promotion = false;
-  while (rec.prefetch_claimed && !rec.gpu.valid && !c.shutdown) {
+  while (rec.prefetch_claimed &&
+         !rec.res.empty() && !rec.res[0].valid && !c.shutdown) {
     waited_promotion = true;
     c.cv.wait(lock);
   }
@@ -714,40 +792,47 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     return util::ShutdownError("engine stopping");
   }
 
+  // Serve from the fastest tier holding the data.
+  int src_tier = -1;
+  for (std::size_t j = 0; j < rec.res.size(); ++j) {
+    if (rec.res[j].valid) {
+      src_tier = static_cast<int>(j);
+      break;
+    }
+  }
+
   util::Status st;
-  if (rec.gpu.valid) {
-    ++rec.gpu.read_refs;
-    sim::ConstBytePtr src =
-        BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+  if (src_tier >= 0) {
+    Residency& rr = rec.res[static_cast<std::size_t>(src_tier)];
+    ++rr.read_refs;
+    sim::ConstBytePtr src = BufferFor(c, src_tier, rr.part).PtrAt(rr.offset);
+    const sim::MemcpyKind kind = stack_.is_device(src_tier)
+                                     ? sim::MemcpyKind::kD2D
+                                     : sim::MemcpyKind::kH2D;
     lock.unlock();
     st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, rec.size,
-                              sim::MemcpyKind::kD2D);
+                              kind);
     lock.lock();
-    --rec.gpu.read_refs;
-    ++c.metrics.restores_from_gpu;
-  } else if (rec.host.valid) {
-    ++rec.host.read_refs;
-    sim::ConstBytePtr src =
-        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
-    lock.unlock();
-    st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, rec.size,
-                              sim::MemcpyKind::kH2D);
-    lock.lock();
-    --rec.host.read_refs;
-    ++c.metrics.restores_from_host;
-  } else if (rec.on_ssd || rec.on_pfs) {
-    const bool from_ssd = rec.on_ssd;
-    const bool from_pfs = rec.on_pfs;
+    --rr.read_refs;
+    if (stack_.is_device(src_tier)) {
+      ++c.metrics.restores_from_gpu;
+    } else {
+      ++c.metrics.restores_from_host;
+    }
+    ++c.metrics.restores_from_tier[static_cast<std::size_t>(src_tier)];
+  } else if (rec.AnyDurable()) {
+    const std::vector<unsigned char> durable = rec.durable;
     const std::uint64_t size = rec.size;
     std::uint64_t fetch_retries = 0;
     bool fell_back = false;
-    std::mt19937_64 rng = util::MakeRng(
-        options_.retry_seed ^ v, static_cast<std::uint64_t>(rank) * 4 + 3);
+    TierIndex served = -1;
+    std::mt19937_64 rng = RngFor(
+        c, static_cast<std::uint64_t>(stack_.num_cache_tiers()) + 1, v);
     lock.unlock();
     if (options_.gpudirect) {
       // GPUDirect read: store -> application device buffer over PCIe DMA.
-      st = GetDurable(c, v, dst, size, from_ssd, from_pfs, rng, /*abort=*/{},
-                      fetch_retries, fell_back);
+      st = GetDurable(c, v, dst, size, durable, rng, /*abort=*/{},
+                      fetch_retries, fell_back, served);
       if (st.ok()) {
         sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                                 sim::Topology::LinkDir::kH2D);
@@ -758,8 +843,8 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
       // deviating from the hints / running without foreknowledge.
       sim::PinnedArena staging(cluster_.topology(),
                                cluster_.topology().node_of_rank(rank), size);
-      st = GetDurable(c, v, staging.data(), size, from_ssd, from_pfs, rng,
-                      /*abort=*/{}, fetch_retries, fell_back);
+      st = GetDurable(c, v, staging.data(), size, durable, rng,
+                      /*abort=*/{}, fetch_retries, fell_back, served);
       if (st.ok()) {
         st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, staging.data(),
                                   size, sim::MemcpyKind::kH2D);
@@ -769,6 +854,9 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     c.metrics.fetch_retries += fetch_retries;
     if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
     ++c.metrics.restores_from_store;
+    if (st.ok() && served >= 0) {
+      ++c.metrics.restores_from_tier[static_cast<std::size_t>(served)];
+    }
   } else {
     rec.restore_waiting = false;
     return util::FailedPrecondition(
@@ -855,7 +943,8 @@ util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
   return it->second.state;
 }
 
-util::StatusOr<Tier> Engine::DurableTierOf(sim::Rank rank, Version v) const {
+util::StatusOr<TierIndex> Engine::DurableTierIndexOf(sim::Rank rank,
+                                                     Version v) const {
   const RankCtx& c = ctx(rank);
   std::lock_guard lock(c.mu);
   auto it = c.records.find(v);
@@ -869,43 +958,66 @@ util::StatusOr<Tier> Engine::DurableTierOf(sim::Rank rank, Version v) const {
     return util::FailedPrecondition("flush of checkpoint " +
                                     std::to_string(v) + " still in flight");
   }
-  if (rec.on_pfs) return Tier::kPfs;
-  if (rec.on_ssd) return Tier::kSsd;
-  if (rec.host.valid) return Tier::kHost;
-  if (rec.gpu.valid) return Tier::kGpu;
+  for (int d = stack_.num_durable_tiers() - 1; d >= 0; --d) {
+    if (rec.durable[static_cast<std::size_t>(d)]) {
+      return stack_.durable_index(d);
+    }
+  }
+  for (int j = stack_.num_cache_tiers() - 1; j >= 0; --j) {
+    if (rec.res[static_cast<std::size_t>(j)].valid) return j;
+  }
   return util::NotFound("checkpoint " + std::to_string(v) +
                         " holds no copy on any tier");
 }
 
-bool Engine::ResidentOn(sim::Rank rank, Version v, Tier tier) const {
+util::StatusOr<Tier> Engine::DurableTierOf(sim::Rank rank, Version v) const {
+  auto idx = DurableTierIndexOf(rank, v);
+  if (!idx.ok()) return idx.status();
+  return static_cast<Tier>(*idx);
+}
+
+bool Engine::ResidentOnIndex(sim::Rank rank, Version v, TierIndex tier) const {
   const RankCtx& c = ctx(rank);
   std::lock_guard lock(c.mu);
   auto it = c.records.find(v);
   if (it == c.records.end()) return false;
   const Record& rec = it->second;
-  switch (tier) {
-    case Tier::kGpu: return rec.gpu.valid;
-    case Tier::kHost: return rec.host.valid;
-    case Tier::kSsd: return rec.on_ssd;
-    case Tier::kPfs: return rec.on_pfs;
+  if (tier < 0 || tier >= static_cast<int>(stack_.size())) return false;
+  if (stack_.is_cache(tier)) {
+    return rec.res[static_cast<std::size_t>(tier)].valid;
   }
-  return false;
+  return rec.durable[static_cast<std::size_t>(stack_.durable_ordinal(tier))] !=
+         0;
+}
+
+bool Engine::ResidentOn(sim::Rank rank, Version v, Tier tier) const {
+  return ResidentOnIndex(rank, v, static_cast<TierIndex>(tier));
+}
+
+std::uint64_t Engine::CacheUsed(sim::Rank rank, TierIndex tier) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  if (tier < 0 || !stack_.is_cache(tier)) return 0;
+  const CacheTierRt& t = *c.tiers[static_cast<std::size_t>(tier)];
+  if (!t.ready) return 0;
+  std::uint64_t used = t.write_buf->used_bytes();
+  if (t.prefetch_buf) used += t.prefetch_buf->used_bytes();
+  return used;
 }
 
 std::uint64_t Engine::GpuCacheUsed(sim::Rank rank) const {
-  const RankCtx& c = ctx(rank);
-  std::lock_guard lock(c.mu);
-  std::uint64_t used = c.gpu_write->used_bytes();
-  if (c.gpu_prefetch) used += c.gpu_prefetch->used_bytes();
+  std::uint64_t used = 0;
+  for (int i = 0; i < stack_.num_cache_tiers(); ++i) {
+    if (stack_.is_device(i)) used += CacheUsed(rank, i);
+  }
   return used;
 }
 
 std::uint64_t Engine::HostCacheUsed(sim::Rank rank) const {
-  const RankCtx& c = ctx(rank);
-  std::lock_guard lock(c.mu);
-  if (!c.host_ready) return 0;
-  std::uint64_t used = c.host_write->used_bytes();
-  if (c.host_prefetch) used += c.host_prefetch->used_bytes();
+  std::uint64_t used = 0;
+  for (int i = 0; i < stack_.num_cache_tiers(); ++i) {
+    if (!stack_.is_device(i)) used += CacheUsed(rank, i);
+  }
   return used;
 }
 
@@ -919,19 +1031,44 @@ std::uint64_t Engine::PrefetchDistance(sim::Rank rank) const {
 // Background workers
 // ---------------------------------------------------------------------------
 
-void Engine::FlushD2HLoop(RankCtx& c) {
+// One generic flush stage per cache tier: drains copies from `tier` to
+// `tier + 1` (the default stack's T_D2H is the tier-0 instance); the last
+// cache tier's stage writes the durable stores instead (T_H2F). Checkpoints
+// larger than every deeper cache bypass straight to the stores.
+void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
-  std::mt19937_64 rng =
-      util::MakeRng(options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4);
-  while (auto vo = c.d2h_q.Pop()) {
+  std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(tier));
+  CacheTierRt& t = *c.tiers[static_cast<std::size_t>(tier)];
+  const int ncache = stack_.num_cache_tiers();
+
+  // Writes (rank, v) to the durable stores directly from this tier's copy.
+  // Device-tier sources stage through a transient pinned buffer first
+  // (without GPUDirect the drive cannot read device memory). Returns the
+  // result to apply under the lock.
+  const auto put_from_tier = [&](Version v, sim::ConstBytePtr src,
+                                 std::uint64_t size) -> TerminalPutResult {
+    if (!stack_.is_device(tier)) return PutTerminal(c, v, src, size, rng);
+    sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
+    const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
+                                                 staging.data(), src, size,
+                                                 sim::MemcpyKind::kD2H);
+    if (!st.ok()) {
+      CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
+      return TerminalPutResult{};
+    }
+    return PutTerminal(c, v, staging.data(), size, rng);
+  };
+
+  while (auto vo = t.flush_q.Pop()) {
     const Version v = *vo;
     std::unique_lock lock(c.mu);
     auto it = c.records.find(v);
     if (it == c.records.end()) continue;  // defensive
     Record& rec = it->second;
+    Residency& mine = rec.res[static_cast<std::size_t>(tier)];
 
     auto cancel = [&] {
-      c.d2h_backlog_bytes -= rec.size;
+      t.backlog_bytes -= rec.size;
       ++c.metrics.flushes_cancelled;
       if (!rec.flush_done) {
         rec.flush_done = true;
@@ -945,166 +1082,148 @@ void Engine::FlushD2HLoop(RankCtx& c) {
       cancel();
       continue;
     }
-    if (!rec.gpu.valid) {
-      // The GPU copy can only have been evicted if a lower-tier copy exists;
-      // in that case this flush stage is moot.
-      c.d2h_backlog_bytes -= rec.size;
+    if (!mine.valid) {
+      // The copy on this tier can only have been evicted if a safe copy
+      // existed elsewhere; route the flush obligation to wherever that
+      // copy lives now.
+      t.backlog_bytes -= rec.size;
       c.cv.notify_all();
-      if (rec.host.valid) {
-        c.h2f_backlog_bytes += rec.size;
+      int deeper = -1;
+      for (int j = tier + 1; j < ncache; ++j) {
+        if (rec.res[static_cast<std::size_t>(j)].valid) {
+          deeper = j;
+          break;
+        }
+      }
+      if (deeper >= 0) {
+        // A deeper cache copy continues the pipeline from there.
+        c.tiers[static_cast<std::size_t>(deeper)]->backlog_bytes += rec.size;
         lock.unlock();
-        c.h2f_q.Push(v);
+        c.tiers[static_cast<std::size_t>(deeper)]->flush_q.Push(v);
+      } else if (rec.AnyDurable()) {
+        // Already durable from an earlier stage; the missing copy is moot.
+        FinishFlush(c, rec);
+      } else if (rec.AnyCached()) {
+        // Only a shallower copy survives; it is pinned by SafeBelow(), so
+        // the checkpoint stays available but short of the terminal tier.
+        CKPT_LOG(kError, "flush")
+            << "rank " << c.rank << " ckpt " << v << ": "
+            << stack_.name(static_cast<std::size_t>(tier))
+            << " copy lost before its flush stage";
+        rec.degraded = true;
+        ++c.metrics.tier_degradations;
+        FinishFlush(c, rec);
       } else if (!rec.flush_done) {
-        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
-                                  << ": GPU copy lost before D2H flush";
+        CKPT_LOG(kError, "flush")
+            << "rank " << c.rank << " ckpt " << v << ": "
+            << stack_.name(static_cast<std::size_t>(tier))
+            << " copy lost before its flush stage";
         MarkFlushFailed(c, rec);
       }
       continue;
     }
 
-    if (options_.gpudirect) {
-      // GPUDirect Storage: DMA the checkpoint straight from the GPU cache
-      // to the NVMe drive, bypassing the host cache and DDR entirely.
-      ++rec.gpu.read_refs;
-      sim::ConstBytePtr src =
-          BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+    if (options_.gpudirect && stack_.is_device(tier)) {
+      // GPUDirect Storage: DMA the checkpoint straight from the device
+      // cache to the drive, bypassing the pinned tiers and DDR entirely.
+      ++mine.read_refs;
+      sim::ConstBytePtr src = BufferFor(c, tier, mine.part).PtrAt(mine.offset);
       const std::uint64_t size = rec.size;
       lock.unlock();
       sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                               sim::Topology::LinkDir::kD2H);
       const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
       lock.lock();
-      --rec.gpu.read_refs;
-      c.d2h_backlog_bytes -= size;
+      --mine.read_refs;
+      t.backlog_bytes -= size;
       ApplyFlushResult(c, rec, r);
       continue;
     }
 
-    auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kWrite, v,
-                          rec.size, /*abort=*/[&] {
-                            return options_.discard_after_restore &&
-                                   rec.state == CkptState::kConsumed;
-                          });
-    if (!hoff.ok() &&
-        hoff.status().code() == util::ErrorCode::kCapacityExceeded) {
-      // Checkpoint larger than the whole host cache: bypass it and write
-      // the store directly from a transient pinned staging buffer.
-      ++rec.gpu.read_refs;
-      sim::ConstBytePtr src =
-          BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
+    // Reserve space on the next cache tier down; oversize checkpoints keep
+    // falling through to deeper (larger) caches. The last cache tier has no
+    // next tier: it writes the durable stores.
+    int target = -1;
+    std::uint64_t noff = 0;
+    util::Status reserve_st = util::OkStatus();
+    for (int j = tier + 1; j < ncache; ++j) {
+      auto o = ReserveOn(c, lock, j, ReservePurpose::kWrite, v, rec.size,
+                         /*abort=*/[&] {
+                           return options_.discard_after_restore &&
+                                  rec.state == CkptState::kConsumed;
+                         });
+      if (o.ok()) {
+        target = j;
+        noff = *o;
+        break;
+      }
+      reserve_st = o.status();
+      if (reserve_st.code() != util::ErrorCode::kCapacityExceeded) break;
+    }
+    if (target < 0 && tier + 1 < ncache &&
+        reserve_st.code() != util::ErrorCode::kCapacityExceeded) {
+      cancel();  // shutdown or condition-(5) abort mid-reservation
+      continue;
+    }
+
+    if (target < 0) {
+      // Terminal stage (last cache tier, or no deeper cache fits this
+      // checkpoint): write the durable stores from this tier's copy.
+      ++mine.read_refs;
+      sim::ConstBytePtr src = BufferFor(c, tier, mine.part).PtrAt(mine.offset);
       const std::uint64_t size = rec.size;
       lock.unlock();
-      sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
-      const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
-                                                   staging.data(), src, size,
-                                                   sim::MemcpyKind::kD2H);
-      TerminalPutResult r;
-      if (st.ok()) {
-        r = PutTerminal(c, v, staging.data(), size, rng);
-      } else {
-        CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
-      }
+      const TerminalPutResult r = put_from_tier(v, src, size);
       lock.lock();
-      --rec.gpu.read_refs;
-      c.d2h_backlog_bytes -= size;
+      --mine.read_refs;
+      t.backlog_bytes -= size;
       ApplyFlushResult(c, rec, r);
       continue;
     }
-    if (!hoff.ok()) {
-      cancel();
-      continue;
-    }
-    rec.host.offset = *hoff;
-    rec.host.io_pending = true;
-    rec.host.part = ReservePurpose::kWrite;
-    ++rec.gpu.read_refs;
-    sim::ConstBytePtr src =
-        BufferFor(c, Tier::kGpu, rec.gpu.part).PtrAt(rec.gpu.offset);
-    sim::BytePtr dst =
-        BufferFor(c, Tier::kHost, ReservePurpose::kWrite).PtrAt(*hoff);
+
+    // Stage the copy one (or more) tiers down, then hand off to that
+    // tier's flush worker.
+    Residency& next = rec.res[static_cast<std::size_t>(target)];
+    next.offset = noff;
+    next.io_pending = true;
+    next.part = ReservePurpose::kWrite;
+    ++mine.read_refs;
+    sim::ConstBytePtr src = BufferFor(c, tier, mine.part).PtrAt(mine.offset);
+    sim::BytePtr dst = BufferFor(c, target, ReservePurpose::kWrite).PtrAt(noff);
+    const sim::MemcpyKind kind = stack_.is_device(tier)
+                                     ? sim::MemcpyKind::kD2H
+                                     : sim::MemcpyKind::kH2H;
     lock.unlock();
 
-    const util::Status st = sim::ThrottledMemcpy(
-        cluster_.topology(), gpu, dst, src, rec.size, sim::MemcpyKind::kD2H);
+    const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
+                                                 src, rec.size, kind);
 
     lock.lock();
-    --rec.gpu.read_refs;
-    rec.host.io_pending = false;
+    --mine.read_refs;
+    next.io_pending = false;
     if (!st.ok()) {
-      (void)BufferFor(c, Tier::kHost, ReservePurpose::kWrite).Release(v);
-      rec.host.Clear();
-      CKPT_LOG(kError, "flush") << "D2H flush failed: " << st.ToString();
+      (void)BufferFor(c, target, ReservePurpose::kWrite).Release(v);
+      next.Clear();
+      CKPT_LOG(kError, "flush") << "flush stage copy failed: " << st.ToString();
       cancel();
       continue;
     }
-    rec.host.valid = true;
-    c.d2h_backlog_bytes -= rec.size;
-    c.h2f_backlog_bytes += rec.size;
+    next.valid = true;
+    t.backlog_bytes -= rec.size;
+    c.tiers[static_cast<std::size_t>(target)]->backlog_bytes += rec.size;
+    c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(target)] += rec.size;
     c.cv.notify_all();
     lock.unlock();
-    c.h2f_q.Push(v);
-  }
-}
-
-void Engine::FlushH2FLoop(RankCtx& c) {
-  std::mt19937_64 rng = util::MakeRng(
-      options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4 + 1);
-  while (auto vo = c.h2f_q.Pop()) {
-    const Version v = *vo;
-    std::unique_lock lock(c.mu);
-    auto it = c.records.find(v);
-    if (it == c.records.end()) continue;
-    Record& rec = it->second;
-
-    if (options_.discard_after_restore && rec.state == CkptState::kConsumed) {
-      c.h2f_backlog_bytes -= rec.size;
-      ++c.metrics.flushes_cancelled;
-      if (!rec.flush_done) {
-        rec.flush_done = true;
-        --c.inflight_flushes;
-      }
-      c.cv.notify_all();
-      continue;
-    }
-    if (!rec.host.valid) {
-      c.h2f_backlog_bytes -= rec.size;
-      if (rec.on_ssd || rec.on_pfs) {
-        // Already durable from an earlier stage; the missing copy is moot.
-        FinishFlush(c, rec);
-      } else if (rec.gpu.valid) {
-        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
-                                  << ": host copy lost before H2F flush";
-        rec.degraded = true;
-        ++c.metrics.tier_degradations;
-        FinishFlush(c, rec);
-      } else {
-        CKPT_LOG(kError, "flush") << "rank " << c.rank << " ckpt " << v
-                                  << ": host copy lost before H2F flush";
-        MarkFlushFailed(c, rec);
-      }
-      continue;
-    }
-    ++rec.host.read_refs;
-    sim::ConstBytePtr src =
-        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
-    const std::uint64_t size = rec.size;
-    lock.unlock();
-
-    const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
-
-    lock.lock();
-    --rec.host.read_refs;
-    c.h2f_backlog_bytes -= size;
-    ApplyFlushResult(c, rec, r);
+    c.tiers[static_cast<std::size_t>(target)]->flush_q.Push(v);
   }
 }
 
 void Engine::PrefetchLoop(RankCtx& c) {
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
-  std::mt19937_64 rng = util::MakeRng(
-      options_.retry_seed, static_cast<std::uint64_t>(c.rank) * 4 + 2);
+  const int ncache = stack_.num_cache_tiers();
+  std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(ncache));
   const std::uint64_t pin_cap = static_cast<std::uint64_t>(
-      static_cast<double>(options_.gpu_cache_bytes) *
+      static_cast<double>(c.tiers[0]->capacity) *
       options_.prefetch_pin_fraction);
   std::unique_lock lock(c.mu);
   for (;;) {
@@ -1132,7 +1251,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       continue;
     }
 
-    const bool already_pinned = rec.gpu.valid && StatePinsFastTier(rec.state);
+    const bool already_pinned = rec.res[0].valid && StatePinsFastTier(rec.state);
     if (already_pinned) {
       c.hints.PopHead();
       ++c.metrics.prefetch_gpu_hits;
@@ -1140,13 +1259,13 @@ void Engine::PrefetchLoop(RankCtx& c) {
       continue;
     }
 
-    if (!rec.gpu.valid && !rec.host.valid && !rec.on_ssd && !rec.on_pfs) {
+    if (!rec.AnyCached() && !rec.AnyDurable()) {
       if (rec.state == CkptState::kConsumed ||
           rec.state == CkptState::kFlushFailed) {
         c.hints.PopHead();  // discarded (condition (5)) or lost: no fetch
       } else {
         // The write that produces this version is still copying into the
-        // GPU cache; no residency is valid yet. Wait for it to land.
+        // fast cache; no residency is valid yet. Wait for it to land.
         c.cv.wait_for(lock, std::chrono::milliseconds(10));
       }
       continue;
@@ -1154,8 +1273,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
 
     // Thrash control: cap the bytes pinned by unconsumed prefetched
     // checkpoints so interleaved writers always keep cache headroom. This
-    // governs BOTH pin paths — promotions and already-on-GPU hits — or an
-    // interleaved producer could find every cache slot pinned.
+    // governs BOTH pin paths — promotions and already-on-fast-tier hits —
+    // or an interleaved producer could find every cache slot pinned.
     bool aborted = false;
     while (c.prefetched_pinned_bytes + rec.size > pin_cap && !c.shutdown) {
       if (rec.restore_waiting) {
@@ -1173,7 +1292,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       continue;
     }
 
-    if (rec.gpu.valid) {
+    if (rec.res[0].valid) {
       // Already resident on the fast tier: pin it per the life cycle
       // (FLUSHED/WRITE_* -> READ_COMPLETE without any transfer).
       Advance(c, rec, CkptState::kReadComplete);
@@ -1197,41 +1316,51 @@ void Engine::PrefetchLoop(RankCtx& c) {
       c.cv.notify_all();
     };
 
-    bool host_src = rec.host.valid;
-    if (host_src) ++rec.host.read_refs;
+    // Promotion source: the shallowest cache tier below the fast one still
+    // holding a copy, else the durable stores.
+    int src_tier = -1;
+    for (int j = 1; j < ncache; ++j) {
+      if (rec.res[static_cast<std::size_t>(j)].valid) {
+        src_tier = j;
+        break;
+      }
+    }
+    if (src_tier > 0) {
+      ++rec.res[static_cast<std::size_t>(src_tier)].read_refs;
+    }
 
-    auto goff = ReserveOn(c, lock, Tier::kGpu, ReservePurpose::kPrefetch, v,
-                          rec.size,
+    auto goff = ReserveOn(c, lock, 0, ReservePurpose::kPrefetch, v, rec.size,
                           /*abort=*/[&] { return rec.restore_waiting; });
     if (!goff.ok()) {
-      if (host_src) --rec.host.read_refs;
+      if (src_tier > 0) {
+        --rec.res[static_cast<std::size_t>(src_tier)].read_refs;
+      }
       rollback();
       if (c.shutdown) return;
       continue;
     }
-    rec.gpu.offset = *goff;
-    rec.gpu.io_pending = true;
-    rec.gpu.part = ReservePurpose::kPrefetch;
+    rec.res[0].offset = *goff;
+    rec.res[0].io_pending = true;
+    rec.res[0].part = ReservePurpose::kPrefetch;
 
-    if (!host_src && options_.gpudirect) {
+    const auto abandon = [&c, &rec] {
+      std::lock_guard l(c.mu);
+      return c.shutdown || rec.restore_waiting;
+    };
+
+    if (src_tier < 0 && options_.gpudirect && stack_.is_device(0)) {
       // GPUDirect promotion: DMA the checkpoint from the store straight
-      // into the reserved GPU cache slot, bypassing the host cache.
+      // into the reserved device cache slot, bypassing the pinned tiers.
       sim::BytePtr gdst =
-          BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).PtrAt(rec.gpu.offset);
-      const bool from_ssd = rec.on_ssd;
-      const bool from_pfs = rec.on_pfs;
+          BufferFor(c, 0, ReservePurpose::kPrefetch).PtrAt(rec.res[0].offset);
+      const std::vector<unsigned char> durable = rec.durable;
       const std::uint64_t size = rec.size;
       std::uint64_t fetch_retries = 0;
       bool fell_back = false;
-      // Give up between retry attempts once the application blocks on this
-      // version: the rollback below hands it to the direct restore path.
-      const auto abandon = [&c, &rec] {
-        std::lock_guard l(c.mu);
-        return c.shutdown || rec.restore_waiting;
-      };
+      TierIndex served = -1;
       lock.unlock();
-      util::Status st = GetDurable(c, v, gdst, size, from_ssd, from_pfs, rng,
-                                   abandon, fetch_retries, fell_back);
+      util::Status st = GetDurable(c, v, gdst, size, durable, rng, abandon,
+                                   fetch_retries, fell_back, served);
       if (st.ok()) {
         sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                                 sim::Topology::LinkDir::kH2D);
@@ -1239,15 +1368,15 @@ void Engine::PrefetchLoop(RankCtx& c) {
       lock.lock();
       c.metrics.fetch_retries += fetch_retries;
       if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
-      rec.gpu.io_pending = false;
+      rec.res[0].io_pending = false;
       if (!st.ok()) {
         CKPT_LOG(kError, "prefetch") << "GPUDirect read failed: " << st.ToString();
-        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
-        rec.gpu.Clear();
+        (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
+        rec.res[0].Clear();
         rollback();
         continue;
       }
-      rec.gpu.valid = true;
+      rec.res[0].valid = true;
       rec.prefetch_claimed = false;
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
@@ -1256,75 +1385,122 @@ void Engine::PrefetchLoop(RankCtx& c) {
       continue;
     }
 
-    if (!host_src) {
-      // Multi-level promotion: store -> host cache -> GPU cache, warming the
-      // host cache on the way up.
-      auto hoff = ReserveOn(c, lock, Tier::kHost, ReservePurpose::kPrefetch, v,
-                            rec.size,
+    if (src_tier < 0 && ncache == 1) {
+      // Single cache tier: fetch from the stores straight into the
+      // reserved slot (staging through transient pinned memory when the
+      // tier is device-backed and GPUDirect is off).
+      sim::BytePtr slot =
+          BufferFor(c, 0, ReservePurpose::kPrefetch).PtrAt(rec.res[0].offset);
+      const std::vector<unsigned char> durable = rec.durable;
+      const std::uint64_t size = rec.size;
+      const bool device0 = stack_.is_device(0);
+      std::uint64_t fetch_retries = 0;
+      bool fell_back = false;
+      TierIndex served = -1;
+      lock.unlock();
+      util::Status st;
+      if (device0) {
+        sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
+        st = GetDurable(c, v, staging.data(), size, durable, rng, abandon,
+                        fetch_retries, fell_back, served);
+        if (st.ok()) {
+          st = sim::ThrottledMemcpy(cluster_.topology(), gpu, slot,
+                                    staging.data(), size,
+                                    sim::MemcpyKind::kH2D);
+        }
+      } else {
+        st = GetDurable(c, v, slot, size, durable, rng, abandon, fetch_retries,
+                        fell_back, served);
+      }
+      lock.lock();
+      c.metrics.fetch_retries += fetch_retries;
+      if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
+      rec.res[0].io_pending = false;
+      if (!st.ok()) {
+        CKPT_LOG(kError, "prefetch") << "store read failed: " << st.ToString();
+        (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
+        rec.res[0].Clear();
+        rollback();
+        continue;
+      }
+      rec.res[0].valid = true;
+      rec.prefetch_claimed = false;
+      Advance(c, rec, CkptState::kReadComplete);
+      AddPin(c, rec);
+      ++c.metrics.prefetch_promotions;
+      c.cv.notify_all();
+      continue;
+    }
+
+    if (src_tier < 0) {
+      // Multi-level promotion: store -> deepest cache tier -> fast tier,
+      // warming the deep cache on the way up.
+      const int w = ncache - 1;
+      auto hoff = ReserveOn(c, lock, w, ReservePurpose::kPrefetch, v, rec.size,
                             /*abort=*/[&] { return rec.restore_waiting; });
       if (!hoff.ok()) {
-        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
-        rec.gpu.Clear();
+        (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
+        rec.res[0].Clear();
         rollback();
         if (c.shutdown) return;
         continue;
       }
-      rec.host.offset = *hoff;
-      rec.host.io_pending = true;
-      rec.host.part = ReservePurpose::kPrefetch;
+      Residency& wres = rec.res[static_cast<std::size_t>(w)];
+      wres.offset = *hoff;
+      wres.io_pending = true;
+      wres.part = ReservePurpose::kPrefetch;
       sim::BytePtr hdst =
-          BufferFor(c, Tier::kHost, ReservePurpose::kPrefetch).PtrAt(*hoff);
-      const bool from_ssd = rec.on_ssd;
-      const bool from_pfs = rec.on_pfs;
+          BufferFor(c, w, ReservePurpose::kPrefetch).PtrAt(*hoff);
+      const std::vector<unsigned char> durable = rec.durable;
       const std::uint64_t size = rec.size;
       std::uint64_t fetch_retries = 0;
       bool fell_back = false;
-      const auto abandon = [&c, &rec] {
-        std::lock_guard l(c.mu);
-        return c.shutdown || rec.restore_waiting;
-      };
+      TierIndex served = -1;
       lock.unlock();
-      const util::Status st = GetDurable(c, v, hdst, size, from_ssd, from_pfs,
-                                         rng, abandon, fetch_retries, fell_back);
+      const util::Status st = GetDurable(c, v, hdst, size, durable, rng,
+                                         abandon, fetch_retries, fell_back,
+                                         served);
       lock.lock();
       c.metrics.fetch_retries += fetch_retries;
       if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
-      rec.host.io_pending = false;
+      wres.io_pending = false;
       if (!st.ok()) {
         CKPT_LOG(kError, "prefetch") << "store read failed: " << st.ToString();
-        (void)BufferFor(c, Tier::kHost, ReservePurpose::kPrefetch).Release(v);
-        rec.host.Clear();
-        (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
-        rec.gpu.Clear();
+        (void)BufferFor(c, w, ReservePurpose::kPrefetch).Release(v);
+        wres.Clear();
+        (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
+        rec.res[0].Clear();
         rollback();
         continue;
       }
-      rec.host.valid = true;
-      ++rec.host.read_refs;
-      host_src = true;
+      wres.valid = true;
+      ++wres.read_refs;
+      src_tier = w;
       c.cv.notify_all();
     }
 
-    sim::ConstBytePtr src =
-        BufferFor(c, Tier::kHost, rec.host.part).PtrAt(rec.host.offset);
+    // Final hop: src_tier -> fast tier.
+    Residency& sres = rec.res[static_cast<std::size_t>(src_tier)];
+    sim::ConstBytePtr src = BufferFor(c, src_tier, sres.part).PtrAt(sres.offset);
     sim::BytePtr dst =
-        BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).PtrAt(rec.gpu.offset);
+        BufferFor(c, 0, ReservePurpose::kPrefetch).PtrAt(rec.res[0].offset);
     const std::uint64_t size = rec.size;
+    const sim::MemcpyKind kind = stack_.is_device(0) ? sim::MemcpyKind::kH2D
+                                                     : sim::MemcpyKind::kH2H;
     lock.unlock();
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
-                                                 src, size,
-                                                 sim::MemcpyKind::kH2D);
+                                                 src, size, kind);
     lock.lock();
-    --rec.host.read_refs;
-    rec.gpu.io_pending = false;
+    --sres.read_refs;
+    rec.res[0].io_pending = false;
     if (!st.ok()) {
-      CKPT_LOG(kError, "prefetch") << "H2D promotion failed: " << st.ToString();
-      (void)BufferFor(c, Tier::kGpu, ReservePurpose::kPrefetch).Release(v);
-      rec.gpu.Clear();
+      CKPT_LOG(kError, "prefetch") << "promotion copy failed: " << st.ToString();
+      (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
+      rec.res[0].Clear();
       rollback();
       continue;
     }
-    rec.gpu.valid = true;
+    rec.res[0].valid = true;
     rec.prefetch_claimed = false;
     Advance(c, rec, CkptState::kReadComplete);
     AddPin(c, rec);

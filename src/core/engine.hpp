@@ -1,19 +1,23 @@
 // The multi-level checkpoint engine: the paper's primary contribution.
 //
-// One Engine serves every process (rank) of the simulated node(s). Per rank
-// it owns:
-//   * a pre-allocated GPU cache buffer carved out of the rank's device HBM
-//     (default 10% of capacity, §5.3.4);
-//   * a pre-allocated *pinned* host cache buffer (allocation cost paid once
-//     at init, §4.1.4 — the slow pinned allocation is measured in init_s);
-//   * three dedicated background threads (§4.3.1): T_D2H (GPU->host cache
-//     flushes), T_H2F (host cache -> SSD [-> PFS] flushes) and T_PF
+// One Engine serves every process (rank) of the simulated node(s). The tier
+// layout is a core::TierStack — by default GPU HBM -> pinned host -> SSD
+// [-> PFS], but any stack with >= 1 cache tier and >= 1 durable tier works
+// (host-only 3-tier, archive-backed 5-tier, ...). Per rank the engine owns:
+//   * one pre-allocated buffer per cache tier, carved out of the rank's
+//     device HBM for the (optional) device tier and pinned host memory for
+//     the rest (allocation cost paid once at init, §4.1.4);
+//   * one dedicated flush worker per cache tier (§4.3.1 generalized): the
+//     worker of tier i drains copies from tier i to tier i+1, the last
+//     cache tier's worker writes the durable stores — the default stack's
+//     T_D2H and T_H2F are the i=0 and i=1 instances — plus T_PF
 //     (multi-tier prefetch promotions driven by the restore-order queue);
 //   * a restore-order hint queue and per-checkpoint life-cycle records.
 //
 // Blocking semantics follow §2 exactly: Checkpoint() blocks only until the
-// data reaches the GPU cache; Restore() blocks until the data lands in the
-// application buffer, served from the fastest tier holding it.
+// data reaches the fastest cache tier with room; Restore() blocks until the
+// data lands in the application buffer, served from the fastest tier
+// holding it.
 #pragma once
 
 #include <atomic>
@@ -31,6 +35,7 @@
 #include "core/metrics.hpp"
 #include "core/restore_queue.hpp"
 #include "core/runtime.hpp"
+#include "core/tier_stack.hpp"
 #include "core/types.hpp"
 #include "simgpu/cluster.hpp"
 #include "simgpu/pinned.hpp"
@@ -42,12 +47,15 @@ namespace ckpt::core {
 
 struct EngineOptions {
   /// Per-rank cache sizes (paper defaults, scaled: 4 GB -> 4 MB GPU cache,
-  /// 32 GB -> 32 MB pinned host cache).
+  /// 32 GB -> 32 MB pinned host cache). Only read by the legacy
+  /// (ssd, pfs) constructor, which builds the default stack from them; the
+  /// TierStack constructor takes capacities from the stack itself.
   std::uint64_t gpu_cache_bytes = 4ull << 20;
   std::uint64_t host_cache_bytes = 32ull << 20;
 
   /// Deepest tier flushes must reach before a checkpoint counts as durable
-  /// (kSsd by default; kPfs adds the parallel-file-system stage).
+  /// (kSsd by default; kPfs adds the parallel-file-system stage). Legacy
+  /// constructor only; the TierStack carries its own terminal tier.
   Tier terminal_tier = Tier::kSsd;
 
   /// Condition (5): once consumed, a checkpoint's pending flushes may be
@@ -63,31 +71,33 @@ struct EngineOptions {
   /// Fraction of the cache given to the prefetch partition in split mode.
   double split_prefetch_fraction = 0.5;
 
-  /// Max fraction of the GPU cache that prefetched-but-unconsumed
+  /// Max fraction of the fastest cache tier that prefetched-but-unconsumed
   /// checkpoints may pin. Guarantees interleaved writers can always make
   /// progress (deadlock freedom, DESIGN.md §5).
   double prefetch_pin_fraction = 0.75;
 
   /// EXTENSION (paper §6 future work, "load balance variable-sized
-  /// checkpoints"): per-rank weights for dividing the node's total host
-  /// cache. Empty = equal shares. With weights, rank r receives
-  /// host_cache_bytes * weights[r] / sum(weights) — e.g. proportional to
-  /// each rank's expected trace volume, so heavy shots stop thrashing while
-  /// light shots hold idle capacity.
+  /// checkpoints"): per-rank weights for dividing the node's total
+  /// pinned-host cache. Empty = equal shares. With weights, rank r receives
+  /// capacity * weights[r] / sum(weights) on every pinned-host cache tier —
+  /// e.g. proportional to each rank's expected trace volume, so heavy shots
+  /// stop thrashing while light shots hold idle capacity.
   std::vector<double> host_cache_weights;
 
   /// EXTENSION ([Maurya et al., HiPC'22], cited as complementary in
   /// §4.1.4): hide the slow pinned host-cache registration by performing it
   /// on a background thread at init. Checkpoint() returns immediately from
-  /// engine construction; the first D2H flush waits until its rank's host
-  /// cache is registered. Restores and GPU-cache writes are unaffected.
+  /// engine construction; the first flush into a pinned tier waits until
+  /// that tier is registered. Restores and device-cache writes are
+  /// unaffected.
   bool async_pin_init = false;
 
   /// EXTENSION (paper §6 future work): GPUDirect Storage. Flushes move
-  /// GPU cache -> SSD and promotions move SSD -> GPU cache directly over
-  /// PCIe DMA, bypassing the pinned host cache and its DDR bandwidth. The
-  /// host cache still serves as a middle tier for data that happens to be
-  /// there, but the flush/prefetch pipelines no longer stage through it.
+  /// device cache -> durable store and promotions move store -> device
+  /// cache directly over PCIe DMA, bypassing the pinned host tiers and
+  /// their DDR bandwidth. The host tiers still serve data that happens to
+  /// be there, but the flush/prefetch pipelines no longer stage through
+  /// them. Only meaningful when the stack has a device tier.
   bool gpudirect = false;
 
   // --- Failure model (DESIGN.md §8) ---
@@ -119,7 +129,14 @@ struct EngineOptions {
 
 class Engine final : public Runtime {
  public:
-  /// `ssd` must be non-null; `pfs` may be null when terminal_tier == kSsd.
+  /// Generic constructor: the stack is the engine's source of truth for
+  /// tier count, capacities, stores and the terminal tier.
+  Engine(sim::Cluster& cluster, TierStack stack, EngineOptions options,
+         int num_ranks);
+
+  /// Legacy constructor: builds the default GPU->host->SSD[->PFS] stack
+  /// from `options`. `ssd` must be non-null; `pfs` may be null when
+  /// terminal_tier == kSsd.
   Engine(sim::Cluster& cluster, std::shared_ptr<storage::ObjectStore> ssd,
          std::shared_ptr<storage::ObjectStore> pfs, EngineOptions options,
          int num_ranks);
@@ -129,7 +146,8 @@ class Engine final : public Runtime {
   Engine& operator=(const Engine&) = delete;
 
   /// Writes version `v` from the rank's device buffer. Blocks until the
-  /// data is in the GPU cache; flushing continues asynchronously.
+  /// data is in the fastest cache tier with room; flushing continues
+  /// asynchronously.
   util::Status Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src,
                           std::uint64_t size) override;
 
@@ -161,22 +179,34 @@ class Engine final : public Runtime {
   [[nodiscard]] const RankMetrics& metrics(sim::Rank rank) const override;
   [[nodiscard]] std::string_view name() const override { return "score"; }
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const TierStack& tiers() const noexcept { return stack_; }
   [[nodiscard]] int num_ranks() const noexcept {
     return static_cast<int>(ranks_.size());
   }
 
   // --- Introspection for tests ---
   [[nodiscard]] util::StatusOr<CkptState> StateOf(sim::Rank rank, Version v) const;
+  /// Residency by stack index; indices beyond the stack are simply absent.
+  [[nodiscard]] bool ResidentOnIndex(sim::Rank rank, Version v,
+                                     TierIndex tier) const;
+  /// Legacy alias: the default stack's Tier enum doubles as its indices.
   [[nodiscard]] bool ResidentOn(sim::Rank rank, Version v, Tier tier) const;
-  /// Deepest tier still holding a copy of a flushed checkpoint. For a
-  /// degraded checkpoint this is shallower than the configured terminal
+  /// Deepest stack index still holding a copy of a flushed checkpoint. For
+  /// a degraded checkpoint this is shallower than the configured terminal
   /// tier. Errors: kFailedPrecondition while the flush is in flight,
   /// kIoError once the checkpoint entered FLUSH_FAILED.
+  [[nodiscard]] util::StatusOr<TierIndex> DurableTierIndexOf(sim::Rank rank,
+                                                             Version v) const;
+  /// Legacy alias of DurableTierIndexOf for the default stack.
   [[nodiscard]] util::StatusOr<Tier> DurableTierOf(sim::Rank rank, Version v) const;
+  /// Used bytes of cache tier `tier` (0 while a pinned tier registers).
+  [[nodiscard]] std::uint64_t CacheUsed(sim::Rank rank, TierIndex tier) const;
+  /// Legacy aliases: the device tier's usage, and the summed usage of the
+  /// pinned-host cache tiers.
   [[nodiscard]] std::uint64_t GpuCacheUsed(sim::Rank rank) const;
   [[nodiscard]] std::uint64_t HostCacheUsed(sim::Rank rank) const;
-  /// Consecutive hinted successors already promoted to the GPU cache
-  /// (the Fig. 7 prefetch-distance metric).
+  /// Consecutive hinted successors already promoted to the fastest cache
+  /// tier (the Fig. 7 prefetch-distance metric).
   [[nodiscard]] std::uint64_t PrefetchDistance(sim::Rank rank) const;
 
  private:
@@ -199,10 +229,10 @@ class Engine final : public Runtime {
     Version version = 0;
     std::uint64_t size = 0;
     CkptState state = CkptState::kInit;
-    Residency gpu;
-    Residency host;
-    bool on_ssd = false;
-    bool on_pfs = false;
+    /// Residency per cache tier, indexed by stack position [0, num_cache).
+    std::vector<Residency> res;
+    /// Copy-present flag per durable tier, indexed by durable ordinal.
+    std::vector<unsigned char> durable;
     bool restore_waiting = false;   ///< a Restore() call is blocked on this
     bool prefetch_claimed = false;  ///< T_PF owns an in-flight promotion
     bool pinned_counted = false;    ///< counted in prefetched_pinned_bytes
@@ -211,6 +241,40 @@ class Engine final : public Runtime {
                                     ///< configured (terminal tier failed)
     std::uint64_t lru_seq = 0;
     std::uint64_t fifo_seq = 0;
+
+    [[nodiscard]] bool AnyDurable() const noexcept {
+      for (unsigned char d : durable) {
+        if (d) return true;
+      }
+      return false;
+    }
+    [[nodiscard]] bool AnyCached() const noexcept {
+      for (const Residency& r : res) {
+        if (r.valid) return true;
+      }
+      return false;
+    }
+    [[nodiscard]] bool AnyCacheBusy() const noexcept {
+      for (const Residency& r : res) {
+        if (r.busy()) return true;
+      }
+      return false;
+    }
+  };
+
+  /// Per-rank runtime state of one cache tier.
+  struct CacheTierRt {
+    std::uint64_t capacity = 0;     ///< this rank's share of the tier
+    bool ready = false;             ///< backing memory allocated/registered
+    sim::BytePtr gpu_base = nullptr;            ///< device tiers (owned by
+                                                ///< the rank's Device)
+    std::unique_ptr<sim::PinnedArena> arena;    ///< pinned-host tiers
+    std::unique_ptr<CacheBuffer> write_buf;     // shared cache, or write half
+    std::unique_ptr<CacheBuffer> prefetch_buf;  // split mode only
+    /// Versions whose copy on this tier awaits flushing to the next tier.
+    util::MpmcQueue<Version> flush_q;
+    std::uint64_t backlog_bytes = 0;
+    std::jthread worker;  ///< FlushStageLoop for this tier
   };
 
   struct RankCtx {
@@ -223,21 +287,9 @@ class Engine final : public Runtime {
     bool prefetch_started = false;
     bool shutdown = false;
 
-    std::uint64_t host_cache_bytes = 0;  ///< this rank's host partition
-    bool host_ready = false;             ///< pinned registration finished
-    std::jthread t_pin;                  ///< async_pin_init worker
+    std::vector<std::unique_ptr<CacheTierRt>> tiers;  ///< cache tiers only
+    std::jthread t_pin;  ///< async_pin_init worker
 
-    sim::BytePtr gpu_base = nullptr;  ///< owned by the rank's Device
-    std::unique_ptr<CacheBuffer> gpu_write;    // shared cache, or write half
-    std::unique_ptr<CacheBuffer> gpu_prefetch; // split mode only
-    std::unique_ptr<sim::PinnedArena> host_arena;
-    std::unique_ptr<CacheBuffer> host_write;
-    std::unique_ptr<CacheBuffer> host_prefetch;  // split mode only
-
-    util::MpmcQueue<Version> d2h_q;
-    util::MpmcQueue<Version> h2f_q;
-    std::uint64_t d2h_backlog_bytes = 0;
-    std::uint64_t h2f_backlog_bytes = 0;
     std::uint64_t inflight_flushes = 0;       ///< records not yet flush_done
     std::uint64_t prefetched_pinned_bytes = 0;
     std::uint64_t prefetched_pinned_count = 0;
@@ -247,34 +299,34 @@ class Engine final : public Runtime {
 
     RankMetrics metrics;
 
-    std::jthread t_d2h;
-    std::jthread t_h2f;
     std::jthread t_pf;
   };
 
-  // Background workers (one of each per rank).
-  void FlushD2HLoop(RankCtx& ctx);
-  void FlushH2FLoop(RankCtx& ctx);
+  void Init(int num_ranks);
+
+  // Background workers (num_cache_tiers flush stages + T_PF, per rank).
+  void FlushStageLoop(RankCtx& ctx, TierIndex tier);
   void PrefetchLoop(RankCtx& ctx);
 
-  // Helpers; all require ctx.mu held unless noted.
-  [[nodiscard]] CacheBuffer& BufferFor(RankCtx& ctx, Tier tier,
+  // Helpers; all require ctx.mu held unless noted. `tier` is a stack index
+  // of a cache tier.
+  [[nodiscard]] CacheBuffer& BufferFor(RankCtx& ctx, TierIndex tier,
                                        ReservePurpose purpose);
-  [[nodiscard]] CacheBuffer::MetaFn MakeMetaFn(RankCtx& ctx, Tier tier);
-  [[nodiscard]] bool SafeBelow(const Record& rec, Tier tier) const;
-  [[nodiscard]] bool EvictableNow(const Record& rec, Tier tier) const;
-  [[nodiscard]] bool ExcludedOn(const Record& rec, Tier tier) const;
+  [[nodiscard]] CacheBuffer::MetaFn MakeMetaFn(RankCtx& ctx, TierIndex tier);
+  [[nodiscard]] bool SafeBelow(const Record& rec, TierIndex tier) const;
+  [[nodiscard]] bool EvictableNow(const Record& rec, TierIndex tier) const;
+  [[nodiscard]] bool ExcludedOn(const Record& rec, TierIndex tier) const;
   [[nodiscard]] double EtaSeconds(const RankCtx& ctx, const Record& rec,
-                                  Tier tier) const;
+                                  TierIndex tier) const;
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
-  util::Status EvictVictims(RankCtx& ctx, Tier tier,
+  util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);
   /// Blocking reservation loop: plan / commit-or-wait / re-plan.
   /// `abort` (optional) is checked after each failed round; when it returns
   /// true the reservation gives up with kCancelled.
   util::StatusOr<std::uint64_t> ReserveOn(RankCtx& ctx,
                                           std::unique_lock<std::mutex>& lock,
-                                          Tier tier, ReservePurpose purpose,
+                                          TierIndex tier, ReservePurpose purpose,
                                           Version v, std::uint64_t size,
                                           const std::function<bool()>& abort);
   /// Marks a flush stage reaching the terminal tier; advances the FSM.
@@ -283,14 +335,17 @@ class Engine final : public Runtime {
   // --- Failure model helpers (DESIGN.md §8) ---
   /// Result of writing one checkpoint to the durable store(s) with retries.
   struct TerminalPutResult {
-    bool ssd_ok = false;
-    bool pfs_ok = false;          ///< only attempted when terminal == kPfs
-    std::uint64_t retries = 0;    ///< extra attempts across both tiers
+    /// Outcome per durable ordinal; ordinals beyond the terminal tier are
+    /// not attempted and stay 0.
+    std::vector<unsigned char> ok;
+    std::uint64_t retries = 0;    ///< extra attempts across all tiers
     std::uint64_t failures = 0;   ///< tiers that permanently failed
   };
-  /// Writes (rank, v) to the SSD store — and the PFS store when the
-  /// terminal tier is kPfs — retrying transient errors per flush_retry.
-  /// Called WITHOUT ctx.mu held; aborts early on engine shutdown.
+  /// Writes (rank, v) to every durable tier up to and including the
+  /// terminal one, retrying transient errors per flush_retry. Deeper
+  /// stages are attempted even when a shallower one failed: a surviving
+  /// deeper copy still makes the checkpoint durable. Called WITHOUT ctx.mu
+  /// held.
   TerminalPutResult PutTerminal(RankCtx& ctx, Version v, sim::ConstBytePtr src,
                                 std::uint64_t size, std::mt19937_64& rng);
   /// Applies a TerminalPutResult to the record (ctx.mu held): marks durable
@@ -301,15 +356,18 @@ class Engine final : public Runtime {
   /// Transitions the record to FLUSH_FAILED, reclaiming its cache space and
   /// unblocking WaitForFlushes / pending restores (ctx.mu held).
   void MarkFlushFailed(RankCtx& ctx, Record& rec);
-  /// Reads (rank, v) from the durable stores with bounded retries,
-  /// preferring the SSD copy and falling back to the PFS copy. Called
-  /// WITHOUT ctx.mu held. Accumulates retry/fallback counts into the
-  /// out-params (caller charges metrics under the lock).
+  /// Reads (rank, v) from the durable tiers flagged in `durable`, walking
+  /// shallowest-first with bounded retries per tier. Called WITHOUT ctx.mu
+  /// held. Accumulates retry/fallback counts into the out-params (caller
+  /// charges metrics under the lock); `served` reports the stack index
+  /// that satisfied the read.
   util::Status GetDurable(RankCtx& ctx, Version v, sim::BytePtr dst,
-                          std::uint64_t size, bool on_ssd, bool on_pfs,
+                          std::uint64_t size,
+                          const std::vector<unsigned char>& durable,
                           std::mt19937_64& rng,
                           const std::function<bool()>& abort,
-                          std::uint64_t& retries, bool& fell_back);
+                          std::uint64_t& retries, bool& fell_back,
+                          TierIndex& served);
   /// FSM transition with legality check (aborts the process on violation —
   /// an illegal edge is an engine bug, never a user error).
   void Advance(RankCtx& ctx, Record& rec, CkptState to);
@@ -319,15 +377,24 @@ class Engine final : public Runtime {
   void AddPin(RankCtx& ctx, Record& rec);
   /// Imports a record found only on the durable stores.
   util::StatusOr<Record*> FindOrImport(RankCtx& ctx, Version v);
+  /// Fresh record with residency vectors sized for this stack.
+  [[nodiscard]] Record NewRecord(RankCtx& ctx, Version v,
+                                 std::uint64_t size) const;
   [[nodiscard]] std::uint64_t ComputePrefetchDistance(const RankCtx& ctx) const;
+  /// Per-rank/thread deterministic rng stream (`stream` < kRngStreamsPerRank).
+  [[nodiscard]] std::mt19937_64 RngFor(const RankCtx& ctx,
+                                       std::uint64_t stream,
+                                       std::uint64_t salt = 0) const;
 
   [[nodiscard]] RankCtx& ctx(sim::Rank rank);
   [[nodiscard]] const RankCtx& ctx(sim::Rank rank) const;
 
   sim::Cluster& cluster_;
-  std::shared_ptr<storage::ObjectStore> ssd_;
-  std::shared_ptr<storage::ObjectStore> pfs_;
+  TierStack stack_;
   EngineOptions options_;
+  /// Estimated drain bandwidth of each cache tier toward the next tier
+  /// (bytes/s), for predict_evictable ETAs (§4.2).
+  std::vector<double> drain_bw_;
   std::vector<std::unique_ptr<RankCtx>> ranks_;
   std::atomic<bool> shutdown_{false};
 };

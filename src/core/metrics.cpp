@@ -11,6 +11,13 @@ void RankMetrics::Merge(const RankMetrics& other) {
   restores_from_host += other.restores_from_host;
   restores_from_store += other.restores_from_store;
   restores_waited_promotion += other.restores_waited_promotion;
+  const auto merge_per_tier = [](std::vector<std::uint64_t>& into,
+                                 const std::vector<std::uint64_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  };
+  merge_per_tier(restores_from_tier, other.restores_from_tier);
+  merge_per_tier(flush_bytes_to_tier, other.flush_bytes_to_tier);
   reserve_wait_write_s += other.reserve_wait_write_s;
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;

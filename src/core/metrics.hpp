@@ -29,11 +29,20 @@ struct RankMetrics {
   std::uint64_t bytes_checkpointed = 0;
   std::uint64_t bytes_restored = 0;
 
-  // Restore service location (which tier satisfied the read).
+  // Restore service location (which tier satisfied the read). The legacy
+  // scalars aggregate by tier role (device cache / host cache / durable
+  // store); the vectors below index by TierStack position for config-driven
+  // stacks.
   std::uint64_t restores_from_gpu = 0;
   std::uint64_t restores_from_host = 0;
-  std::uint64_t restores_from_store = 0;   // SSD/PFS direct path
+  std::uint64_t restores_from_store = 0;   // durable-store direct path
   std::uint64_t restores_waited_promotion = 0;  // blocked on T_PF
+
+  // Per-tier telemetry, indexed by TierStack position (resized by the
+  // engine at construction; empty until then).
+  std::vector<std::uint64_t> restores_from_tier;
+  std::vector<std::uint64_t> flush_bytes_to_tier;  // flushed bytes landing on
+                                                   // each tier
 
   // Prefetch engine telemetry.
   std::uint64_t prefetch_promotions = 0;   // upward copies completed

@@ -1,0 +1,176 @@
+// Config-driven description of the multi-level storage hierarchy.
+//
+// The paper's contribution is a *multi-level* cache-and-prefetch data path;
+// the tier count and composition are configuration, not code (VELOC's
+// pluggable tier model). A TierStack is an ordered vector of TierDesc — a
+// contiguous run of managed cache tiers (GPU HBM and/or pinned host arenas)
+// followed by a contiguous run of durable object-store tiers — plus the
+// index of the *terminal* tier a flush must reach before a checkpoint counts
+// as durable. The engine walks this stack everywhere it used to switch on
+// the fixed 4-value Tier enum: flush staging, prefetch promotion, restore
+// fallback, eviction safety ("durable copy below?") and fault degradation
+// ("deepest surviving tier").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+#include "storage/object_store.hpp"
+#include "util/config.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::core {
+
+/// What a tier is made of, which determines who moves data in and out:
+/// cache tiers are engine-managed CacheBuffers with eviction; durable tiers
+/// are whole-object stores with enough capacity for the full history.
+enum class TierKind : std::uint8_t { kCache, kDurable };
+
+/// Physical medium of a cache tier. Device-backed tiers are carved out of
+/// the rank's HBM (at most one, and it must be the top of the stack);
+/// pinned-host tiers pay the one-time registration cost at init (§4.1.4).
+enum class CacheMedium : std::uint8_t { kDevice, kPinnedHost };
+
+[[nodiscard]] constexpr std::string_view to_string(TierKind k) noexcept {
+  return k == TierKind::kCache ? "cache" : "durable";
+}
+
+/// One level of the hierarchy.
+struct TierDesc {
+  std::string name;                 ///< config-visible label ("gpu", "ssd", …)
+  TierKind kind = TierKind::kCache;
+  CacheMedium medium = CacheMedium::kPinnedHost;  ///< cache tiers only
+  std::uint64_t capacity_bytes = 0;               ///< cache tiers only
+  std::shared_ptr<storage::ObjectStore> store;    ///< durable tiers only
+};
+
+class TierStack {
+ public:
+  TierStack() = default;
+
+  /// Validates and adopts `tiers`. Rules (all violations are returned as
+  /// kInvalidArgument at Init time instead of asserting mid-run):
+  ///  * stack is non-empty, has >= 1 cache tier and >= 1 durable tier;
+  ///  * every cache tier precedes every durable tier (so the deepest tier
+  ///    is durable);
+  ///  * cache tiers have capacity > 0; durable tiers have a non-null store;
+  ///  * at most one device-backed cache tier, and only at index 0;
+  ///  * names are non-empty and unique.
+  /// `terminal_name` selects the durable tier flushes must reach (empty =
+  /// the first durable tier, the legacy "terminal_tier = ssd" default).
+  static util::StatusOr<TierStack> Create(std::vector<TierDesc> tiers,
+                                          std::string_view terminal_name = {});
+
+  /// The paper's default stack: GPU HBM -> pinned host -> SSD [-> PFS].
+  /// The PFS tier is present iff `pfs` is non-null; `terminal` must name a
+  /// tier that exists. Used by the legacy Engine constructor, which keeps
+  /// its historical assert-on-misuse contract.
+  static util::StatusOr<TierStack> Default(
+      std::shared_ptr<storage::ObjectStore> ssd,
+      std::shared_ptr<storage::ObjectStore> pfs, std::uint64_t gpu_cache_bytes,
+      std::uint64_t host_cache_bytes, Tier terminal = Tier::kSsd);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tiers_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tiers_.empty(); }
+  [[nodiscard]] const TierDesc& operator[](std::size_t i) const {
+    return tiers_[i];
+  }
+
+  /// Cache tiers occupy [0, num_cache_tiers()); durable tiers the rest.
+  [[nodiscard]] int num_cache_tiers() const noexcept { return num_cache_; }
+  [[nodiscard]] int num_durable_tiers() const noexcept {
+    return static_cast<int>(tiers_.size()) - num_cache_;
+  }
+  [[nodiscard]] int first_durable() const noexcept { return num_cache_; }
+  [[nodiscard]] int deepest() const noexcept {
+    return static_cast<int>(tiers_.size()) - 1;
+  }
+  /// Stack index of the tier flushes must reach for durability.
+  [[nodiscard]] int terminal() const noexcept { return terminal_; }
+  /// Terminal tier's position among the durable tiers (0 = first durable).
+  [[nodiscard]] int terminal_ordinal() const noexcept {
+    return terminal_ - num_cache_;
+  }
+
+  [[nodiscard]] bool is_cache(int i) const noexcept { return i < num_cache_; }
+  [[nodiscard]] bool is_durable(int i) const noexcept {
+    return i >= num_cache_ && i < static_cast<int>(tiers_.size());
+  }
+  [[nodiscard]] bool is_device(int i) const noexcept {
+    return is_cache(i) && tiers_[static_cast<std::size_t>(i)].medium ==
+                              CacheMedium::kDevice;
+  }
+  /// Maps a stack index of a durable tier to its ordinal (index into the
+  /// per-record durable flags), and back.
+  [[nodiscard]] int durable_ordinal(int stack_index) const noexcept {
+    return stack_index - num_cache_;
+  }
+  [[nodiscard]] int durable_index(int ordinal) const noexcept {
+    return num_cache_ + ordinal;
+  }
+  [[nodiscard]] const storage::ObjectStore* durable_store(int ordinal) const {
+    return tiers_[static_cast<std::size_t>(durable_index(ordinal))].store.get();
+  }
+  [[nodiscard]] storage::ObjectStore* durable_store(int ordinal) {
+    return tiers_[static_cast<std::size_t>(durable_index(ordinal))].store.get();
+  }
+
+  /// Configured name of tier `i`; out-of-range indices (including Tier enum
+  /// values beyond this stack) resolve to a stable placeholder rather than
+  /// "?" so log lines stay greppable.
+  [[nodiscard]] std::string_view name(std::size_t i) const noexcept {
+    return i < tiers_.size() ? std::string_view(tiers_[i].name)
+                             : std::string_view("out-of-stack");
+  }
+  [[nodiscard]] std::optional<int> IndexOf(std::string_view tier_name) const;
+
+  /// Human-readable "gpu(4Mi)>host(32Mi)>ssd*>pfs" summary; '*' marks the
+  /// terminal tier.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<TierDesc> tiers_;
+  int num_cache_ = 0;
+  int terminal_ = -1;
+};
+
+/// Builds an ObjectStore for one durable tier of a parsed spec. `backend` is
+/// the spec's backend field ("mem", "file=<dir>", or an empty string meaning
+/// the default "mem"); `ordinal` is the tier's position among the durable
+/// tiers, which callers typically use to pick the bandwidth wrapper
+/// (NVMe-throttled for ordinal 0, PFS uplink beyond).
+using TierStoreFactory =
+    std::function<util::StatusOr<std::shared_ptr<storage::ObjectStore>>(
+        const std::string& tier_name, const std::string& backend, int ordinal)>;
+
+/// Parses a tier-stack spec string into a validated TierStack.
+///
+/// Grammar (entries separated by ',' or ';', fields colon-separated; use
+/// ';' inside util::Config values, whose parser treats ',' as a line
+/// break):
+///   spec       := entry (("," | ";") entry)*
+///   entry      := name ":" kind [":" arg]
+///   kind       := "gpucache" | "cache" | "durable"
+///   arg        := capacity for cache kinds (util::ParseSize suffixes, e.g.
+///                 "4Mi"); backend for durable kinds ("mem" | "file=<dir>")
+///
+/// Example: "gpu:gpucache:4Mi,host:cache:32Mi,ssd:durable,pfs:durable"
+/// `terminal_name` as in TierStack::Create. `factory` instantiates durable
+/// stores; pass {} to use plain in-memory stores (tests).
+util::StatusOr<TierStack> ParseTierStack(std::string_view spec,
+                                         std::string_view terminal_name,
+                                         const TierStoreFactory& factory);
+
+/// Convenience: reads the "tiers" and "terminal_tier" keys of `cfg` and
+/// parses them. Returns an empty optional when `cfg` has no "tiers" key
+/// (caller falls back to the default stack).
+util::StatusOr<std::optional<TierStack>> TierStackFromConfig(
+    const util::Config& cfg, const TierStoreFactory& factory);
+
+}  // namespace ckpt::core

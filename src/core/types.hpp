@@ -10,15 +10,31 @@ namespace ckpt::core {
 /// argument of VELOC_Checkpoint / VELOC_Restart).
 using Version = std::uint64_t;
 
-/// Storage tiers in speed order. GPU and HOST are managed cache buffers;
-/// SSD and PFS are durable object stores with enough capacity for the whole
-/// history (paper §2 assumptions).
+/// Index of one tier within a core::TierStack, 0 = fastest. The engine's
+/// source of truth is the stack, not this alias; it exists so legacy
+/// call sites and the default 4-tier mapping below stay readable.
+using TierIndex = int;
+
+/// Number of tiers in the *default* stack (GPU HBM -> pinned host -> SSD ->
+/// PFS, paper §2). Config-driven stacks may be shallower or deeper; code
+/// that still assumes the default layout must size by this constant and
+/// static_assert against it rather than bake in a literal 4.
+inline constexpr std::size_t kTierCount = 4;
+
+/// Tiers of the default stack in speed order. GPU and HOST are managed
+/// cache buffers; SSD and PFS are durable object stores with enough
+/// capacity for the whole history (paper §2 assumptions). For any other
+/// stack this enum is only an index alias: `static_cast<Tier>(i)` names
+/// position `i`, and TierStack::name() supplies the configured label.
 enum class Tier : std::uint8_t {
   kGpu = 0,
   kHost = 1,
   kSsd = 2,
   kPfs = 3,
 };
+
+static_assert(static_cast<std::size_t>(Tier::kPfs) + 1 == kTierCount,
+              "default Tier enum and kTierCount must stay in sync");
 
 [[nodiscard]] constexpr std::string_view to_string(Tier t) noexcept {
   switch (t) {

@@ -24,19 +24,20 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
 
   // Durable tiers: in-memory object stores behind the NVMe / PFS bandwidth
   // models (benches avoid real disk I/O variance; the FileStore path is
-  // exercised by tests and examples).
-  std::shared_ptr<storage::ObjectStore> ssd_backend =
-      std::make_shared<storage::MemStore>();
-  if (cfg.ssd_fault_rate > 0.0) {
+  // exercised by tests and examples). Transient fault injection wraps the
+  // SSD tier — i.e. the first durable tier of a custom stack.
+  const auto faulty = [&cfg](std::shared_ptr<storage::ObjectStore> inner)
+      -> std::shared_ptr<storage::ObjectStore> {
+    if (cfg.ssd_fault_rate <= 0.0) return inner;
     storage::FaultyStore::Options fopts;
     fopts.seed = cfg.ssd_fault_seed;
     fopts.put_fail_rate = cfg.ssd_fault_rate;
     fopts.get_fail_rate = cfg.ssd_fault_rate;
     fopts.rate_fault_kind = storage::FaultKind::kTransient;
-    ssd_backend =
-        std::make_shared<storage::FaultyStore>(std::move(ssd_backend), fopts);
-  }
-  auto ssd = storage::MakeSsdStore(cluster.topology(), std::move(ssd_backend));
+    return std::make_shared<storage::FaultyStore>(std::move(inner), fopts);
+  };
+  auto ssd = storage::MakeSsdStore(
+      cluster.topology(), faulty(std::make_shared<storage::MemStore>()));
   auto pfs = storage::MakePfsStore(cluster.topology(),
                                    std::make_shared<storage::MemStore>());
 
@@ -51,6 +52,33 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
       opts.discard_after_restore = cfg.discard_after_restore;
       opts.gpudirect = cfg.gpudirect;
       opts.terminal_tier = cfg.terminal_tier;
+      if (!cfg.tiers.empty()) {
+        core::TierStoreFactory factory = cfg.tier_store_factory;
+        if (!factory) {
+          factory = [&cluster, &faulty](std::string_view tier,
+                                        std::string_view backend, int ordinal)
+              -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+            if (!backend.empty() && backend != "mem") {
+              return util::InvalidArgument(
+                  "tier '" + std::string(tier) + "': the harness only builds "
+                  "'mem' backends (pass a tier_store_factory for others)");
+            }
+            std::shared_ptr<storage::ObjectStore> raw =
+                std::make_shared<storage::MemStore>();
+            if (ordinal == 0) {
+              return storage::MakeSsdStore(cluster.topology(),
+                                           faulty(std::move(raw)));
+            }
+            return storage::MakePfsStore(cluster.topology(), std::move(raw));
+          };
+        }
+        auto stack =
+            core::ParseTierStack(cfg.tiers, cfg.terminal_tier_name, factory);
+        if (!stack.ok()) return stack.status();
+        runtime = std::make_unique<core::Engine>(cluster, std::move(*stack),
+                                                 opts, cfg.num_ranks);
+        break;
+      }
       runtime = std::make_unique<core::Engine>(cluster, ssd, pfs, opts,
                                                cfg.num_ranks);
       break;
@@ -98,6 +126,8 @@ BenchScale LoadBenchScale() {
   scale.fault_rate = util::EnvDouble("CKPT_BENCH_FAULT_RATE", 0.0);
   scale.fault_seed =
       static_cast<std::uint64_t>(util::EnvInt("CKPT_BENCH_FAULT_SEED", 42));
+  scale.tiers = util::EnvString("CKPT_BENCH_TIERS", "");
+  scale.terminal = util::EnvString("CKPT_BENCH_TERMINAL", "");
   return scale;
 }
 

@@ -10,6 +10,7 @@
 #include "baselines/adios/adios_runtime.hpp"
 #include "baselines/uvm/uvm_runtime.hpp"
 #include "core/engine.hpp"
+#include "core/tier_stack.hpp"
 #include "rtm/workload.hpp"
 #include "simgpu/cluster.hpp"
 #include "storage/faulty_store.hpp"
@@ -53,8 +54,24 @@ struct ExperimentConfig {
   /// Fault injection on the SSD tier (DESIGN.md §8): every put/get fails
   /// transiently with this probability, exercising the retry/degradation
   /// machinery under load. 0 disables the FaultyStore wrapper entirely.
+  /// With a custom `tiers` spec the wrapper lands on the first durable
+  /// tier's backend.
   double ssd_fault_rate = 0.0;
   std::uint64_t ssd_fault_seed = 42;
+
+  /// N-tier stack spec for the Score engine ("name:kind[:arg],..." — see
+  /// core/tier_stack.hpp), e.g. "host:cache:32Mi,ssd:durable" for a
+  /// host-only stack or a 5-tier layout with a second durable stage. Empty
+  /// = the classic GPU -> host -> SSD [-> PFS] stack built from the knobs
+  /// above. Only meaningful for Approach::kScore.
+  std::string tiers;
+  /// Terminal tier name for `tiers` (empty = its first durable tier).
+  std::string terminal_tier_name;
+  /// Test hook: overrides the store factory for `tiers` entries (e.g. to
+  /// inject a FaultyStore on a chosen durable tier). The default factory
+  /// builds in-memory stores behind the NVMe (first durable tier) / PFS
+  /// (deeper tiers) bandwidth models, honoring ssd_fault_rate.
+  core::TierStoreFactory tier_store_factory;
 };
 
 struct ExperimentResult {
@@ -78,12 +95,17 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg);
 ///   CKPT_BENCH_FAULT_RATE   transient SSD fault probability per op
 ///                           (default 0 = no fault injection)
 ///   CKPT_BENCH_FAULT_SEED   seed for the fault schedule (default 42)
+///   CKPT_BENCH_TIERS        tier-stack spec for the Score engine
+///                           (default empty = classic 4-tier stack)
+///   CKPT_BENCH_TERMINAL     terminal tier name for CKPT_BENCH_TIERS
 struct BenchScale {
   int num_ckpts;
   int num_ranks;
   std::chrono::nanoseconds interval;
   double fault_rate;
   std::uint64_t fault_seed;
+  std::string tiers;
+  std::string terminal;
 };
 [[nodiscard]] BenchScale LoadBenchScale();
 

@@ -94,6 +94,38 @@ TEST_F(VelocCApiTest, MultiRankAndWait) {
   }
 }
 
+TEST_F(VelocCApiTest, TiersConfigBuildsCustomStack) {
+  // Host-only 3-tier stack via the "tiers" key (';' separates entries
+  // inside a config value).
+  ASSERT_EQ(VELOCX_Init("tiers = host:cache:1Mi;ssd:durable;pfs:durable, "
+                        "terminal_tier = pfs",
+                        1),
+            VELOCX_SUCCESS);
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 8192, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 8192), VELOCX_SUCCESS);
+  std::memset(ptr, 0x5a, 8192);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "nt", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_SUCCESS);
+  std::memset(ptr, 0, 8192);
+  ASSERT_EQ(VELOCX_Restart(0, 0), VELOCX_SUCCESS);
+  EXPECT_EQ(static_cast<unsigned char*>(ptr)[4096], 0x5a);
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+}
+
+TEST_F(VelocCApiTest, InvalidTiersConfigIsRejectedAtInit) {
+  EXPECT_EQ(VELOCX_Init("tiers = host:cache:0;ssd:durable", 1), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Init("tiers = host:cache:1Mi", 1), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Init("tiers = host:cache:1Mi;ssd:durable, "
+                        "terminal_tier = tape",
+                        1),
+            VELOCX_EINVAL);
+  // A failed Init must leave the runtime un-initialized, not half-built.
+  EXPECT_EQ(VELOCX_Checkpoint(0, "x", 0), VELOCX_EINVAL);
+  ASSERT_EQ(VELOCX_Init("tiers = host:cache:1Mi;ssd:durable", 1),
+            VELOCX_SUCCESS);
+}
+
 TEST_F(VelocCApiTest, GpudirectConfigWorks) {
   ASSERT_EQ(VELOCX_Init("gpudirect = true, gpu_cache = 256Ki", 1),
             VELOCX_SUCCESS);
