@@ -91,21 +91,16 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
       static_cast<std::uint64_t>(cfg.GetInt("host_cache", 32ll << 20));
   opts.discard_after_restore = cfg.GetBool("discard_after_restore", false);
   opts.gpudirect = cfg.GetBool("gpudirect", false);
+  // Global default; cache tiers in a "tiers" spec may override per tier.
   const std::string eviction = cfg.GetString("eviction", "score");
-  if (eviction == "score") {
-    opts.eviction = core::EvictionKind::kScore;
-  } else if (eviction == "lru") {
-    opts.eviction = core::EvictionKind::kLru;
-  } else if (eviction == "fifo") {
-    opts.eviction = core::EvictionKind::kFifo;
-  } else if (eviction == "greedy-gap") {
-    opts.eviction = core::EvictionKind::kGreedyGap;
+  if (const auto kind = core::ParseEvictionKind(eviction); kind.has_value()) {
+    opts.eviction = *kind;
   } else {
     return Fail(VELOCX_EINVAL, "unknown eviction policy '" + eviction + "'");
   }
   // Tier layout: a "tiers" key describes an arbitrary N-tier stack
-  // ("name:kind[:arg],..." — see core/tier_stack.hpp); without it the
-  // classic GPU -> host -> SSD [-> PFS] stack is built from the legacy
+  // ("name:kind[:arg[:policy]],..." — see core/tier_stack.hpp); without it
+  // the classic GPU -> host -> SSD [-> PFS] stack is built from the legacy
   // gpu_cache/host_cache/terminal_tier keys.
   const sim::Topology& topo = ctx->cluster->topology();
   const auto open_backend =

@@ -61,6 +61,10 @@ void Engine::Init(int num_ranks) {
   const int ncache = stack_.num_cache_tiers();
   const auto& cfg = cluster_.config();
 
+  // Cache tiers that did not name a policy in their spec inherit the legacy
+  // engine-wide knob; after this every stack_.policy(i) is concrete.
+  stack_.ResolveEvictionPolicies(options_.eviction);
+
   // Drain-bandwidth estimate per cache tier, toward the next tier down:
   // device tiers drain over their PCIe link, host->host over DDR, and the
   // last cache tier into the NVMe-backed first durable tier.
@@ -84,6 +88,8 @@ void Engine::Init(int num_ranks) {
     const Stopwatch init_sw;
     c->metrics.restores_from_tier.resize(stack_.size(), 0);
     c->metrics.flush_bytes_to_tier.resize(stack_.size(), 0);
+    c->metrics.evictions_from_tier.resize(stack_.size(), 0);
+    c->metrics.evicted_bytes_from_tier.resize(stack_.size(), 0);
 
     c->tiers.resize(static_cast<std::size_t>(ncache));
     for (int i = 0; i < ncache; ++i) {
@@ -113,19 +119,22 @@ void Engine::Init(int num_ranks) {
     const auto build_bufs = [this, r](CacheTierRt& t, int i,
                                       sim::BytePtr base) {
       const std::string nm(stack_.name(static_cast<std::size_t>(i)));
+      // Each tier drives its buffers with its *own* resolved policy — the
+      // whole point of per-tier policies is GPU=score over FIFO deep tiers.
+      const EvictionKind kind = stack_.policy(i);
       if (options_.split_flush_prefetch) {
         const auto pf = static_cast<std::uint64_t>(
             static_cast<double>(t.capacity) * options_.split_prefetch_fraction);
         t.write_buf = std::make_unique<CacheBuffer>(
             nm + "-w/" + std::to_string(r), base, t.capacity - pf,
-            MakePolicy(options_.eviction));
+            MakePolicy(kind));
         t.prefetch_buf = std::make_unique<CacheBuffer>(
             nm + "-p/" + std::to_string(r), base + (t.capacity - pf), pf,
-            MakePolicy(options_.eviction));
+            MakePolicy(kind));
       } else {
         t.write_buf = std::make_unique<CacheBuffer>(
             nm + "/" + std::to_string(r), base, t.capacity,
-            MakePolicy(options_.eviction));
+            MakePolicy(kind));
       }
     };
 
@@ -344,6 +353,12 @@ util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
     if (!EvictableNow(rec, tier)) {
       return util::Internal("eviction victim not evictable at commit time");
     }
+    // Per-tier observability: count the drop here (under ctx_.mu, where both
+    // the tier index and the record size are known) rather than inside
+    // CacheBuffer, whose Release also serves flush rollbacks.
+    ++ctx_.metrics.evictions_from_tier[static_cast<std::size_t>(tier)];
+    ctx_.metrics.evicted_bytes_from_tier[static_cast<std::size_t>(tier)] +=
+        rec.size;
     rec.res[static_cast<std::size_t>(tier)].Clear();
   }
   return util::OkStatus();
@@ -773,7 +788,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
 
   const std::uint64_t pdist = ComputePrefetchDistance(c);
   rec.restore_waiting = true;
-  rec.lru_seq = ++c.seq_counter;
+  Touch(c, rec);
   c.hints.Drop(v);  // deviation-proofing: this read satisfies its hint
   c.cv.notify_all();
 
@@ -1253,6 +1268,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
 
     const bool already_pinned = rec.res[0].valid && StatePinsFastTier(rec.state);
     if (already_pinned) {
+      Touch(c, rec);
       c.hints.PopHead();
       ++c.metrics.prefetch_gpu_hits;
       c.cv.notify_all();
@@ -1295,6 +1311,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
     if (rec.res[0].valid) {
       // Already resident on the fast tier: pin it per the life cycle
       // (FLUSHED/WRITE_* -> READ_COMPLETE without any transfer).
+      Touch(c, rec);
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       c.hints.PopHead();
@@ -1378,6 +1395,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       }
       rec.res[0].valid = true;
       rec.prefetch_claimed = false;
+      Touch(c, rec);
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
@@ -1425,6 +1443,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       }
       rec.res[0].valid = true;
       rec.prefetch_claimed = false;
+      Touch(c, rec);
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
@@ -1502,6 +1521,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
     }
     rec.res[0].valid = true;
     rec.prefetch_claimed = false;
+    Touch(c, rec);
     Advance(c, rec, CkptState::kReadComplete);
     AddPin(c, rec);
     ++c.metrics.prefetch_promotions;

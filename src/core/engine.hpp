@@ -318,6 +318,12 @@ class Engine final : public Runtime {
   [[nodiscard]] bool ExcludedOn(const Record& rec, TierIndex tier) const;
   [[nodiscard]] double EtaSeconds(const RankCtx& ctx, const Record& rec,
                                   TierIndex tier) const;
+  /// Refreshes `rec`'s LRU recency. Every read access must call this —
+  /// direct restores *and* prefetch hits/promotions — or the LRU ablation
+  /// sees stale sequence numbers and evicts recently-touched checkpoints.
+  static void Touch(RankCtx& ctx, Record& rec) noexcept {
+    rec.lru_seq = ++ctx.seq_counter;
+  }
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
   util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);

@@ -52,7 +52,10 @@ std::optional<EvictionWindow> SlideWindow(const std::vector<FragmentView>& frags
       }
       break;  // j == n: no further window can reach `size`
     }
-    // Candidate window [i, j-1].
+    // Candidate window [i, j-1]. Strict improvement required: on a full tie
+    // (equal p_score and s_score) the earlier window wins, so every policy —
+    // including LRU/FIFO, whose s_score is constant — deterministically
+    // selects the lowest-offset window and eviction reproduces across runs.
     if (!best || p < best_p ||
         (p == best_p && s > best_s)) {
       best = EvictionWindow{};
@@ -141,6 +144,14 @@ std::string_view to_string(EvictionKind kind) noexcept {
     case EvictionKind::kGreedyGap: return "greedy-gap";
   }
   return "?";
+}
+
+std::optional<EvictionKind> ParseEvictionKind(std::string_view name) noexcept {
+  if (name == "score") return EvictionKind::kScore;
+  if (name == "lru") return EvictionKind::kLru;
+  if (name == "fifo") return EvictionKind::kFifo;
+  if (name == "greedy-gap") return EvictionKind::kGreedyGap;
+  return std::nullopt;
 }
 
 }  // namespace ckpt::core

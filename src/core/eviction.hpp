@@ -108,6 +108,13 @@ enum class EvictionKind : std::uint8_t { kScore, kLru, kFifo, kGreedyGap };
 [[nodiscard]] std::unique_ptr<EvictionPolicy> MakePolicy(EvictionKind kind);
 [[nodiscard]] std::string_view to_string(EvictionKind kind) noexcept;
 
+/// Inverse of to_string(EvictionKind): "score" | "lru" | "fifo" |
+/// "greedy-gap". Unknown names return nullopt so every config surface (the
+/// global `eviction` key, per-tier policy fields in a `tiers=` spec) rejects
+/// them with the same spelling of the valid set.
+[[nodiscard]] std::optional<EvictionKind> ParseEvictionKind(
+    std::string_view name) noexcept;
+
 /// Distance score constants encoding §4.1.6's preference order among
 /// immediately evictable fragments: gaps first, then consumed checkpoints,
 /// then unhinted ones, then hinted ones by descending prefetch distance.

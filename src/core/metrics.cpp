@@ -18,6 +18,8 @@ void RankMetrics::Merge(const RankMetrics& other) {
   };
   merge_per_tier(restores_from_tier, other.restores_from_tier);
   merge_per_tier(flush_bytes_to_tier, other.flush_bytes_to_tier);
+  merge_per_tier(evictions_from_tier, other.evictions_from_tier);
+  merge_per_tier(evicted_bytes_from_tier, other.evicted_bytes_from_tier);
   reserve_wait_write_s += other.reserve_wait_write_s;
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;

@@ -43,6 +43,11 @@ struct RankMetrics {
   std::vector<std::uint64_t> restores_from_tier;
   std::vector<std::uint64_t> flush_bytes_to_tier;  // flushed bytes landing on
                                                    // each tier
+  // Eviction observability for mixed-policy stacks: victims dropped from
+  // each cache tier and the bytes they covered. Durable positions stay 0 —
+  // durable tiers never evict.
+  std::vector<std::uint64_t> evictions_from_tier;
+  std::vector<std::uint64_t> evicted_bytes_from_tier;
 
   // Prefetch engine telemetry.
   std::uint64_t prefetch_promotions = 0;   // upward copies completed

@@ -84,6 +84,11 @@ util::StatusOr<TierStack> TierStack::Create(std::vector<TierDesc> tiers,
         return util::InvalidArgument("durable tier '" + t.name +
                                      "' has no object store");
       }
+      if (t.policy.has_value()) {
+        return util::InvalidArgument(
+            "durable tier '" + t.name +
+            "' names an eviction policy; durable stores never evict");
+      }
       seen_durable = true;
     }
   }
@@ -151,13 +156,25 @@ std::optional<int> TierStack::IndexOf(std::string_view tier_name) const {
   return std::nullopt;
 }
 
+void TierStack::ResolveEvictionPolicies(EvictionKind default_kind) {
+  for (int i = 0; i < num_cache_; ++i) {
+    auto& p = tiers_[static_cast<std::size_t>(i)].policy;
+    if (!p.has_value()) p = default_kind;
+  }
+}
+
 std::string TierStack::ToString() const {
   std::string out;
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     if (i != 0) out += '>';
     out += tiers_[i].name;
     if (tiers_[i].kind == TierKind::kCache) {
-      out += '(' + FormatSize(tiers_[i].capacity_bytes) + ')';
+      out += '(' + FormatSize(tiers_[i].capacity_bytes);
+      if (tiers_[i].policy.has_value()) {
+        out += ',';
+        out += to_string(*tiers_[i].policy);
+      }
+      out += ')';
     }
     if (static_cast<int>(i) == terminal_) out += '*';
   }
@@ -171,23 +188,46 @@ util::StatusOr<TierStack> ParseTierStack(std::string_view spec,
   int durable_ordinal = 0;
   for (std::string_view entry : Split(spec, ",;")) {
     if (entry.empty()) continue;
-    const std::vector<std::string_view> fields = Split(entry, ":");
-    if (fields.size() < 2 || fields.size() > 3) {
+    // Split only the leading field separators: everything after `kind` is
+    // interpreted per kind, so a durable backend arg may itself contain ':'
+    // or '=' ("file=C:\scratch", a future "s3://bucket").
+    const std::size_t name_end = entry.find(':');
+    if (name_end == std::string_view::npos) {
       return util::InvalidArgument("tier entry '" + std::string(entry) +
-                                   "' is not name:kind[:arg]");
+                                   "' is not name:kind[:arg[:policy]]");
     }
+    std::string_view kind = entry.substr(name_end + 1);
+    std::string_view rest;
+    bool has_rest = false;
+    if (const std::size_t kind_end = kind.find(':');
+        kind_end != std::string_view::npos) {
+      rest = kind.substr(kind_end + 1);
+      kind = kind.substr(0, kind_end);
+      has_rest = true;
+    }
+    kind = Trim(kind);
     TierDesc desc;
-    desc.name = std::string(fields[0]);
-    const std::string_view kind = fields[1];
-    const std::string arg(fields.size() == 3 ? fields[2] : std::string_view{});
+    desc.name = std::string(Trim(entry.substr(0, name_end)));
     if (kind == "gpucache" || kind == "cache") {
       desc.kind = TierKind::kCache;
       desc.medium =
           kind == "gpucache" ? CacheMedium::kDevice : CacheMedium::kPinnedHost;
-      if (arg.empty()) {
+      // Cache tiers: rest := capacity [":" policy].
+      std::string_view cap = rest;
+      std::string_view policy;
+      bool has_policy = false;
+      if (const std::size_t cap_end = rest.find(':');
+          cap_end != std::string_view::npos) {
+        policy = Trim(rest.substr(cap_end + 1));
+        cap = rest.substr(0, cap_end);
+        has_policy = true;
+      }
+      cap = Trim(cap);
+      if (cap.empty()) {
         return util::InvalidArgument("cache tier '" + desc.name +
                                      "' needs a capacity argument");
       }
+      const std::string arg(cap);
       auto bytes = util::ParseSize(arg);
       if (!bytes.ok()) return bytes.status();
       if (*bytes <= 0) {
@@ -195,7 +235,18 @@ util::StatusOr<TierStack> ParseTierStack(std::string_view spec,
                                      "' has non-positive capacity " + arg);
       }
       desc.capacity_bytes = static_cast<std::uint64_t>(*bytes);
+      if (has_policy) {
+        const auto parsed = ParseEvictionKind(policy);
+        if (!parsed.has_value()) {
+          return util::InvalidArgument(
+              "cache tier '" + desc.name + "' has unknown eviction policy '" +
+              std::string(policy) + "' (want score|lru|fifo|greedy-gap)");
+        }
+        desc.policy = *parsed;
+      }
     } else if (kind == "durable") {
+      const std::string arg(Trim(rest));
+      (void)has_rest;
       desc.kind = TierKind::kDurable;
       if (factory) {
         auto store = factory(desc.name, arg, durable_ordinal);

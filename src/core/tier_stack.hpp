@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/eviction.hpp"
 #include "core/types.hpp"
 #include "storage/object_store.hpp"
 #include "util/config.hpp"
@@ -48,6 +49,13 @@ struct TierDesc {
   CacheMedium medium = CacheMedium::kPinnedHost;  ///< cache tiers only
   std::uint64_t capacity_bytes = 0;               ///< cache tiers only
   std::shared_ptr<storage::ObjectStore> store;    ///< durable tiers only
+  /// Eviction policy driving this cache tier's CacheBuffer (default: score,
+  /// the paper's gap-aware Algorithm 1). Unset = inherit the engine-wide
+  /// default (`EngineOptions::eviction`, the legacy global `eviction` config
+  /// key) — the engine resolves the inheritance at Init via
+  /// ResolveEvictionPolicies(). Durable tiers never evict; Create rejects a
+  /// policy named on one.
+  std::optional<EvictionKind> policy;
 };
 
 class TierStack {
@@ -130,8 +138,20 @@ class TierStack {
   }
   [[nodiscard]] std::optional<int> IndexOf(std::string_view tier_name) const;
 
-  /// Human-readable "gpu(4Mi)>host(32Mi)>ssd*>pfs" summary; '*' marks the
-  /// terminal tier.
+  /// Fills `default_kind` into every cache tier that did not name a policy,
+  /// after which policy(i) is concrete for the whole stack. The engine calls
+  /// this once at Init with EngineOptions::eviction, making the legacy
+  /// global `eviction` key the default for tiers that stay silent.
+  void ResolveEvictionPolicies(EvictionKind default_kind);
+  /// Eviction policy of cache tier `i` (kScore for tiers still unresolved).
+  [[nodiscard]] EvictionKind policy(int i) const noexcept {
+    return tiers_[static_cast<std::size_t>(i)].policy.value_or(
+        EvictionKind::kScore);
+  }
+
+  /// Human-readable "gpu(4Mi,score)>host(32Mi)>ssd*>pfs" summary; '*' marks
+  /// the terminal tier, and cache tiers with a concrete eviction policy
+  /// carry its name next to their capacity.
   [[nodiscard]] std::string ToString() const;
 
  private:
@@ -155,12 +175,19 @@ using TierStoreFactory =
 /// ';' inside util::Config values, whose parser treats ',' as a line
 /// break):
 ///   spec       := entry (("," | ";") entry)*
-///   entry      := name ":" kind [":" arg]
+///   entry      := name ":" kind [":" arg [":" policy]]
 ///   kind       := "gpucache" | "cache" | "durable"
 ///   arg        := capacity for cache kinds (util::ParseSize suffixes, e.g.
 ///                 "4Mi"); backend for durable kinds ("mem" | "file=<dir>")
+///   policy     := "score" | "lru" | "fifo" | "greedy-gap"  (cache kinds
+///                 only; omitted = the engine-wide `eviction` default)
 ///
-/// Example: "gpu:gpucache:4Mi,host:cache:32Mi,ssd:durable,pfs:durable"
+/// Only the leading separators split fields: after a durable `kind` the
+/// whole remainder is the backend arg, so backends containing ':' or '='
+/// (e.g. "file=C:\scratch", a future "s3://bucket") parse intact. Unknown
+/// policy names are kInvalidArgument, like every other stack violation.
+///
+/// Example: "gpu:gpucache:4Mi:score,host:cache:32Mi:fifo,ssd:durable"
 /// `terminal_name` as in TierStack::Create. `factory` instantiates durable
 /// stores; pass {} to use plain in-memory stores (tests).
 util::StatusOr<TierStack> ParseTierStack(std::string_view spec,

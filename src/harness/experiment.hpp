@@ -45,6 +45,8 @@ struct ExperimentConfig {
   // device cache); ADIOS2 has none by design.
   std::uint64_t gpu_cache_bytes = 4ull << 20;
   std::uint64_t host_cache_bytes = 32ull << 20;
+  /// Default eviction policy; cache tiers of a `tiers` spec may override it
+  /// per tier with a fourth `:policy` field.
   core::EvictionKind eviction = core::EvictionKind::kScore;
   bool split_flush_prefetch = false;
   bool discard_after_restore = false;
@@ -59,11 +61,12 @@ struct ExperimentConfig {
   double ssd_fault_rate = 0.0;
   std::uint64_t ssd_fault_seed = 42;
 
-  /// N-tier stack spec for the Score engine ("name:kind[:arg],..." — see
-  /// core/tier_stack.hpp), e.g. "host:cache:32Mi,ssd:durable" for a
-  /// host-only stack or a 5-tier layout with a second durable stage. Empty
-  /// = the classic GPU -> host -> SSD [-> PFS] stack built from the knobs
-  /// above. Only meaningful for Approach::kScore.
+  /// N-tier stack spec for the Score engine ("name:kind[:arg[:policy]],..."
+  /// — see core/tier_stack.hpp), e.g. "host:cache:32Mi,ssd:durable" for a
+  /// host-only stack or "gpu:gpucache:4Mi:score,host:cache:32Mi:fifo,
+  /// ssd:durable" for a mixed-policy hierarchy. Empty = the classic
+  /// GPU -> host -> SSD [-> PFS] stack built from the knobs above. Only
+  /// meaningful for Approach::kScore.
   std::string tiers;
   /// Terminal tier name for `tiers` (empty = its first durable tier).
   std::string terminal_tier_name;
@@ -95,8 +98,10 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg);
 ///   CKPT_BENCH_FAULT_RATE   transient SSD fault probability per op
 ///                           (default 0 = no fault injection)
 ///   CKPT_BENCH_FAULT_SEED   seed for the fault schedule (default 42)
-///   CKPT_BENCH_TIERS        tier-stack spec for the Score engine
-///                           (default empty = classic 4-tier stack)
+///   CKPT_BENCH_TIERS        tier-stack spec for the Score engine, incl.
+///                           per-tier eviction policies
+///                           ("name:kind[:arg[:policy]],...";
+///                           default empty = classic 4-tier stack)
 ///   CKPT_BENCH_TERMINAL     terminal tier name for CKPT_BENCH_TIERS
 struct BenchScale {
   int num_ckpts;

@@ -113,8 +113,31 @@ TEST_F(VelocCApiTest, TiersConfigBuildsCustomStack) {
   ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
 }
 
+TEST_F(VelocCApiTest, TiersConfigAcceptsPerTierPolicies) {
+  // Mixed-policy stack through the C API: gpu=score, host=fifo, and the
+  // legacy global "eviction" key only sets the default for silent tiers.
+  ASSERT_EQ(
+      VELOCX_Init("tiers = gpu:gpucache:256Ki:score;host:cache:1Mi:fifo;"
+                  "ssd:durable, eviction = lru",
+                  1),
+      VELOCX_SUCCESS);
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 8192, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 8192), VELOCX_SUCCESS);
+  std::memset(ptr, 0x33, 8192);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "pp", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_SUCCESS);
+  std::memset(ptr, 0, 8192);
+  ASSERT_EQ(VELOCX_Restart(0, 0), VELOCX_SUCCESS);
+  EXPECT_EQ(static_cast<unsigned char*>(ptr)[1024], 0x33);
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+}
+
 TEST_F(VelocCApiTest, InvalidTiersConfigIsRejectedAtInit) {
   EXPECT_EQ(VELOCX_Init("tiers = host:cache:0;ssd:durable", 1), VELOCX_EINVAL);
+  // Unknown per-tier policy names fail Init, like every stack violation.
+  EXPECT_EQ(VELOCX_Init("tiers = host:cache:1Mi:belady;ssd:durable", 1),
+            VELOCX_EINVAL);
   EXPECT_EQ(VELOCX_Init("tiers = host:cache:1Mi", 1), VELOCX_EINVAL);
   EXPECT_EQ(VELOCX_Init("tiers = host:cache:1Mi;ssd:durable, "
                         "terminal_tier = tape",

@@ -3,6 +3,9 @@
 // no recency-based policy does.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/engine.hpp"
 #include "rtm/workload.hpp"
 #include "storage/mem_store.hpp"
@@ -17,14 +20,15 @@ class EvictionBehaviorTest : public ::testing::Test {
   static constexpr std::uint64_t kSize = 32 << 10;
   static constexpr int kGpuSlots = 4;
 
-  void Build(EvictionKind kind) {
+  void Build(EvictionKind kind, std::uint64_t gpu_bytes = kGpuSlots * kSize,
+             std::uint64_t host_bytes = 32 * kSize) {
     engine_.reset();
     cluster_ = std::make_unique<sim::Cluster>(sim::TopologyConfig::Testing());
     ssd_ = std::make_shared<storage::MemStore>();
     pfs_ = std::make_shared<storage::MemStore>();
     EngineOptions opts;
-    opts.gpu_cache_bytes = kGpuSlots * kSize;
-    opts.host_cache_bytes = 32 * kSize;
+    opts.gpu_cache_bytes = gpu_bytes;
+    opts.host_cache_bytes = host_bytes;
     opts.eviction = kind;
     engine_ = std::make_unique<Engine>(*cluster_, ssd_, pfs_, opts, 1);
   }
@@ -113,6 +117,38 @@ TEST_F(EvictionBehaviorTest, ConsumedEvictsBeforeFlushedUnhinted) {
   EXPECT_TRUE(engine_->ResidentOn(0, 1, Tier::kGpu));
   EXPECT_TRUE(engine_->ResidentOn(0, 3, Tier::kGpu));
   ASSERT_TRUE(cluster_->device(0).Free(buf).ok());
+}
+
+TEST_F(EvictionBehaviorTest, LruRefreshesRecencyOnPrefetchPromotion) {
+  // Regression: a prefetch promotion is a *read access* and must refresh the
+  // promoted checkpoint's lru_seq. Before the fix only the direct Restore
+  // path touched it, so a just-promoted checkpoint kept its creation-time
+  // sequence and LRU on a deeper tier evicted it as the "coldest" entry.
+  Build(EvictionKind::kLru, /*gpu_bytes=*/2 * kSize, /*host_bytes=*/4 * kSize);
+  for (Version v = 0; v < 4; ++v) {
+    WriteCkpt(v);
+    ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  }
+  // GPU (2 slots) holds v2,v3; host (4 slots) holds v0..v3 with LRU order
+  // v0 < v1 < v2 < v3.
+  ASSERT_TRUE(engine_->ResidentOn(0, 0, Tier::kHost));
+  ASSERT_TRUE(engine_->ResidentOn(0, 1, Tier::kHost));
+
+  // Promote v0 host -> GPU through the prefetcher: this access makes v0 the
+  // hottest checkpoint, so v1 becomes the actually-coldest.
+  ASSERT_TRUE(engine_->PrefetchEnqueue(0, 0).ok());
+  ASSERT_TRUE(engine_->PrefetchStart(0).ok());
+  for (int i = 0; i < 2000 && !engine_->ResidentOn(0, 0, Tier::kGpu); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(engine_->ResidentOn(0, 0, Tier::kGpu));
+
+  // v4's flush stages into the full host tier and must evict exactly one
+  // checkpoint: the coldest by *access* time is v1, not the just-read v0.
+  WriteCkpt(4);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  EXPECT_TRUE(engine_->ResidentOn(0, 0, Tier::kHost));
+  EXPECT_FALSE(engine_->ResidentOn(0, 1, Tier::kHost));
 }
 
 TEST_F(EvictionBehaviorTest, ImportFromPfsWhenSsdLost) {

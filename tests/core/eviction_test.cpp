@@ -196,6 +196,39 @@ TEST(FifoPolicyTest, EvictsOldestCreated) {
   EXPECT_EQ(w->victims, (std::vector<EntryId>{2}));
 }
 
+TEST(LruPolicyTest, EqualScoreWindowsTieBreakToLowestOffset) {
+  LruPolicy p;
+  // Three equally-cold entries: the scan must deterministically pick the
+  // first (lowest-offset) window, not whichever it visited last.
+  auto t = Table({Frag{100, 1, false, 0, 0, /*lru=*/7},
+                  Frag{100, 2, false, 0, 0, /*lru=*/7},
+                  Frag{100, 3, false, 0, 0, /*lru=*/7}});
+  auto w = p.Choose(t, 100);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->offset, 0u);
+  EXPECT_EQ(w->victims, (std::vector<EntryId>{1}));
+  // Same with multi-fragment windows: [1,2] and [2,3] tie, [1,2] wins.
+  auto w2 = p.Choose(t, 200);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->offset, 0u);
+  EXPECT_EQ(w2->victims, (std::vector<EntryId>{1, 2}));
+}
+
+TEST(FifoPolicyTest, EqualScoreWindowsTieBreakToLowestOffset) {
+  FifoPolicy p;
+  auto t = Table({Frag{100, 1, false, 0, 0, 0, /*fifo=*/3},
+                  Frag{100, 2, false, 0, 0, 0, /*fifo=*/3},
+                  Frag{100, 3, false, 0, 0, 0, /*fifo=*/3}});
+  auto w = p.Choose(t, 100);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->offset, 0u);
+  EXPECT_EQ(w->victims, (std::vector<EntryId>{1}));
+  auto w2 = p.Choose(t, 150);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->offset, 0u);
+  EXPECT_EQ(w2->victims, (std::vector<EntryId>{1, 2}));
+}
+
 TEST(GreedyGapPolicyTest, MaximizesGapReuse) {
   GreedyGapPolicy p;
   auto t = Table({Unhinted(100, 1), Gap(80), Unhinted(20, 2), Unhinted(100, 3)});
@@ -211,6 +244,17 @@ TEST(PolicyFactoryTest, MakesEveryKind) {
   EXPECT_EQ(MakePolicy(EvictionKind::kGreedyGap)->name(), "greedy-gap");
   EXPECT_EQ(to_string(EvictionKind::kScore), "score");
   EXPECT_EQ(to_string(EvictionKind::kGreedyGap), "greedy-gap");
+}
+
+TEST(PolicyFactoryTest, ParseEvictionKindRoundTripsAndRejects) {
+  for (EvictionKind k :
+       {EvictionKind::kScore, EvictionKind::kLru, EvictionKind::kFifo,
+        EvictionKind::kGreedyGap}) {
+    EXPECT_EQ(ParseEvictionKind(to_string(k)), std::optional<EvictionKind>(k));
+  }
+  EXPECT_EQ(ParseEvictionKind("random"), std::nullopt);
+  EXPECT_EQ(ParseEvictionKind(""), std::nullopt);
+  EXPECT_EQ(ParseEvictionKind("Score"), std::nullopt);  // case-sensitive
 }
 
 // The O(N) claim (§4.2): runtime grows ~linearly. We check operation

@@ -170,6 +170,39 @@ TEST(TierStack, ToStringShowsCapacitiesAndTerminalMarker) {
   EXPECT_EQ(stack->ToString(), "gpu(4Mi)>host(32Mi)>ssd*>pfs");
 }
 
+// --- Per-tier eviction policies -------------------------------------------
+
+TEST(TierStackPolicy, ToStringShowsConcretePolicies) {
+  TierDesc gpu = Cache("gpu", 4 << 20, CacheMedium::kDevice);
+  gpu.policy = EvictionKind::kScore;
+  TierDesc host = Cache("host", 32 << 20);
+  host.policy = EvictionKind::kFifo;
+  auto stack = TierStack::Create({gpu, host, Durable("ssd")});
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  EXPECT_EQ(stack->ToString(), "gpu(4Mi,score)>host(32Mi,fifo)>ssd*");
+}
+
+TEST(TierStackPolicy, ResolveFillsOnlyUnsetCacheTiers) {
+  TierDesc gpu = Cache("gpu", 1 << 20, CacheMedium::kDevice);
+  gpu.policy = EvictionKind::kScore;
+  auto stack =
+      TierStack::Create({gpu, Cache("host", 1 << 20), Durable("ssd")});
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  stack->ResolveEvictionPolicies(EvictionKind::kLru);
+  EXPECT_EQ(stack->policy(0), EvictionKind::kScore);  // explicit, kept
+  EXPECT_EQ(stack->policy(1), EvictionKind::kLru);    // inherited default
+}
+
+TEST(TierStackPolicy, RejectsPolicyOnDurableTier) {
+  TierDesc ssd = Durable("ssd");
+  ssd.policy = EvictionKind::kLru;
+  auto stack = TierStack::Create({Cache("host", 1 << 20), ssd});
+  ASSERT_FALSE(stack.ok());
+  EXPECT_EQ(stack.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(stack.status().ToString().find("never evict"), std::string::npos)
+      << stack.status();
+}
+
 // --- Spec parsing ---------------------------------------------------------
 
 TEST(ParseTierStack, ParsesTheCanonicalSpec) {
@@ -192,6 +225,57 @@ TEST(ParseTierStack, HostOnlyThreeTierSpec) {
   EXPECT_FALSE(stack->is_device(0));
   // Empty terminal name selects the first durable tier.
   EXPECT_EQ(stack->terminal(), 1);
+}
+
+TEST(ParseTierStack, ParsesPerTierPolicies) {
+  auto stack = ParseTierStack(
+      "gpu:gpucache:4Mi:score, host:cache:32Mi:fifo, ssd:durable", "",
+      /*factory=*/{});
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  EXPECT_EQ((*stack)[0].policy, std::optional<EvictionKind>(EvictionKind::kScore));
+  EXPECT_EQ((*stack)[1].policy, std::optional<EvictionKind>(EvictionKind::kFifo));
+  // A tier without a policy field stays unset (inherits at engine Init).
+  auto partial = ParseTierStack(
+      "gpu:gpucache:4Mi, host:cache:32Mi:lru, ssd:durable", "", {});
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ((*partial)[0].policy, std::nullopt);
+  EXPECT_EQ((*partial)[1].policy,
+            std::optional<EvictionKind>(EvictionKind::kLru));
+}
+
+TEST(ParseTierStack, RejectsUnknownPolicyNames) {
+  auto stack = ParseTierStack(
+      "gpu:gpucache:4Mi:random, host:cache:32Mi, ssd:durable", "", {});
+  ASSERT_FALSE(stack.ok());
+  EXPECT_EQ(stack.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(stack.status().ToString().find("unknown eviction policy"),
+            std::string::npos)
+      << stack.status();
+}
+
+TEST(ParseTierStack, DurableBackendArgsMayContainColonsAndEquals) {
+  struct Call {
+    std::string name, backend;
+  };
+  std::vector<Call> calls;
+  TierStoreFactory factory =
+      [&calls](const std::string& name, const std::string& backend,
+               int) -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+    calls.push_back({name, backend});
+    return std::shared_ptr<storage::ObjectStore>(Mem());
+  };
+  // Everything after a durable tier's kind is one opaque backend arg:
+  // URL-style and Windows-style strings must survive the split.
+  auto stack = ParseTierStack(
+      "host:cache:1Mi,ssd:durable:file=C:\\scratch\\ckpt,"
+      "bucket:durable:s3://team/ckpts?region=eu",
+      "", factory);
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].name, "ssd");
+  EXPECT_EQ(calls[0].backend, "file=C:\\scratch\\ckpt");
+  EXPECT_EQ(calls[1].name, "bucket");
+  EXPECT_EQ(calls[1].backend, "s3://team/ckpts?region=eu");
 }
 
 TEST(ParseTierStack, RejectsMalformedSpecs) {

@@ -118,6 +118,42 @@ TEST(TierStackIntegration, DeadTerminalTierDegradesButShotCompletes) {
   EXPECT_EQ(result->shot.merged.checkpoints_lost, 0u);
 }
 
+TEST(TierStackIntegration, MixedPolicyStackRoundTripsWithPerTierEvictions) {
+  // The tentpole scenario: a score-driven GPU tier over a FIFO host tier,
+  // undersized so both evict, run end-to-end through the RTM harness. Both
+  // cache tiers must report evictions, durable tiers must report none, and
+  // the shot must still verify every byte.
+  ExperimentConfig cfg = BaseConfig();
+  cfg.tiers =
+      "gpu:gpucache:256Ki:score,host:cache:512Ki:fifo,ssd:durable,pfs:durable";
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->shot.verify_failures, 0u);
+  EXPECT_EQ(result->shot.merged.bytes_restored,
+            result->shot.merged.bytes_checkpointed);
+  const core::RankMetrics& m = result->shot.merged;
+  ASSERT_EQ(m.evictions_from_tier.size(), 4u);
+  ASSERT_EQ(m.evicted_bytes_from_tier.size(), 4u);
+  // 16 ckpts x 48Ki per rank vs 256Ki GPU / 512Ki host: both tiers evict.
+  EXPECT_GT(m.evictions_from_tier[0], 0u);
+  EXPECT_GT(m.evictions_from_tier[1], 0u);
+  EXPECT_GT(m.evicted_bytes_from_tier[0], 0u);
+  EXPECT_GT(m.evicted_bytes_from_tier[1], 0u);
+  EXPECT_EQ(m.evictions_from_tier[2], 0u);  // durable tiers never evict
+  EXPECT_EQ(m.evictions_from_tier[3], 0u);
+}
+
+TEST(TierStackIntegration, UnknownPolicyNameFailsInitWithInvalidArgument) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.tiers = "gpu:gpucache:256Ki:belady,host:cache:1Mi,ssd:durable";
+  auto result = RunExperiment(cfg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("unknown eviction policy"),
+            std::string::npos)
+      << result.status();
+}
+
 // --- Direct engine coverage on custom stacks ------------------------------
 
 class TierStackEngineTest : public ::testing::Test {
@@ -211,6 +247,26 @@ TEST_F(TierStackEngineTest, DeepestDurableFailureDegradesToNextDurable) {
   const core::RankMetrics& m = engine_->metrics(0);
   EXPECT_GT(m.tier_degradations, 0u);
   EXPECT_EQ(m.checkpoints_lost, 0u);
+  RestoreAndVerify(0, 0);
+}
+
+TEST_F(TierStackEngineTest, InitResolvesPerTierPoliciesAgainstTheGlobalKnob) {
+  // gpu names "score" explicitly, host stays silent: after Init the silent
+  // tier must have inherited the engine-wide default (lru here), and the
+  // stack summary must show the concrete per-tier mix.
+  auto stack = core::ParseTierStack(
+      "gpu:gpucache:256Ki:score,host:cache:1Mi,ssd:durable", "",
+      /*factory=*/{});
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  core::EngineOptions opts;
+  opts.eviction = core::EvictionKind::kLru;
+  Build(std::move(*stack), opts);
+  EXPECT_EQ(engine_->tiers().policy(0), core::EvictionKind::kScore);
+  EXPECT_EQ(engine_->tiers().policy(1), core::EvictionKind::kLru);
+  EXPECT_EQ(engine_->tiers().ToString(),
+            "gpu(256Ki,score)>host(1Mi,lru)>ssd*");
+  WriteCkpt(0, 0);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
   RestoreAndVerify(0, 0);
 }
 
