@@ -1,8 +1,54 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
+
+#include "core/trace_sink.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::bench {
+
+namespace {
+
+/// Writes the machine-readable run report: title, scale knobs, one entry
+/// per row (with the cell's engine metrics snapshot embedded verbatim).
+bool WriteRunReport(const std::string& path, const std::string& title) {
+  std::string out;
+  out += "{\"title\":\"" + util::json::Escape(title) + "\",";
+  const harness::BenchScale scale = harness::LoadBenchScale();
+  out += "\"scale\":{\"num_ckpts\":" + std::to_string(scale.num_ckpts) +
+         ",\"num_ranks\":" + std::to_string(scale.num_ranks) + "},";
+  out += "\"trace_enabled\":";
+  out += util::trace::enabled() ? "true" : "false";
+  out += ",\"rows\":[";
+  bool first = true;
+  for (const Row& row : Rows()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"ckpt_MBps\":%.3f,\"restore_MBps\":%.3f,\"wall_s\":%.6f,"
+                  "\"verify_failures\":%llu",
+                  row.ckpt_MBps, row.restore_MBps, row.wall_s,
+                  static_cast<unsigned long long>(row.verify_failures));
+    out += "{\"config\":\"" + util::json::Escape(row.config) + "\",";
+    out += "\"variant\":\"" + util::json::Escape(row.variant) + "\",";
+    out += buf;
+    if (!row.metrics_json.empty()) {
+      out += ",\"metrics\":" + row.metrics_json;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << out;
+  return static_cast<bool>(f.flush());
+}
+
+}  // namespace
 
 std::vector<Row>& Rows() {
   static std::vector<Row> rows;
@@ -41,7 +87,8 @@ void RegisterShot(const std::string& bench_name, const std::string& variant,
           Rows().push_back(Row{result->config_name, variant,
                                result->ckpt_MBps_mean, result->restore_MBps_mean,
                                result->shot.wall_s,
-                               result->shot.verify_failures});
+                               result->shot.verify_failures,
+                               std::move(result->metrics_json)});
         }
       })
       ->Iterations(1)
@@ -68,6 +115,27 @@ int BenchMain(int argc, char** argv, const std::string& title) {
                    static_cast<unsigned long long>(failures));
       return 1;
     }
+  }
+
+  const std::string report = util::EnvString("CKPT_BENCH_REPORT", "");
+  if (!report.empty()) {
+    if (WriteRunReport(report, title)) {
+      std::printf("run report: %s\n", report.c_str());
+    } else {
+      std::fprintf(stderr, "!! failed to write run report %s\n",
+                   report.c_str());
+      return 1;
+    }
+  }
+  if (util::trace::enabled() && !util::trace::out_path().empty()) {
+    const util::Status st =
+        core::WriteChromeTrace(util::trace::out_path());
+    if (!st.ok()) {
+      std::fprintf(stderr, "!! trace dump failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s\n", util::trace::out_path().c_str());
   }
   return 0;
 }

@@ -3,6 +3,12 @@
 // the figure's table after the run. Scale knobs come from the environment
 // (CKPT_BENCH_CKPTS / CKPT_BENCH_RANKS / CKPT_BENCH_INTERVAL_US) so the
 // suite can be run quick (CI) or paper-scale (384 checkpoints).
+//
+// Observability: CKPT_BENCH_REPORT=<path> makes BenchMain write a
+// machine-readable JSON run report (title, every row, and each cell's
+// engine metrics snapshot). When tracing is on (CKPT_TRACE=1) and a trace
+// output path is configured (CKPT_TRACE_OUT), BenchMain also dumps the
+// Chrome trace there on exit.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -22,6 +28,7 @@ struct Row {
   double restore_MBps = 0.0;
   double wall_s = 0.0;
   std::uint64_t verify_failures = 0;
+  std::string metrics_json;  ///< engine snapshot for the run report ("" = none)
 };
 
 /// Rows accumulated by the registered benchmarks, in registration order.

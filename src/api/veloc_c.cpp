@@ -8,10 +8,13 @@
 #include "api/veloc.hpp"
 #include "core/engine.hpp"
 #include "core/tier_stack.hpp"
+#include "core/trace_sink.hpp"
 #include "storage/file_store.hpp"
 #include "storage/mem_store.hpp"
 #include "storage/throttled_store.hpp"
 #include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -77,6 +80,16 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
   auto parsed = util::Config::Parse(config_text != nullptr ? config_text : "");
   if (!parsed.ok()) return FromStatus(parsed.status());
   const util::Config& cfg = *parsed;
+
+  // Tracing knobs: explicit config keys override the CKPT_TRACE* environment
+  // seed; absent keys leave the seeded values alone.
+  if (cfg.Has("trace") || cfg.Has("trace_out") || cfg.Has("trace_capacity")) {
+    const bool trace_on = cfg.GetBool("trace", util::trace::enabled());
+    const auto trace_cap =
+        static_cast<std::size_t>(cfg.GetInt("trace_capacity", 0));
+    util::trace::Configure(trace_on, trace_cap,
+                           cfg.GetString("trace_out", util::trace::out_path()));
+  }
 
   auto ctx = std::make_unique<GlobalContext>();
   ctx->cluster = std::make_unique<sim::Cluster>(sim::TopologyConfig::Scaled());
@@ -171,6 +184,13 @@ int VELOCX_Finalize(void) {
   g_ctx->clients.clear();  // clients reference the engine: drop them first
   g_ctx->engine->Shutdown();
   g_ctx.reset();
+  // Auto-dump after shutdown so every worker's final events are in the rings.
+  if (util::trace::enabled() && !util::trace::out_path().empty()) {
+    const util::Status st = core::WriteChromeTrace(util::trace::out_path());
+    if (!st.ok()) {
+      CKPT_LOG(kWarn, "api") << "trace dump failed: " << st.ToString();
+    }
+  }
   t_error.clear();
   return VELOCX_SUCCESS;
 }
@@ -279,6 +299,27 @@ int VELOCX_Prefetch_start(int rank) {
   }
   if (c == nullptr) return VELOCX_EINVAL;
   return FromStatus(c->PrefetchStart());
+}
+
+int VELOCX_Metrics_snapshot_json(const char* path) {
+  if (path == nullptr || path[0] == '\0') {
+    return Fail(VELOCX_EINVAL, "null metrics snapshot path");
+  }
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  return FromStatus(core::WriteMetricsSnapshot(*g_ctx->engine, path));
+}
+
+int VELOCX_Trace_dump(const char* path) {
+  const std::string p = (path != nullptr && path[0] != '\0')
+                            ? std::string(path)
+                            : util::trace::out_path();
+  if (p.empty()) {
+    return Fail(VELOCX_EINVAL,
+                "no trace output path (pass one, or set trace_out / "
+                "CKPT_TRACE_OUT)");
+  }
+  return FromStatus(core::WriteChromeTrace(p));
 }
 
 const char* VELOCX_Error_string(void) { return t_error.c_str(); }

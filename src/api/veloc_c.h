@@ -61,6 +61,20 @@ int VELOCX_Checkpoint_wait(int rank);
 int VELOCX_Prefetch_enqueue(int rank, uint64_t version);
 int VELOCX_Prefetch_start(int rank);
 
+/* Observability. Tracing is configured through the Init config string
+ * (trace = true, trace_out = /path/trace.json, trace_capacity = 16k) or the
+ * CKPT_TRACE / CKPT_TRACE_OUT / CKPT_TRACE_CAPACITY environment knobs;
+ * config keys win. When a trace output path is configured, Finalize dumps
+ * the trace there automatically. */
+
+/* Writes the engine metrics snapshot (per-rank and merged counters, latency
+ * histograms, restore series) as JSON to `path`. */
+int VELOCX_Metrics_snapshot_json(const char* path);
+
+/* Dumps the recorded trace as Chrome trace-event JSON (Perfetto-loadable)
+ * to `path`; NULL or "" uses the configured trace output path. */
+int VELOCX_Trace_dump(const char* path);
+
 /* Description of the most recent error on the calling thread ("" if none). */
 const char* VELOCX_Error_string(void);
 

@@ -9,18 +9,36 @@
 #include "util/clock.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::core {
 
 namespace {
 
 using util::Stopwatch;
+namespace trace = util::trace;
 
 constexpr auto kReplanMin = std::chrono::microseconds(100);
 constexpr auto kReplanMax = std::chrono::milliseconds(20);
 
 storage::ObjectKey KeyOf(sim::Rank rank, Version v) {
   return storage::ObjectKey{rank, v};
+}
+
+/// Lifecycle span name per FSM state. Static literals: event name pointers
+/// must outlive the engine (dumps typically happen after teardown).
+constexpr const char* StateSpanName(CkptState s) noexcept {
+  switch (s) {
+    case CkptState::kInit: return "state:INIT";
+    case CkptState::kWriteInProgress: return "state:WRITE_IN_PROGRESS";
+    case CkptState::kWriteComplete: return "state:WRITE_COMPLETE";
+    case CkptState::kFlushed: return "state:FLUSHED";
+    case CkptState::kReadInProgress: return "state:READ_IN_PROGRESS";
+    case CkptState::kReadComplete: return "state:READ_COMPLETE";
+    case CkptState::kConsumed: return "state:CONSUMED";
+    case CkptState::kFlushFailed: return "state:FLUSH_FAILED";
+  }
+  return "state:?";
 }
 
 }  // namespace
@@ -90,6 +108,7 @@ void Engine::Init(int num_ranks) {
     c->metrics.flush_bytes_to_tier.resize(stack_.size(), 0);
     c->metrics.evictions_from_tier.resize(stack_.size(), 0);
     c->metrics.evicted_bytes_from_tier.resize(stack_.size(), 0);
+    c->metrics.flush_stage_hist.resize(static_cast<std::size_t>(ncache));
 
     c->tiers.resize(static_cast<std::size_t>(ncache));
     for (int i = 0; i < ncache; ++i) {
@@ -259,6 +278,7 @@ Engine::Record Engine::NewRecord(RankCtx& ctx_, Version v,
   rec.durable.assign(static_cast<std::size_t>(stack_.num_durable_tiers()), 0);
   rec.fifo_seq = ++ctx_.seq_counter;
   rec.lru_seq = rec.fifo_seq;
+  if (trace::enabled()) rec.state_since_ns = trace::Now();
   return rec;
 }
 
@@ -268,6 +288,16 @@ void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
     CKPT_LOG(kError, "engine") << "rank " << ctx_.rank << " ckpt " << rec.version
                                << ": " << st.ToString();
     std::abort();  // engine invariant violation, never a user error
+  }
+  if (trace::enabled()) {
+    // Dwell span of the outgoing state. Records created with tracing off
+    // have no baseline timestamp; they start contributing from here on.
+    if (rec.state_since_ns > 0) {
+      trace::SpanSince(trace::Kind::kLifecycle, StateSpanName(rec.state),
+                       rec.state_since_ns, ctx_.rank, /*tier=*/-1, rec.version,
+                       rec.size);
+    }
+    rec.state_since_ns = trace::Now();
   }
   rec.state = to;
   ctx_.cv.notify_all();
@@ -383,6 +413,7 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
   const auto charge_wait = [&] { wait_metric += wait_sw.ElapsedSec(); };
   for (;;) {
     ++ctx_.metrics.reserve_rounds;
+    const std::int64_t round_begin = util::NowNs();
     if (ctx_.shutdown) {
       charge_wait();
       return util::ShutdownError("engine stopping");
@@ -398,6 +429,8 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
         return plan.status();  // caller falls back to a lower tier
       }
       // kUnavailable: everything is pinned right now; wait for a transition.
+      trace::Instant(trace::Kind::kEviction, "evict:blocked", ctx_.rank, tier,
+                     v, size);
       ctx_.cv.wait_for(lock, kReplanMax);
       continue;
     }
@@ -408,11 +441,23 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       auto offset = buf.Commit(*plan, v, size);
       charge_wait();
       if (!offset.ok()) return offset.status();
+      ctx_.metrics.reserve_round_hist.Add(
+          static_cast<double>(util::NowNs() - round_begin) / 1e9);
+      trace::SpanSince(trace::Kind::kEviction, "evict:round", round_begin,
+                       ctx_.rank, tier, v, size, plan->p_score, plan->s_score);
       ctx_.cv.notify_all();
       return *offset;
     }
     // Best window still needs time; sleep roughly that long, then re-plan
-    // (a better window may have appeared — see cache_buffer.hpp).
+    // (a better window may have appeared — see cache_buffer.hpp). The
+    // re-plan round itself is a complete span carrying the candidate
+    // window's scores; the instant marks the ETA it chose to wait out.
+    ctx_.metrics.reserve_round_hist.Add(
+        static_cast<double>(util::NowNs() - round_begin) / 1e9);
+    trace::SpanSince(trace::Kind::kEviction, "evict:round", round_begin,
+                     ctx_.rank, tier, v, size, plan->p_score, plan->s_score);
+    trace::Instant(trace::Kind::kEviction, "evict:wait", ctx_.rank, tier, v,
+                   size, plan->wait_eta, plan->s_score);
     auto wait = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(plan->wait_eta));
     wait = std::clamp<std::chrono::steady_clock::duration>(wait, kReplanMin,
@@ -473,6 +518,11 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
                               const TerminalPutResult& r) {
   ctx_.metrics.flush_retries += r.retries;
   ctx_.metrics.flush_failures += r.failures;
+  if (r.retries > 0) {
+    trace::Instant(trace::Kind::kRetry, "flush:retries", ctx_.rank,
+                   stack_.terminal(), rec.version, rec.size,
+                   static_cast<double>(r.retries));
+  }
   const std::size_t n = std::min(r.ok.size(), rec.durable.size());
   for (std::size_t d = 0; d < n; ++d) {
     if (r.ok[d] && !rec.durable[d]) {
@@ -522,6 +572,8 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
         << "rank " << ctx_.rank << " ckpt " << rec.version
         << ": terminal tier unreachable; degraded durability at tier "
         << stack_.name(static_cast<std::size_t>(deepest));
+    trace::Instant(trace::Kind::kRetry, "tier:degraded", ctx_.rank, deepest,
+                   rec.version, rec.size);
     FinishFlush(ctx_, rec);
     return;
   }
@@ -547,6 +599,8 @@ void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
     CKPT_LOG(kError, "flush")
         << "rank " << ctx_.rank << " ckpt " << rec.version
         << ": flush permanently failed; checkpoint lost";
+    trace::Instant(trace::Kind::kRetry, "ckpt:lost", ctx_.rank, /*tier=*/-1,
+                   rec.version, rec.size);
     Advance(ctx_, rec, CkptState::kFlushFailed);  // notifies waiters
   } else {
     // The data already reached the application (restore overtook the flush);
@@ -650,6 +704,8 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   if (src == nullptr || size == 0) {
     return util::InvalidArgument("Checkpoint: empty payload");
   }
+  trace::Span app_span(trace::Kind::kApp, "app:checkpoint", rank, /*tier=*/-1,
+                       v, size);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
@@ -758,6 +814,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
 
   if (!lock.owns_lock()) lock.lock();
   c.metrics.ckpt_block_s.Add(sw.ElapsedSec());
+  c.metrics.ckpt_block_hist.Add(sw.ElapsedSec());
   c.metrics.bytes_checkpointed += size;
   return util::OkStatus();
 }
@@ -765,6 +822,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
 util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
                              std::uint64_t capacity) {
   if (dst == nullptr) return util::InvalidArgument("Restore: null buffer");
+  trace::Span app_span(trace::Kind::kApp, "app:restore", rank, /*tier=*/-1, v);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
@@ -867,6 +925,10 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     }
     lock.lock();
     c.metrics.fetch_retries += fetch_retries;
+    if (fetch_retries > 0) {
+      trace::Instant(trace::Kind::kRetry, "fetch:retries", rank, served, v,
+                     size, static_cast<double>(fetch_retries));
+    }
     if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
     ++c.metrics.restores_from_store;
     if (st.ok() && served >= 0) {
@@ -895,7 +957,10 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   if (waited_promotion) ++c.metrics.restores_waited_promotion;
 
   ++c.restore_counter;
+  app_span.SetBytes(rec.size);
+  app_span.SetTier(src_tier);
   c.metrics.restore_block_s.Add(sw.ElapsedSec());
+  c.metrics.restore_block_hist.Add(sw.ElapsedSec());
   c.metrics.bytes_restored += rec.size;
   c.metrics.restore_series.push_back(RestorePoint{
       c.restore_counter - 1, v, sw.ElapsedSec(), rec.size, pdist});
@@ -948,6 +1013,12 @@ util::Status Engine::WaitForFlushes(sim::Rank rank) {
 
 const RankMetrics& Engine::metrics(sim::Rank rank) const {
   return ctx(rank).metrics;
+}
+
+RankMetrics Engine::MetricsSnapshot(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  return c.metrics;
 }
 
 util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
@@ -1055,6 +1126,12 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
   std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(tier));
   CacheTierRt& t = *c.tiers[static_cast<std::size_t>(tier)];
   const int ncache = stack_.num_cache_tiers();
+  const std::string tier_name(stack_.name(static_cast<std::size_t>(tier)));
+  trace::SetThreadName("r" + std::to_string(c.rank) + "/flush:" + tier_name);
+  // Span names are interned once per worker: the Chrome `name` groups one
+  // stage's copies ("flush:gpu" = everything leaving the gpu tier).
+  const char* stage_span = trace::Intern("flush:" + tier_name);
+  const char* terminal_span = trace::Intern("flush:" + tier_name + ">durable");
 
   // Writes (rank, v) to the durable stores directly from this tier's copy.
   // Device-tier sources stage through a transient pinned buffer first
@@ -1145,12 +1222,17 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       sim::ConstBytePtr src = BufferFor(c, tier, mine.part).PtrAt(mine.offset);
       const std::uint64_t size = rec.size;
       lock.unlock();
+      const std::int64_t t0 = util::NowNs();
       sim::ChargePcieLinkOnly(cluster_.topology(), gpu, size,
                               sim::Topology::LinkDir::kD2H);
       const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
       lock.lock();
       --mine.read_refs;
       t.backlog_bytes -= size;
+      trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
+                       stack_.terminal(), v, size);
+      c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
+          static_cast<double>(util::NowNs() - t0) / 1e9);
       ApplyFlushResult(c, rec, r);
       continue;
     }
@@ -1188,10 +1270,15 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       sim::ConstBytePtr src = BufferFor(c, tier, mine.part).PtrAt(mine.offset);
       const std::uint64_t size = rec.size;
       lock.unlock();
+      const std::int64_t t0 = util::NowNs();
       const TerminalPutResult r = put_from_tier(v, src, size);
       lock.lock();
       --mine.read_refs;
       t.backlog_bytes -= size;
+      trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
+                       stack_.terminal(), v, size);
+      c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
+          static_cast<double>(util::NowNs() - t0) / 1e9);
       ApplyFlushResult(c, rec, r);
       continue;
     }
@@ -1210,6 +1297,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
                                      : sim::MemcpyKind::kH2H;
     lock.unlock();
 
+    const std::int64_t t0 = util::NowNs();
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
                                                  src, rec.size, kind);
 
@@ -1223,6 +1311,10 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       cancel();
       continue;
     }
+    trace::SpanSince(trace::Kind::kFlush, stage_span, t0, c.rank, target, v,
+                     rec.size);
+    c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
+        static_cast<double>(util::NowNs() - t0) / 1e9);
     next.valid = true;
     t.backlog_bytes -= rec.size;
     c.tiers[static_cast<std::size_t>(target)]->backlog_bytes += rec.size;
@@ -1234,6 +1326,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
 }
 
 void Engine::PrefetchLoop(RankCtx& c) {
+  trace::SetThreadName("r" + std::to_string(c.rank) + "/prefetch");
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
   const int ncache = stack_.num_cache_tiers();
   std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(ncache));
@@ -1271,6 +1364,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Touch(c, rec);
       c.hints.PopHead();
       ++c.metrics.prefetch_gpu_hits;
+      trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
+                     rec.size);
       c.cv.notify_all();
       continue;
     }
@@ -1316,6 +1411,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
       AddPin(c, rec);
       c.hints.PopHead();
       ++c.metrics.prefetch_gpu_hits;
+      trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
+                     rec.size);
       c.cv.notify_all();
       continue;
     }
@@ -1324,12 +1421,15 @@ void Engine::PrefetchLoop(RankCtx& c) {
     c.hints.PopHead();
     rec.prefetch_claimed = true;
     Advance(c, rec, CkptState::kReadInProgress);
+    const std::int64_t promo_begin = util::NowNs();
 
     auto rollback = [&] {
       rec.prefetch_claimed = false;
       Advance(c, rec,
               rec.flush_done ? CkptState::kFlushed : CkptState::kWriteInProgress);
       ++c.metrics.prefetch_aborts;
+      trace::Instant(trace::Kind::kPrefetch, "prefetch:abort", c.rank, 0, v,
+                     rec.size);
       c.cv.notify_all();
     };
 
@@ -1399,6 +1499,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
+      trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                       c.rank, 0, v, rec.size);
+      c.metrics.promotion_hist.Add(
+          static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       c.cv.notify_all();
       continue;
     }
@@ -1447,6 +1551,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
+      trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                       c.rank, 0, v, rec.size);
+      c.metrics.promotion_hist.Add(
+          static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       c.cv.notify_all();
       continue;
     }
@@ -1525,6 +1633,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
     Advance(c, rec, CkptState::kReadComplete);
     AddPin(c, rec);
     ++c.metrics.prefetch_promotions;
+    trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                     c.rank, 0, v, rec.size);
+    c.metrics.promotion_hist.Add(
+        static_cast<double>(util::NowNs() - promo_begin) / 1e9);
     c.cv.notify_all();
   }
 }

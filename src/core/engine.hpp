@@ -177,6 +177,9 @@ class Engine final : public Runtime {
   void Shutdown() override;
 
   [[nodiscard]] const RankMetrics& metrics(sim::Rank rank) const override;
+  /// Consistent copy of one rank's metrics, taken under the rank lock —
+  /// safe while the engine is running (metrics() is only safe quiescent).
+  [[nodiscard]] RankMetrics MetricsSnapshot(sim::Rank rank) const;
   [[nodiscard]] std::string_view name() const override { return "score"; }
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
   [[nodiscard]] const TierStack& tiers() const noexcept { return stack_; }
@@ -241,6 +244,10 @@ class Engine final : public Runtime {
                                     ///< configured (terminal tier failed)
     std::uint64_t lru_seq = 0;
     std::uint64_t fifo_seq = 0;
+    /// Trace timestamp of the last FSM transition (0 until the first
+    /// transition recorded with tracing on); Advance() emits the dwell time
+    /// of the outgoing state as a lifecycle span.
+    std::int64_t state_since_ns = 0;
 
     [[nodiscard]] bool AnyDurable() const noexcept {
       for (unsigned char d : durable) {

@@ -61,6 +61,8 @@ std::optional<EvictionWindow> SlideWindow(const std::vector<FragmentView>& frags
       best = EvictionWindow{};
       best->first = i;
       best->last = j - 1;
+      best->p_score = p;
+      best->s_score = s;
       best_p = p;
       best_s = s;
     }

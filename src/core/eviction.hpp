@@ -51,6 +51,8 @@ struct EvictionWindow {
   std::uint64_t offset = 0;     ///< byte offset of the run
   std::uint64_t span = 0;       ///< total bytes of the run (>= requested size)
   double wait_eta = 0.0;        ///< max fragment eta (0 = committable now)
+  double p_score = 0.0;         ///< chosen window's primary score (minimized)
+  double s_score = 0.0;         ///< chosen window's secondary score (tie-break)
   std::vector<EntryId> victims; ///< non-gap entries to evict, offset order
 };
 

@@ -20,6 +20,18 @@ void RankMetrics::Merge(const RankMetrics& other) {
   merge_per_tier(flush_bytes_to_tier, other.flush_bytes_to_tier);
   merge_per_tier(evictions_from_tier, other.evictions_from_tier);
   merge_per_tier(evicted_bytes_from_tier, other.evicted_bytes_from_tier);
+  ckpt_block_hist.Merge(other.ckpt_block_hist);
+  restore_block_hist.Merge(other.restore_block_hist);
+  promotion_hist.Merge(other.promotion_hist);
+  reserve_round_hist.Merge(other.reserve_round_hist);
+  // Same size-reconciliation rule as the counter vectors: grow to the
+  // larger stack before accumulating.
+  if (flush_stage_hist.size() < other.flush_stage_hist.size()) {
+    flush_stage_hist.resize(other.flush_stage_hist.size());
+  }
+  for (std::size_t i = 0; i < other.flush_stage_hist.size(); ++i) {
+    flush_stage_hist[i].Merge(other.flush_stage_hist[i]);
+  }
   reserve_wait_write_s += other.reserve_wait_write_s;
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;

@@ -74,6 +74,17 @@ struct RankMetrics {
                                         // tier after the preferred one failed
   std::uint64_t checkpoints_lost = 0;   // records that entered FLUSH_FAILED
 
+  // Per-stage latency distributions (seconds), log-bucketed. The scalar
+  // accumulators above give totals; these show the shape — a bimodal flush
+  // stage (fast overlap vs. backlog stall) is invisible in a sum.
+  util::LogHistogram ckpt_block_hist;
+  util::LogHistogram restore_block_hist;
+  util::LogHistogram promotion_hist;      // prefetch promotion copy time
+  util::LogHistogram reserve_round_hist;  // one eviction plan/commit round
+  // Stage copy latency per cache tier, indexed by TierStack position
+  // (sized by the engine alongside the per-tier counter vectors).
+  std::vector<util::LogHistogram> flush_stage_hist;
+
   // Engine init cost (slow pinned host-cache allocation, §5.4.2).
   double init_s = 0.0;
 

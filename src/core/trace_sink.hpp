@@ -1,0 +1,68 @@
+// Trace/metrics export: turns the util::trace ring buffers into a Chrome
+// trace-event JSON file (load in Perfetto / chrome://tracing to see
+// flush/prefetch overlap as one track per engine thread per rank) and
+// RankMetrics into a machine-readable metrics snapshot. Also hosts the
+// validator the tests and the CI trace checker share.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/status.hpp"
+#include "util/trace.hpp"
+
+namespace ckpt::core {
+
+class Engine;
+
+/// Renders a trace snapshot as Chrome trace-event JSON:
+/// `{"traceEvents":[...]}` with complete spans (ph "X"), thread-scoped
+/// instants (ph "i") and process/thread name metadata. pid = rank
+/// (rank-less events land on pid 0), tid = ring-buffer id; events are
+/// sorted by begin timestamp within each track. Timestamps are µs since
+/// the trace epoch.
+[[nodiscard]] std::string ChromeTraceJson(const util::trace::TraceSnapshot& snap);
+/// Convenience: Collect() + render.
+[[nodiscard]] std::string ChromeTraceJson();
+/// Renders the current trace to `path` (parent directory must exist).
+util::Status WriteChromeTrace(const std::string& path);
+
+/// Renders one rank's metrics as a JSON object: blocking-time series
+/// summaries, all counters, per-tier vectors keyed by `tier_names`, the
+/// per-stage latency histograms (non-empty buckets only) and the Fig. 7
+/// restore series.
+[[nodiscard]] std::string MetricsJson(const RankMetrics& m,
+                                      const std::vector<std::string>& tier_names);
+
+/// Full engine snapshot: `{"tiers":[...],"ranks":[...],"merged":{...}}`.
+/// Uses Engine::MetricsSnapshot, so it is safe while the engine is running.
+[[nodiscard]] std::string MetricsSnapshotJson(const Engine& engine);
+util::Status WriteMetricsSnapshot(const Engine& engine, const std::string& path);
+
+/// Structural validation result for an emitted Chrome trace.
+struct TraceCheck {
+  bool ok = false;
+  std::string error;                 ///< first violation, empty when ok
+  std::size_t events = 0;            ///< non-metadata events
+  std::size_t spans = 0;             ///< complete (ph "X") events
+  std::size_t instants = 0;          ///< ph "i" events
+  std::size_t tracks = 0;            ///< distinct (pid, tid) pairs
+  /// Complete-span count per category ("lifecycle", "flush", ...).
+  std::map<std::string, std::size_t> spans_per_category;
+
+  [[nodiscard]] std::size_t spans_in(std::string_view cat) const {
+    auto it = spans_per_category.find(std::string(cat));
+    return it == spans_per_category.end() ? 0 : it->second;
+  }
+};
+
+/// Parses `json_text` and checks it is a well-formed, non-empty Chrome
+/// trace whose per-track begin timestamps are monotonically non-decreasing
+/// and whose spans carry non-negative durations.
+[[nodiscard]] TraceCheck ValidateChromeTrace(std::string_view json_text);
+
+}  // namespace ckpt::core

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/trace_sink.hpp"
 #include "util/config.hpp"
 
 namespace ckpt::harness {
@@ -108,6 +109,11 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
   if (!shot.ok()) return shot.status();
 
   ExperimentResult result;
+  // Snapshot the Score engine's metrics after the workers drain, while the
+  // runtime is still alive. Baselines expose no RankMetrics.
+  if (const auto* engine = dynamic_cast<const core::Engine*>(runtime.get())) {
+    result.metrics_json = core::MetricsSnapshotJson(*engine);
+  }
   result.shot = std::move(*shot);
   result.config_name = ConfigName(cfg.approach, cfg.shot.hint_mode);
   result.ckpt_MBps_mean = result.shot.MeanCkptThroughput() / 1e6;

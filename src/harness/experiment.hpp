@@ -84,6 +84,10 @@ struct ExperimentResult {
   double restore_MBps_mean = 0.0;  ///< mean per-rank restore throughput
   double ckpt_MBps_agg = 0.0;      ///< stacked over ranks (Fig. 9)
   double restore_MBps_agg = 0.0;
+  /// Engine metrics snapshot (core::MetricsSnapshotJson) taken after the
+  /// shot; empty for the baseline runtimes. Embedded verbatim in the bench
+  /// run reports (CKPT_BENCH_REPORT).
+  std::string metrics_json;
 };
 
 /// Builds the stack and runs one shot. Deterministic modulo thread timing.

@@ -10,6 +10,7 @@
 #include "util/clock.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::rtm {
 
@@ -111,6 +112,7 @@ util::StatusOr<ShotResult> RunShot(sim::Cluster& cluster, core::Runtime& runtime
     threads.reserve(static_cast<std::size_t>(num_ranks));
     for (sim::Rank rank = 0; rank < num_ranks; ++rank) {
       threads.emplace_back([&, rank] {
+        util::trace::SetThreadName("r" + std::to_string(rank) + "/app");
         sim::BytePtr buf = nullptr;
         auto fail = [&](util::Status st) {
           rank_status[static_cast<std::size_t>(rank)] = std::move(st);

@@ -1,0 +1,232 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace ckpt::util::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> ParseDocument() {
+    SkipWs();
+    CKPT_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(std::string what) const {
+    return InvalidArgument("json: " + std::move(what) + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return text_[pos_]; }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  StatusOr<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        if (Consume("null")) return Value();
+        return Error("invalid literal");
+      case 't':
+        if (Consume("true")) return Value(true);
+        return Error("invalid literal");
+      case 'f':
+        if (Consume("false")) return Value(false);
+        return Error("invalid literal");
+      case '"': {
+        CKPT_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case '[': return ParseArray(depth);
+      case '{': return ParseObject(depth);
+      default: return ParseNumber();
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("invalid hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point; surrogates degrade to '?'.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            out.push_back('?');
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+  }
+
+  StatusOr<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') { ++pos_; ++n; }
+      return n;
+    };
+    if (digits() == 0) return Error("invalid number");
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (digits() == 0) return Error("digits required after decimal point");
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (digits() == 0) return Error("digits required in exponent");
+    }
+    // The slice is a valid JSON number, which is also a valid strtod input.
+    const std::string slice(text_.substr(start, pos_ - start));
+    return Value(std::strtod(slice.c_str(), nullptr));
+  }
+
+  StatusOr<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    Array arr;
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      SkipWs();
+      CKPT_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (AtEnd()) return Error("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Object obj;
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      CKPT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (AtEnd() || text_[pos_++] != ':') return Error("expected ':' after key");
+      SkipWs();
+      CKPT_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      obj.insert_or_assign(std::move(key), std::move(v));
+      SkipWs();
+      if (AtEnd()) return Error("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ckpt::util::json

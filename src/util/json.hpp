@@ -1,0 +1,89 @@
+// Minimal JSON parser for validating our own emitted artifacts (Chrome
+// trace files, metrics snapshots) without an external dependency.
+//
+// Scope: full JSON grammar (RFC 8259) minus surrogate-pair decoding —
+// \uXXXX escapes outside the BMP are preserved as '?' bytes, which is
+// irrelevant for our ASCII-only producers. Numbers parse as double.
+// Not a streaming parser; intended for test-sized documents.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ckpt::util::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A parsed JSON value. Cheap to move; copies deep-copy.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+  [[nodiscard]] const Array& as_array() const noexcept {
+    static const Array empty;
+    return is_array() ? *arr_ : empty;
+  }
+  [[nodiscard]] const Object& as_object() const noexcept {
+    static const Object empty;
+    return is_object() ? *obj_ : empty;
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Value* Find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;   // shared so Value stays copyable cheaply
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses `text` as a single JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+[[nodiscard]] StatusOr<Value> Parse(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string Escape(std::string_view s);
+
+}  // namespace ckpt::util::json

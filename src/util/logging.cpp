@@ -49,6 +49,10 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<bool> g_unknown_level_warned{false};
+}  // namespace
+
 LogLevel parse_log_level(std::string_view name) noexcept {
   std::string lower(name);
   for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -58,10 +62,23 @@ LogLevel parse_log_level(std::string_view name) noexcept {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none") return LogLevel::kOff;
+  // Unknown name (typically a typo'd CKPT_LOG_LEVEL). Warn once, directly
+  // via log_line: parse_log_level runs inside log_level()'s one-time init,
+  // so going through CKPT_LOG here would re-enter that initialization.
+  if (!g_unknown_level_warned.exchange(true, std::memory_order_relaxed)) {
+    detail::log_line(LogLevel::kWarn, "logging",
+                     "unknown log level '" + std::string(name) +
+                         "', defaulting to 'info' (accepted: trace, debug, "
+                         "info, warn|warning, error, off|none)");
+  }
   return LogLevel::kInfo;
 }
 
 namespace detail {
+
+void ResetUnknownLevelWarningForTest() noexcept {
+  g_unknown_level_warned.store(false, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
   static std::mutex mu;

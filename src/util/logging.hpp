@@ -24,8 +24,14 @@ enum class LogLevel : std::uint8_t {
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Parses a level name (case-insensitive); returns kInfo on unknown input.
+/// Parses a level name (case-insensitive); returns kInfo on unknown input,
+/// after warning once per process naming the bad value and the accepted set.
 LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+/// Re-arms the one-time unknown-level warning (test hook).
+void ResetUnknownLevelWarningForTest() noexcept;
+}  // namespace detail
 
 namespace detail {
 /// Emits one formatted line ("<elapsed_us> <LEVEL> <tag>: <msg>") to stderr

@@ -5,7 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "util/trace.hpp"
 
 namespace {
 
@@ -147,6 +152,70 @@ TEST_F(VelocCApiTest, InvalidTiersConfigIsRejectedAtInit) {
   EXPECT_EQ(VELOCX_Checkpoint(0, "x", 0), VELOCX_EINVAL);
   ASSERT_EQ(VELOCX_Init("tiers = host:cache:1Mi;ssd:durable", 1),
             VELOCX_SUCCESS);
+}
+
+TEST_F(VelocCApiTest, MetricsSnapshotJsonWritesParseableFile) {
+  ASSERT_EQ(VELOCX_Init("gpu_cache = 256Ki, host_cache = 1Mi", 1),
+            VELOCX_SUCCESS);
+  // Argument validation first: bad path / missing runtime.
+  EXPECT_EQ(VELOCX_Metrics_snapshot_json(nullptr), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Metrics_snapshot_json(""), VELOCX_EINVAL);
+
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 8192, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 8192), VELOCX_SUCCESS);
+  std::memset(ptr, 0x11, 8192);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "obs", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Restart(0, 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+
+  const std::string path = ::testing::TempDir() + "velocx_metrics.json";
+  ASSERT_EQ(VELOCX_Metrics_snapshot_json(path.c_str()), VELOCX_SUCCESS);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Cheap structural checks without dragging the parser into the C tests.
+  EXPECT_NE(json.find("\"tiers\""), std::string::npos);
+  EXPECT_NE(json.find("\"merged\""), std::string::npos);
+  EXPECT_NE(json.find("\"restore_series\""), std::string::npos);
+
+  ASSERT_EQ(VELOCX_Finalize(), VELOCX_SUCCESS);
+  EXPECT_EQ(VELOCX_Metrics_snapshot_json(path.c_str()), VELOCX_ESHUTDOWN);
+}
+
+TEST_F(VelocCApiTest, TraceDumpHonorsConfigKeysAndExplicitPath) {
+#ifdef CKPT_TRACE_DISABLED
+  GTEST_SKIP() << "built with CKPT_TRACE_DISABLED";
+#else
+  const std::string path = ::testing::TempDir() + "velocx_trace.json";
+  // trace_out configured but dump to an explicit path; trace=true turns
+  // the subsystem on for the process.
+  const std::string cfg = "gpu_cache = 256Ki, host_cache = 1Mi, trace = true, "
+                          "trace_capacity = 4096";
+  ASSERT_EQ(VELOCX_Init(cfg.c_str(), 1), VELOCX_SUCCESS);
+  void* ptr = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 8192, &ptr), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, ptr, 8192), VELOCX_SUCCESS);
+  std::memset(ptr, 0x22, 8192);
+  ASSERT_EQ(VELOCX_Checkpoint(0, "tr", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint_wait(0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Restart(0, 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
+
+  ASSERT_EQ(VELOCX_Trace_dump(path.c_str()), VELOCX_SUCCESS);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  ASSERT_EQ(VELOCX_Finalize(), VELOCX_SUCCESS);
+  // Leave the process-global subsystem off for the remaining tests.
+  ckpt::util::trace::Disable();
+  ckpt::util::trace::ResetBuffers();
+#endif
 }
 
 TEST_F(VelocCApiTest, GpudirectConfigWorks) {

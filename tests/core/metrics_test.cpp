@@ -68,6 +68,77 @@ TEST(RankMetricsTest, MergeAccumulatesEverything) {
   EXPECT_EQ(a.restore_series[1].prefetch_distance, 3u);
 }
 
+TEST(RankMetricsTest, MergeReconcilesMismatchedTierVectorLengths) {
+  // Regression: merging metrics from engines built on different-depth
+  // TierStacks (e.g. a 2-tier host-only stack into a 4-tier default stack)
+  // must grow the shorter vectors instead of dropping the deep tiers'
+  // counters or indexing out of range.
+  RankMetrics shallow;  // engine on a 2-position stack, 1 cache tier
+  shallow.restores_from_tier = {1, 2};
+  shallow.flush_bytes_to_tier = {10, 20};
+  shallow.evictions_from_tier = {3, 0};
+  shallow.evicted_bytes_from_tier = {30, 0};
+  shallow.flush_stage_hist.resize(1);
+  shallow.flush_stage_hist[0].Add(0.5);
+
+  RankMetrics deep;  // engine on a 4-position stack, 3 cache tiers
+  deep.restores_from_tier = {5, 6, 7, 8};
+  deep.flush_bytes_to_tier = {50, 60, 70, 80};
+  deep.evictions_from_tier = {1, 1, 1, 0};
+  deep.evicted_bytes_from_tier = {2, 2, 2, 0};
+  deep.flush_stage_hist.resize(3);
+  deep.flush_stage_hist[2].Add(0.25);
+
+  // Shorter absorbing longer grows to the longer stack.
+  RankMetrics a = shallow;
+  a.Merge(deep);
+  ASSERT_EQ(a.restores_from_tier.size(), 4u);
+  EXPECT_EQ(a.restores_from_tier[0], 6u);
+  EXPECT_EQ(a.restores_from_tier[1], 8u);
+  EXPECT_EQ(a.restores_from_tier[2], 7u);  // deep tail preserved
+  EXPECT_EQ(a.restores_from_tier[3], 8u);
+  ASSERT_EQ(a.flush_bytes_to_tier.size(), 4u);
+  EXPECT_EQ(a.flush_bytes_to_tier[3], 80u);
+  ASSERT_EQ(a.flush_stage_hist.size(), 3u);
+  EXPECT_EQ(a.flush_stage_hist[0].total(), 1u);
+  EXPECT_EQ(a.flush_stage_hist[2].total(), 1u);
+
+  // Longer absorbing shorter keeps its own tail untouched.
+  RankMetrics b = deep;
+  b.Merge(shallow);
+  ASSERT_EQ(b.restores_from_tier.size(), 4u);
+  EXPECT_EQ(b.restores_from_tier[0], 6u);
+  EXPECT_EQ(b.restores_from_tier[2], 7u);
+  EXPECT_EQ(b.restores_from_tier[3], 8u);
+  ASSERT_EQ(b.flush_stage_hist.size(), 3u);
+  EXPECT_EQ(b.flush_stage_hist[0].total(), 1u);
+  EXPECT_DOUBLE_EQ(b.flush_stage_hist[0].sum(), 0.5);
+  EXPECT_EQ(b.flush_stage_hist[2].total(), 1u);
+
+  // Merging into a fresh (empty-vector) target adopts the source's sizes.
+  RankMetrics fresh;
+  fresh.Merge(deep);
+  EXPECT_EQ(fresh.restores_from_tier, deep.restores_from_tier);
+  EXPECT_EQ(fresh.evicted_bytes_from_tier, deep.evicted_bytes_from_tier);
+  ASSERT_EQ(fresh.flush_stage_hist.size(), 3u);
+}
+
+TEST(RankMetricsTest, MergeAccumulatesLatencyHistograms) {
+  RankMetrics a;
+  a.ckpt_block_hist.Add(1e-3);
+  a.reserve_round_hist.Add(1e-4);
+  RankMetrics b;
+  b.ckpt_block_hist.Add(1e-2);
+  b.restore_block_hist.Add(2e-3);
+  b.promotion_hist.Add(5e-3);
+  a.Merge(b);
+  EXPECT_EQ(a.ckpt_block_hist.total(), 2u);
+  EXPECT_EQ(a.restore_block_hist.total(), 1u);
+  EXPECT_EQ(a.promotion_hist.total(), 1u);
+  EXPECT_EQ(a.reserve_round_hist.total(), 1u);
+  EXPECT_DOUBLE_EQ(a.ckpt_block_hist.sum(), 1e-3 + 1e-2);
+}
+
 TEST(RankMetricsTest, MergeWithEmpty) {
   RankMetrics a;
   a.bytes_restored = 5;

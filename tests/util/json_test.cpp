@@ -1,0 +1,108 @@
+// Tests for the minimal JSON parser the trace validator and run-report
+// consumers rely on.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ckpt::util::json {
+namespace {
+
+Value MustParse(std::string_view text) {
+  auto v = Parse(text);
+  EXPECT_TRUE(v.ok()) << v.status();
+  return v.ok() ? *v : Value();
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(MustParse("null").type(), Value::Type::kNull);
+  EXPECT_TRUE(MustParse("true").as_bool());
+  EXPECT_FALSE(MustParse("false").as_bool());
+  EXPECT_DOUBLE_EQ(MustParse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(MustParse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(MustParse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ArraysAndObjects) {
+  const Value v = MustParse(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  ASSERT_EQ(v.type(), Value::Type::kObject);
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  const Value* b = a->as_array()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->as_string(), "x");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  ASSERT_NE(v.Find("c"), nullptr);
+  EXPECT_EQ(v.Find("c")->type(), Value::Type::kNull);
+}
+
+TEST(JsonTest, WhitespaceAndNesting) {
+  const Value v = MustParse("  [ [ [ 1 ] ] , [ ] ]  ");
+  ASSERT_EQ(v.as_array().size(), 2u);
+  EXPECT_TRUE(v.as_array()[1].as_array().empty());
+}
+
+TEST(JsonTest, TypeMismatchFallsBackToDefaults) {
+  const Value v = MustParse("17");
+  EXPECT_EQ(v.as_string(), "");
+  EXPECT_TRUE(v.as_array().empty());
+  EXPECT_TRUE(v.as_object().empty());
+  EXPECT_FALSE(v.as_bool());
+  EXPECT_EQ(v.Find("x"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Parse("{'a': 1}").ok());
+}
+
+TEST(JsonTest, RejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string fine;
+  for (int i = 0; i < 30; ++i) fine += "[";
+  fine += "1";
+  for (int i = 0; i < 30; ++i) fine += "]";
+  EXPECT_TRUE(Parse(fine).ok());
+}
+
+TEST(JsonTest, EscapeProducesParseableStrings) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string quoted = "\"" + Escape(nasty) + "\"";
+  const Value v = MustParse(quoted);
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+TEST(JsonTest, ParsesChromeTraceShapedDocument) {
+  const Value v = MustParse(
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"x","cat":"flush","ph":"X","ts":1.5,"dur":2.0,"pid":0,"tid":1,)"
+      R"("args":{"tier":0,"version":3,"bytes":4096}},)"
+      R"({"name":"i","cat":"app","ph":"i","ts":9.0,"pid":0,"tid":1,"s":"t"}]})");
+  const Value* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 2u);
+  EXPECT_EQ(events->as_array()[0].Find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(events->as_array()[0].Find("args")->Find("bytes")->as_number(),
+                   4096.0);
+}
+
+}  // namespace
+}  // namespace ckpt::util::json

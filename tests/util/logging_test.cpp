@@ -28,6 +28,27 @@ TEST_F(LoggingTest, UnknownLevelDefaultsToInfo) {
   EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
 }
 
+TEST_F(LoggingTest, UnknownLevelWarnsOnceNamingValueAndAcceptedSet) {
+  detail::ResetUnknownLevelWarningForTest();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("verbos"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("louder"), LogLevel::kInfo);  // second: silent
+  const std::string err = testing::internal::GetCapturedStderr();
+  // The one-time warning names the offending value and the accepted set.
+  EXPECT_NE(err.find("unknown log level 'verbos'"), std::string::npos) << err;
+  EXPECT_NE(err.find("trace, debug, info, warn|warning, error, off|none"),
+            std::string::npos)
+      << err;
+  EXPECT_EQ(err.find("louder"), std::string::npos) << err;
+
+  // After a reset the warning fires again (fresh process semantics).
+  detail::ResetUnknownLevelWarningForTest();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("shouting"), LogLevel::kInfo);
+  const std::string again = testing::internal::GetCapturedStderr();
+  EXPECT_NE(again.find("unknown log level 'shouting'"), std::string::npos);
+}
+
 TEST_F(LoggingTest, SetAndGetLevel) {
   set_log_level(LogLevel::kError);
   EXPECT_EQ(log_level(), LogLevel::kError);

@@ -1,0 +1,207 @@
+// Unit tests for the tracing sensor layer: ring-buffer capture, drop
+// accounting, interning, thread naming, reset epochs and the RAII span.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ckpt::util::trace {
+namespace {
+
+// Recording tests are meaningless when the subsystem is compiled out
+// (enabled() is constexpr false); the CKPT_TRACE_DISABLED CI build still
+// runs this binary, so skip instead of failing.
+#ifdef CKPT_TRACE_DISABLED
+#define SKIP_IF_TRACE_COMPILED_OUT() \
+  GTEST_SKIP() << "built with CKPT_TRACE_DISABLED"
+#else
+#define SKIP_IF_TRACE_COMPILED_OUT() (void)0
+#endif
+
+/// Every test runs against the process-global registry: start from a clean
+/// slate and leave tracing off for the next suite.
+class TraceUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Disable();
+    ResetBuffers();
+  }
+  void TearDown() override {
+    Disable();
+    ResetBuffers();
+  }
+};
+
+TEST_F(TraceUtilTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(enabled());
+  Instant(Kind::kApp, "ignored", 0);
+  SpanSince(Kind::kApp, "ignored", Now(), 0);
+  EXPECT_EQ(Collect().total_events(), 0u);
+}
+
+TEST_F(TraceUtilTest, InstantAndSpanRoundTrip) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable();
+  const std::int64_t begin = Now();
+  Instant(Kind::kEviction, "evict:blocked", /*rank=*/3, /*tier=*/1,
+          /*version=*/42, /*bytes=*/4096, /*a=*/1.5, /*b=*/2.5);
+  SpanSince(Kind::kFlush, "flush:gpu", begin, /*rank=*/3, /*tier=*/0,
+            /*version=*/42, /*bytes=*/8192);
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.total_events(), 2u);
+  ASSERT_EQ(snap.threads.size(), 1u);
+  const Event& i = snap.threads[0].events[0];
+  EXPECT_FALSE(i.is_span());
+  EXPECT_EQ(i.kind, Kind::kEviction);
+  EXPECT_STREQ(i.name, "evict:blocked");
+  EXPECT_EQ(i.rank, 3);
+  EXPECT_EQ(i.tier, 1);
+  EXPECT_EQ(i.version, 42u);
+  EXPECT_EQ(i.bytes, 4096u);
+  EXPECT_DOUBLE_EQ(i.a, 1.5);
+  EXPECT_DOUBLE_EQ(i.b, 2.5);
+  const Event& s = snap.threads[0].events[1];
+  EXPECT_TRUE(s.is_span());
+  EXPECT_EQ(s.ts_ns, begin);
+  EXPECT_GE(s.dur_ns, 0);
+}
+
+TEST_F(TraceUtilTest, RingWrapCountsDropped) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable(/*capacity=*/64);  // kMinCapacity
+  for (int i = 0; i < 100; ++i) {
+    Instant(Kind::kApp, "tick", 0, -1, static_cast<std::uint64_t>(i));
+  }
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  EXPECT_EQ(snap.threads[0].events.size(), 64u);
+  EXPECT_EQ(snap.threads[0].dropped, 36u);
+  EXPECT_EQ(snap.total_dropped(), 36u);
+  // Oldest surviving event first: versions 36..99.
+  EXPECT_EQ(snap.threads[0].events.front().version, 36u);
+  EXPECT_EQ(snap.threads[0].events.back().version, 99u);
+}
+
+TEST_F(TraceUtilTest, PerThreadBuffersAndNames) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable();
+  SetThreadName("main-thread");
+  Instant(Kind::kApp, "main", 0);
+  std::thread t([] {
+    SetThreadName("worker");
+    Instant(Kind::kApp, "work", 1);
+  });
+  t.join();
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.threads.size(), 2u);
+  bool saw_main = false, saw_worker = false;
+  for (const auto& te : snap.threads) {
+    if (te.thread_name == "main-thread") saw_main = true;
+    if (te.thread_name == "worker") saw_worker = true;
+    EXPECT_EQ(te.events.size(), 1u);
+  }
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_worker);
+}
+
+TEST_F(TraceUtilTest, ThreadNameAppliesToLiveBuffer) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable();
+  Instant(Kind::kApp, "before", 0);  // registers this thread's buffer
+  SetThreadName("renamed");
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  EXPECT_EQ(snap.threads[0].thread_name, "renamed");
+}
+
+TEST_F(TraceUtilTest, ResetBuffersDropsEventsAndReregisters) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable();
+  Instant(Kind::kApp, "old", 0);
+  ResetBuffers();
+  EXPECT_EQ(Collect().total_events(), 0u);
+  Instant(Kind::kApp, "new", 0);
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.total_events(), 1u);
+  EXPECT_STREQ(snap.threads[0].events[0].name, "new");
+}
+
+TEST_F(TraceUtilTest, InternReturnsStablePointers) {
+  const char* a = Intern("flush:gpu");
+  const char* b = Intern(std::string("flush:") + "gpu");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "flush:gpu");
+  EXPECT_NE(Intern("flush:host"), a);
+}
+
+TEST_F(TraceUtilTest, RaiiSpanEmitsOnDestruction) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable();
+  {
+    Span span(Kind::kApp, "scoped", /*rank=*/1, /*tier=*/2, /*version=*/7);
+    span.SetBytes(512);
+    span.SetArgs(3.0, 4.0);
+  }
+  const TraceSnapshot snap = Collect();
+  ASSERT_EQ(snap.total_events(), 1u);
+  const Event& e = snap.threads[0].events[0];
+  EXPECT_TRUE(e.is_span());
+  EXPECT_STREQ(e.name, "scoped");
+  EXPECT_EQ(e.tier, 2);
+  EXPECT_EQ(e.bytes, 512u);
+  EXPECT_DOUBLE_EQ(e.a, 3.0);
+}
+
+TEST_F(TraceUtilTest, CancelledSpanEmitsNothing) {
+  Enable();
+  {
+    Span span(Kind::kApp, "cancelled", 0);
+    span.Cancel();
+  }
+  EXPECT_EQ(Collect().total_events(), 0u);
+}
+
+TEST_F(TraceUtilTest, ConfigureSetsCapacityAndPath) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Configure(/*on=*/false, /*capacity=*/256, "/tmp/some-trace.json");
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(capacity(), 256u);
+  EXPECT_EQ(out_path(), "/tmp/some-trace.json");
+  Configure(/*on=*/true, /*capacity=*/0, "");  // 0/empty keep current
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(capacity(), 256u);
+  EXPECT_EQ(out_path(), "/tmp/some-trace.json");
+}
+
+TEST_F(TraceUtilTest, NowIsMonotonic) {
+  const std::int64_t t0 = Now();
+  const std::int64_t t1 = Now();
+  EXPECT_GE(t1, t0);
+}
+
+TEST_F(TraceUtilTest, ConcurrentEmissionIsLossless) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  Enable(/*capacity=*/4096);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Instant(Kind::kApp, "tick", t, -1, static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const TraceSnapshot snap = Collect();
+  EXPECT_EQ(snap.total_events(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.total_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace ckpt::util::trace

@@ -1,0 +1,74 @@
+// trace_check: structural validator for emitted Chrome trace-event JSON.
+// Used by CI after a traced bench run and handy for eyeballing a dump:
+//
+//   trace_check trace.json [--require CAT ...]
+//
+// Exits 0 when the trace is well-formed, non-empty, per-track monotonic,
+// and contains at least one complete span for every --require'd category
+// (lifecycle, flush, prefetch, eviction, retry, app). Prints a summary
+// either way.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trace_sink.hpp"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--require CAT ...]\n"
+               "  CAT: lifecycle | flush | prefetch | eviction | retry | app\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string path = argv[1];
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  const ckpt::core::TraceCheck check = ckpt::core::ValidateChromeTrace(text);
+  std::printf("%s: %zu events (%zu spans, %zu instants) on %zu tracks\n",
+              path.c_str(), check.events, check.spans, check.instants,
+              check.tracks);
+  for (const auto& [cat, n] : check.spans_per_category) {
+    std::printf("  %-10s %zu spans\n", cat.c_str(), n);
+  }
+  if (!check.ok) {
+    std::fprintf(stderr, "trace_check: INVALID: %s\n", check.error.c_str());
+    return 1;
+  }
+  int missing = 0;
+  for (const std::string& cat : required) {
+    if (check.spans_in(cat) == 0) {
+      std::fprintf(stderr, "trace_check: no '%s' spans in trace\n",
+                   cat.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  std::printf("trace_check: OK\n");
+  return 0;
+}
