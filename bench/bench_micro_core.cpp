@@ -6,8 +6,11 @@
 #include <random>
 
 #include "core/allocation_table.hpp"
+#include "core/engine.hpp"
 #include "core/eviction.hpp"
 #include "core/restore_queue.hpp"
+#include "core/tier_stack.hpp"
+#include "storage/mem_store.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/rate_limiter.hpp"
 
@@ -117,6 +120,53 @@ void BM_MpmcQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MpmcQueuePushPop);
+
+/// Rank hot path end to end: checkpoint + immediate restore against a deep
+/// 4-cache-tier stack, so every round trip crosses the reserve/evict path
+/// (the cache holds only a handful of checkpoints). Tracks the per-op cost
+/// of the sharded-lock design; compare against BENCH_hotpath.json.
+void BM_EngineHotPath(benchmark::State& state) {
+  constexpr std::uint64_t kSize = 64 << 10;
+  auto stack = core::ParseTierStack(
+      "gpu:gpucache:256Ki:score;h1:cache:512Ki:score;"
+      "h2:cache:1Mi:score;ssd:durable:mem",
+      "", {});
+  if (!stack.ok()) {
+    state.SkipWithError("ParseTierStack failed");
+    return;
+  }
+  sim::Cluster cluster(sim::TopologyConfig::Testing());
+  core::Engine engine(cluster, std::move(*stack), core::EngineOptions{}, 1);
+  auto buf = *cluster.device(0).Allocate(kSize);
+  core::Version v = 0;
+  for (auto _ : state) {
+    if (!engine.Checkpoint(0, v, buf, kSize).ok() ||
+        !engine.Restore(0, v, buf, kSize).ok()) {
+      state.SkipWithError("checkpoint/restore failed");
+      break;
+    }
+    ++v;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kSize));
+  (void)cluster.device(0).Free(buf);
+}
+BENCHMARK(BM_EngineHotPath)->UseRealTime();
+
+/// The lock-free hint path: PrefetchEnqueue must never take the rank mutex,
+/// so its latency should be queue-push + notify, independent of engine
+/// state. Fixed iteration count keeps the (append-only) hint queue bounded.
+void BM_PrefetchEnqueue(benchmark::State& state) {
+  sim::Cluster cluster(sim::TopologyConfig::Testing());
+  core::Engine engine(cluster, std::make_shared<storage::MemStore>(), nullptr,
+                      core::EngineOptions{}, 1);
+  core::Version v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.PrefetchEnqueue(0, v++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefetchEnqueue)->Iterations(1 << 16);
 
 }  // namespace
 

@@ -62,7 +62,7 @@ class VelocClient {
   util::Status WaitForFlushes();
 
   [[nodiscard]] sim::Rank rank() const noexcept { return rank_; }
-  [[nodiscard]] const core::RankMetrics& metrics() const {
+  [[nodiscard]] core::RankMetrics metrics() const {
     return engine_.metrics(rank_);
   }
 

@@ -265,8 +265,10 @@ util::Status AdiosRuntime::WaitForFlushes(sim::Rank rank) {
   return util::OkStatus();
 }
 
-const core::RankMetrics& AdiosRuntime::metrics(sim::Rank rank) const {
-  return ctx(rank).metrics;
+core::RankMetrics AdiosRuntime::metrics(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  return c.metrics;
 }
 
 void AdiosRuntime::DrainLoop(RankCtx& c) {

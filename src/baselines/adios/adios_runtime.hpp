@@ -60,7 +60,7 @@ class AdiosRuntime final : public core::Runtime {
   util::Status WaitForFlushes(sim::Rank rank) override;
   void Shutdown() override;
 
-  [[nodiscard]] const core::RankMetrics& metrics(sim::Rank rank) const override;
+  [[nodiscard]] core::RankMetrics metrics(sim::Rank rank) const override;
   [[nodiscard]] std::string_view name() const override { return "adios2"; }
 
  private:

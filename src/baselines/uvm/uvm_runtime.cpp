@@ -265,8 +265,10 @@ util::Status UvmRuntime::WaitForFlushes(sim::Rank rank) {
   return util::OkStatus();
 }
 
-const core::RankMetrics& UvmRuntime::metrics(sim::Rank rank) const {
-  return ctx(rank).metrics;
+core::RankMetrics UvmRuntime::metrics(sim::Rank rank) const {
+  const RankCtx& c = ctx(rank);
+  std::lock_guard lock(c.mu);
+  return c.metrics;
 }
 
 UvmStats UvmRuntime::uvm_stats(sim::Rank rank) const {

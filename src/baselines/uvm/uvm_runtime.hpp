@@ -63,7 +63,7 @@ class UvmRuntime final : public core::Runtime {
   util::Status WaitForFlushes(sim::Rank rank) override;
   void Shutdown() override;
 
-  [[nodiscard]] const core::RankMetrics& metrics(sim::Rank rank) const override;
+  [[nodiscard]] core::RankMetrics metrics(sim::Rank rank) const override;
   [[nodiscard]] std::string_view name() const override { return "uvm"; }
   [[nodiscard]] UvmStats uvm_stats(sim::Rank rank) const;
 

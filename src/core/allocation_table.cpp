@@ -38,6 +38,7 @@ util::Status AllocationTable::Insert(EntryId id, std::uint64_t offset,
   }
   entries_[id] = offset;
   used_ += size;
+  ++version_;
   return util::OkStatus();
 }
 
@@ -52,6 +53,7 @@ util::Status AllocationTable::Erase(EntryId id) {
   used_ -= fit->second.size;
   fit->second.id = kGapId;
   CoalesceAround(offset);
+  ++version_;
   return util::OkStatus();
 }
 
@@ -98,6 +100,7 @@ util::Status AllocationTable::Overwrite(EntryId id, std::uint64_t offset,
     frags_[offset + size] = Fragment{offset + size, tail, kGapId};
     CoalesceAround(offset + size);
   }
+  ++version_;
   return util::OkStatus();
 }
 

@@ -66,6 +66,11 @@ class AllocationTable {
   [[nodiscard]] std::vector<Fragment> Snapshot() const;
 
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  /// Monotone counter bumped by every successful mutation (Insert / Erase /
+  /// Overwrite). Lets callers plan on a Snapshot() without a lock and
+  /// cheaply detect at commit time whether the geometry they planned against
+  /// is still current (CacheBuffer's optimistic plan/revalidate protocol).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
   [[nodiscard]] std::uint64_t gap_bytes() const noexcept { return capacity_ - used_; }
   [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
@@ -83,6 +88,7 @@ class AllocationTable {
   std::map<EntryId, std::uint64_t> entries_;
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
+  std::uint64_t version_ = 0;
 
   void CoalesceAround(std::uint64_t offset);
 };

@@ -9,27 +9,42 @@ CacheBuffer::CacheBuffer(std::string name, sim::BytePtr base,
                          std::unique_ptr<EvictionPolicy> policy)
     : name_(std::move(name)),
       base_(base),
+      capacity_(capacity),
       table_(capacity),
       policy_(std::move(policy)) {}
 
-util::StatusOr<EvictionWindow> CacheBuffer::Plan(std::uint64_t size,
-                                                 const MetaFn& meta) const {
-  if (size == 0) return util::InvalidArgument("Plan: zero size");
-  if (size > table_.capacity()) {
-    return util::CapacityExceeded(name_ + ": object of " + std::to_string(size) +
-                                  " bytes exceeds capacity " +
-                                  std::to_string(table_.capacity()));
-  }
-  std::vector<Fragment> snapshot = table_.Snapshot();
+CacheBuffer::TableSnapshot CacheBuffer::Snapshot() const {
+  std::lock_guard lock(mu_);
+  return TableSnapshot{table_.Snapshot(), table_.version()};
+}
+
+std::uint64_t CacheBuffer::table_version() const {
+  std::lock_guard lock(mu_);
+  return table_.version();
+}
+
+std::vector<FragmentView> CacheBuffer::AnnotateViews(
+    const std::vector<Fragment>& frags, const MetaFn& meta) {
   std::vector<FragmentView> views;
-  views.reserve(snapshot.size());
-  for (const Fragment& f : snapshot) {
+  views.reserve(frags.size());
+  for (const Fragment& f : frags) {
     FragmentView v;
     v.offset = f.offset;
     v.size = f.size;
     v.id = f.id;
     if (!f.is_gap()) meta(f.id, v);
     views.push_back(v);
+  }
+  return views;
+}
+
+util::StatusOr<EvictionWindow> CacheBuffer::PlanViews(
+    const std::vector<FragmentView>& views, std::uint64_t size) const {
+  if (size == 0) return util::InvalidArgument("Plan: zero size");
+  if (size > capacity_) {
+    return util::CapacityExceeded(name_ + ": object of " + std::to_string(size) +
+                                  " bytes exceeds capacity " +
+                                  std::to_string(capacity_));
   }
   auto window = policy_->Choose(views, size);
   if (!window) {
@@ -38,8 +53,14 @@ util::StatusOr<EvictionWindow> CacheBuffer::Plan(std::uint64_t size,
   return *window;
 }
 
+util::StatusOr<EvictionWindow> CacheBuffer::Plan(std::uint64_t size,
+                                                 const MetaFn& meta) const {
+  return PlanViews(AnnotateViews(Snapshot().frags, meta), size);
+}
+
 util::StatusOr<std::uint64_t> CacheBuffer::Commit(const EvictionWindow& window,
                                                   EntryId id, std::uint64_t size) {
+  std::lock_guard lock(mu_);
   for (EntryId victim : window.victims) {
     auto frag = table_.Find(victim);
     if (!frag) {
@@ -62,6 +83,54 @@ util::StatusOr<std::uint64_t> CacheBuffer::Commit(const EvictionWindow& window,
   return gap->offset;
 }
 
-util::Status CacheBuffer::Release(EntryId id) { return table_.Erase(id); }
+util::Status CacheBuffer::Release(EntryId id) {
+  std::lock_guard lock(mu_);
+  return table_.Erase(id);
+}
+
+std::optional<Fragment> CacheBuffer::Find(EntryId id) const {
+  std::lock_guard lock(mu_);
+  return table_.Find(id);
+}
+
+std::uint64_t CacheBuffer::used_bytes() const {
+  std::lock_guard lock(mu_);
+  return table_.used_bytes();
+}
+
+std::uint64_t CacheBuffer::gap_bytes() const {
+  std::lock_guard lock(mu_);
+  return table_.gap_bytes();
+}
+
+std::uint64_t CacheBuffer::largest_gap() const {
+  std::lock_guard lock(mu_);
+  return table_.largest_gap();
+}
+
+std::size_t CacheBuffer::entry_count() const {
+  std::lock_guard lock(mu_);
+  return table_.entry_count();
+}
+
+std::size_t CacheBuffer::fragment_count() const {
+  std::lock_guard lock(mu_);
+  return table_.fragment_count();
+}
+
+util::Status CacheBuffer::CheckTableInvariants() const {
+  std::lock_guard lock(mu_);
+  return table_.CheckInvariants();
+}
+
+std::uint64_t CacheBuffer::evictions() const {
+  std::lock_guard lock(mu_);
+  return evictions_;
+}
+
+std::uint64_t CacheBuffer::evicted_bytes() const {
+  std::lock_guard lock(mu_);
+  return evicted_bytes_;
+}
 
 }  // namespace ckpt::core

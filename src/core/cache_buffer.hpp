@@ -2,11 +2,26 @@
 // Pairs an AllocationTable with an EvictionPolicy and exposes the
 // plan/commit protocol the engine's blocking reservation loop uses:
 //
-//   1. Plan(size, meta)  — snapshot the table, attach life-cycle metadata
-//      via `meta`, run the policy. Pure; holds no locks of its own.
-//   2. If the returned window has wait_eta == 0, Commit() it atomically
-//      (caller holds the rank lock throughout, so no state can change
-//      between plan and commit). Otherwise wait on the rank cv and re-plan.
+//   1. Snapshot()     — copy the table geometry under the buffer's own leaf
+//      lock (no rank lock needed). The snapshot carries the table version.
+//   2. AnnotateViews()— attach life-cycle metadata via `meta` (the engine
+//      calls this under its rank lock, where record states live).
+//   3. PlanViews()    — run the eviction policy over the annotated views.
+//      Pure: touches neither the table nor any lock, so the O(N) scoring
+//      scan runs entirely off the critical section.
+//   4. If the returned window has wait_eta == 0 and the table version is
+//      unchanged (revalidated under the rank lock), Commit() it. A stale
+//      version or a victim that stopped being evictable means re-plan.
+//
+// Plan() bundles 1-3 for callers that plan under the rank lock (tests).
+//
+// Locking model (DESIGN.md §10): the buffer owns a leaf mutex guarding the
+// allocation table and eviction counters. Mutations (Commit / Release) only
+// happen on threads that also hold the engine's rank lock, so a
+// rank-lock-holder reads consistent state for free; readers that do NOT
+// hold the rank lock (capacity probes, introspection, snapshots) are made
+// safe by the leaf mutex alone. Never acquire a rank lock while holding the
+// leaf lock.
 //
 // Re-planning after each wake (instead of committing to a window and
 // sleeping on it, as the paper's pseudocode does) is deliberate: a committed
@@ -18,6 +33,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/allocation_table.hpp"
@@ -41,20 +57,47 @@ class CacheBuffer {
   /// internally by the policy and never passed to this callback.
   using MetaFn = std::function<void(EntryId, FragmentView&)>;
 
-  /// Runs the eviction policy for a `size`-byte reservation.
+  /// Point-in-time copy of the table geometry plus the version it had.
+  struct TableSnapshot {
+    std::vector<Fragment> frags;  ///< offset-ordered, tiling [0, capacity)
+    std::uint64_t version = 0;    ///< AllocationTable::version() at the copy
+  };
+
+  /// Copies the table under the leaf lock. Safe from any thread.
+  [[nodiscard]] TableSnapshot Snapshot() const;
+
+  /// Current table version (leaf lock). A window planned against a snapshot
+  /// is geometrically valid iff the version still matches at commit time.
+  [[nodiscard]] std::uint64_t table_version() const;
+
+  /// Turns a geometry snapshot into policy inputs by invoking `meta` for
+  /// every checkpoint fragment. The caller must hold whatever lock makes
+  /// `meta` safe (the engine's rank lock).
+  [[nodiscard]] static std::vector<FragmentView> AnnotateViews(
+      const std::vector<Fragment>& frags, const MetaFn& meta);
+
+  /// Runs the eviction policy for a `size`-byte reservation over prepared
+  /// views. Pure — no table access, no locks; call it with every lock
+  /// dropped.
   ///  - kCapacityExceeded: `size` exceeds the whole buffer — caller must
   ///    fall back to a lower tier.
   ///  - kUnavailable: no feasible window right now (every run is blocked by
   ///    excluded fragments) — caller should wait and re-plan.
-  ///  - OK: a window; commit it if wait_eta == 0, else wait and re-plan.
+  ///  - OK: a window; commit it if wait_eta == 0 (after revalidating the
+  ///    snapshot version), else wait and re-plan.
+  [[nodiscard]] util::StatusOr<EvictionWindow> PlanViews(
+      const std::vector<FragmentView>& views, std::uint64_t size) const;
+
+  /// Snapshot + AnnotateViews + PlanViews in one call, for callers that
+  /// plan while holding the rank lock (no revalidation needed then).
   [[nodiscard]] util::StatusOr<EvictionWindow> Plan(std::uint64_t size,
                                                     const MetaFn& meta) const;
 
   /// Evicts the window's victims and installs `id` in the resulting gap,
   /// returning the byte offset where `id` was placed (the gap may have
   /// coalesced with neighbours, so this can be earlier than window.offset).
-  /// The caller must have released the victims' residencies already; the
-  /// window must have wait_eta == 0 when planned under the same lock.
+  /// The caller must have released the victims' residencies already and
+  /// revalidated the window against table_version() under the rank lock.
   util::StatusOr<std::uint64_t> Commit(const EvictionWindow& window, EntryId id,
                                        std::uint64_t size);
 
@@ -62,10 +105,8 @@ class CacheBuffer {
   /// discarding a consumed checkpoint).
   util::Status Release(EntryId id);
 
-  [[nodiscard]] std::optional<Fragment> Find(EntryId id) const {
-    return table_.Find(id);
-  }
-  [[nodiscard]] bool Contains(EntryId id) const { return table_.Contains(id); }
+  [[nodiscard]] std::optional<Fragment> Find(EntryId id) const;
+  [[nodiscard]] bool Contains(EntryId id) const { return Find(id).has_value(); }
 
   [[nodiscard]] sim::BytePtr PtrAt(std::uint64_t offset) noexcept {
     return base_ + offset;
@@ -74,24 +115,27 @@ class CacheBuffer {
     return base_ + offset;
   }
 
-  [[nodiscard]] std::uint64_t capacity() const noexcept { return table_.capacity(); }
-  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return table_.used_bytes(); }
-  [[nodiscard]] std::uint64_t gap_bytes() const noexcept { return table_.gap_bytes(); }
-  [[nodiscard]] std::uint64_t largest_gap() const { return table_.largest_gap(); }
-  [[nodiscard]] std::size_t entry_count() const noexcept { return table_.entry_count(); }
-  [[nodiscard]] std::size_t fragment_count() const noexcept {
-    return table_.fragment_count();
-  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used_bytes() const;
+  [[nodiscard]] std::uint64_t gap_bytes() const;
+  [[nodiscard]] std::uint64_t largest_gap() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t fragment_count() const;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] const AllocationTable& table() const noexcept { return table_; }
+  /// Validates the table's geometric invariants (property tests).
+  [[nodiscard]] util::Status CheckTableInvariants() const;
 
   /// Telemetry.
-  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
-  [[nodiscard]] std::uint64_t evicted_bytes() const noexcept { return evicted_bytes_; }
+  [[nodiscard]] std::uint64_t evictions() const;
+  [[nodiscard]] std::uint64_t evicted_bytes() const;
 
  private:
   std::string name_;
   sim::BytePtr base_;
+  const std::uint64_t capacity_;
+  /// Leaf lock guarding table_ and the eviction counters. See the file
+  /// comment for the ordering contract with the engine's rank lock.
+  mutable std::mutex mu_;
   AllocationTable table_;
   std::unique_ptr<EvictionPolicy> policy_;
   std::uint64_t evictions_ = 0;

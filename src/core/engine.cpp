@@ -170,7 +170,7 @@ void Engine::Init(int num_ranks) {
       }
       t.gpu_base = *gpu_mem;
       build_bufs(t, 0, t.gpu_base);
-      t.ready = true;
+      t.ready.store(true, std::memory_order_release);
     }
 
     // Pre-allocate and pin the host-side caches (slow: ~4 GB/s
@@ -190,8 +190,9 @@ void Engine::Init(int num_ranks) {
         std::lock_guard lock(cp->mu);
         t.arena = std::move(arena);
         build_bufs(t, i, base);
-        t.ready = true;
-        cp->cv.notify_all();
+        t.ready.store(true, std::memory_order_release);
+        // Only reservations can be parked on an unready tier.
+        t.cv_reserve.notify_all();
       }
     };
     if (options_.async_pin_init) {
@@ -223,10 +224,12 @@ void Engine::Shutdown() {
     {
       // Set the stop flag and signal under the same mutex every background
       // CV wait checks, so no flush/prefetch thread can read the flag as
-      // clear, then miss the final wakeup and hang the joins below.
+      // clear, then miss the final wakeup and hang the joins below. Every
+      // wakeup channel gets the broadcast: waiters on any of them check
+      // the flag.
       std::lock_guard lock(c->mu);
       c->shutdown = true;
-      c->cv.notify_all();
+      NotifyAllChannels(*c);
     }
     for (auto& t : c->tiers) t->flush_q.Close();
   }
@@ -283,7 +286,9 @@ Engine::Record Engine::NewRecord(RankCtx& ctx_, Version v,
 }
 
 void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
-  const util::Status st = CheckTransition(rec.state, to);
+  CKPT_ASSERT_HELD(ctx_.mu);
+  const CkptState from = rec.state;
+  const util::Status st = CheckTransition(from, to);
   if (!st.ok()) {
     CKPT_LOG(kError, "engine") << "rank " << ctx_.rank << " ckpt " << rec.version
                                << ": " << st.ToString();
@@ -293,14 +298,23 @@ void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
     // Dwell span of the outgoing state. Records created with tracing off
     // have no baseline timestamp; they start contributing from here on.
     if (rec.state_since_ns > 0) {
-      trace::SpanSince(trace::Kind::kLifecycle, StateSpanName(rec.state),
+      trace::SpanSince(trace::Kind::kLifecycle, StateSpanName(from),
                        rec.state_since_ns, ctx_.rank, /*tier=*/-1, rec.version,
                        rec.size);
     }
     rec.state_since_ns = trace::Now();
   }
   rec.state = to;
-  ctx_.cv.notify_all();
+  NotifyState(ctx_);
+  // Targeted reservation wakeups: entering CONSUMED may make every cached
+  // copy evictable (condition (5)); leaving a fast-tier-pinning state
+  // (condition (4)) unblocks fast-tier reservations.
+  if (to == CkptState::kConsumed) {
+    NotifyReserveAll(ctx_);
+  } else if (!ctx_.tiers.empty() && StatePinsFastTier(from) &&
+             !StatePinsFastTier(to)) {
+    NotifyReserve(ctx_, 0);
+  }
 }
 
 bool Engine::SafeBelow(const Record& rec, TierIndex tier) const {
@@ -352,6 +366,7 @@ CacheBuffer& Engine::BufferFor(RankCtx& ctx_, TierIndex tier,
 
 CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, TierIndex tier) {
   return [this, &ctx_, tier](EntryId id, FragmentView& v) {
+    CKPT_ASSERT_HELD(ctx_.mu);
     auto it = ctx_.records.find(id);
     if (it == ctx_.records.end()) {
       v.excluded = true;  // defensive: unknown entry is never evicted
@@ -374,6 +389,7 @@ CacheBuffer::MetaFn Engine::MakeMetaFn(RankCtx& ctx_, TierIndex tier) {
 
 util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
                                   const std::vector<EntryId>& victims) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   for (EntryId id : victims) {
     auto it = ctx_.records.find(id);
     if (it == ctx_.records.end()) {
@@ -394,14 +410,27 @@ util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
   return util::OkStatus();
 }
 
+bool Engine::DrainHints(RankCtx& ctx_) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  bool any = false;
+  while (auto v = ctx_.hint_inbox.TryPop()) {
+    ctx_.hints.Enqueue(*v);
+    any = true;
+  }
+  return any;
+}
+
 util::StatusOr<std::uint64_t> Engine::ReserveOn(
-    RankCtx& ctx_, std::unique_lock<std::mutex>& lock, TierIndex tier,
+    RankCtx& ctx_, std::unique_lock<util::CheckedMutex>& lock, TierIndex tier,
     ReservePurpose purpose, Version v, std::uint64_t size,
     const std::function<bool()>& abort) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   CacheTierRt& t = *ctx_.tiers[static_cast<std::size_t>(tier)];
-  if (!t.ready) {
+  if (!t.ready.load(std::memory_order_acquire)) {
     // async_pin_init: this pinned tier may still be registering.
-    ctx_.cv.wait(lock, [&] { return t.ready || ctx_.shutdown; });
+    t.cv_reserve.wait(lock, [&] {
+      return t.ready.load(std::memory_order_acquire) || ctx_.shutdown;
+    });
     if (ctx_.shutdown) return util::ShutdownError("engine stopping");
   }
   CacheBuffer& buf = BufferFor(ctx_, tier, purpose);
@@ -422,21 +451,54 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       charge_wait();
       return util::Cancelled("reservation aborted");
     }
-    auto plan = buf.Plan(size, meta);
+    // Annotate the tier geometry with life-cycle metadata under the rank
+    // lock, then run the O(N) policy scan with the rank lock DROPPED: the
+    // scan is the expensive part of a reservation round, and holding ctx.mu
+    // across it would stall every concurrent checkpoint/restore/flush on
+    // this rank behind one tier's eviction planning.
+    const CacheBuffer::TableSnapshot snap = buf.Snapshot();
+    const std::vector<FragmentView> views =
+        CacheBuffer::AnnotateViews(snap.frags, meta);
+    lock.unlock();
+    auto plan = buf.PlanViews(views, size);
+    lock.lock();
+    if (ctx_.shutdown) {
+      charge_wait();
+      return util::ShutdownError("engine stopping");
+    }
+    if (abort && abort()) {
+      charge_wait();
+      return util::Cancelled("reservation aborted");
+    }
     if (!plan.ok()) {
       if (plan.status().code() == util::ErrorCode::kCapacityExceeded) {
         charge_wait();
         return plan.status();  // caller falls back to a lower tier
       }
-      // kUnavailable: everything is pinned right now; wait for a transition.
+      // kUnavailable: everything is pinned right now; wait for a transition
+      // on THIS tier's channel.
       trace::Instant(trace::Kind::kEviction, "evict:blocked", ctx_.rank, tier,
                      v, size);
-      ctx_.cv.wait_for(lock, kReplanMax);
+      t.cv_reserve.wait_for(lock, kReplanMax);
       continue;
     }
     if (plan->wait_eta <= 0.0) {
-      // All victims evictable now and no state can change while we hold the
-      // lock: commit atomically.
+      // The plan was made against `snap` with the lock dropped. Buffer
+      // mutations only happen on threads holding ctx.mu, so under the lock
+      // the version is stable: if it still matches and every victim is
+      // still evictable, committing is as atomic as planning under the lock
+      // ever was. Otherwise the window is stale — re-plan immediately.
+      bool stale = buf.table_version() != snap.version;
+      for (std::size_t i = 0; !stale && i < plan->victims.size(); ++i) {
+        auto it = ctx_.records.find(plan->victims[i]);
+        stale = it == ctx_.records.end() || !EvictableNow(it->second, tier);
+      }
+      if (stale) {
+        ++ctx_.metrics.reserve_plans_stale;
+        trace::Instant(trace::Kind::kEviction, "evict:stale", ctx_.rank, tier,
+                       v, size);
+        continue;
+      }
       CKPT_RETURN_IF_ERROR(EvictVictims(ctx_, tier, plan->victims));
       auto offset = buf.Commit(*plan, v, size);
       charge_wait();
@@ -445,7 +507,6 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
           static_cast<double>(util::NowNs() - round_begin) / 1e9);
       trace::SpanSince(trace::Kind::kEviction, "evict:round", round_begin,
                        ctx_.rank, tier, v, size, plan->p_score, plan->s_score);
-      ctx_.cv.notify_all();
       return *offset;
     }
     // Best window still needs time; sleep roughly that long, then re-plan
@@ -462,11 +523,12 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
         std::chrono::duration<double>(plan->wait_eta));
     wait = std::clamp<std::chrono::steady_clock::duration>(wait, kReplanMin,
                                                            kReplanMax);
-    ctx_.cv.wait_for(lock, wait);
+    t.cv_reserve.wait_for(lock, wait);
   }
 }
 
 void Engine::FinishFlush(RankCtx& ctx_, Record& rec) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   if (!rec.flush_done) {
     rec.flush_done = true;
     --ctx_.inflight_flushes;
@@ -478,7 +540,7 @@ void Engine::FinishFlush(RankCtx& ctx_, Record& rec) {
     }
     // Otherwise the pending reader performs WRITE_COMPLETE -> READ_COMPLETE.
   }
-  ctx_.cv.notify_all();
+  NotifyState(ctx_);  // WaitForFlushes watches inflight_flushes
 }
 
 // ---------------------------------------------------------------------------
@@ -524,13 +586,18 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
                    static_cast<double>(r.retries));
   }
   const std::size_t n = std::min(r.ok.size(), rec.durable.size());
+  bool newly_durable = false;
   for (std::size_t d = 0; d < n; ++d) {
     if (r.ok[d] && !rec.durable[d]) {
       rec.durable[d] = 1;
+      newly_durable = true;
       ctx_.metrics.flush_bytes_to_tier[static_cast<std::size_t>(
           stack_.durable_index(static_cast<int>(d)))] += rec.size;
     }
   }
+  // A fresh durable copy makes every cached copy of this record SafeBelow,
+  // i.e. potentially evictable: wake blocked reservations.
+  if (newly_durable) NotifyReserveAll(ctx_);
   const bool reached =
       rec.durable[static_cast<std::size_t>(stack_.terminal_ordinal())] != 0;
   if (reached) {
@@ -582,13 +649,17 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
 }
 
 void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  bool reclaimed = false;
   for (std::size_t j = 0; j < rec.res.size(); ++j) {
     if (rec.res[j].valid) {
       (void)BufferFor(ctx_, static_cast<TierIndex>(j), rec.res[j].part)
           .Release(rec.version);
       rec.res[j].Clear();
+      reclaimed = true;
     }
   }
+  if (reclaimed) NotifyReserveAll(ctx_);  // cache space was freed
   if (!rec.flush_done) {
     rec.flush_done = true;
     --ctx_.inflight_flushes;
@@ -605,7 +676,7 @@ void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
   } else {
     // The data already reached the application (restore overtook the flush);
     // nothing durable remains but nothing is owed either.
-    ctx_.cv.notify_all();
+    NotifyState(ctx_);
   }
 }
 
@@ -646,20 +717,24 @@ util::Status Engine::GetDurable(RankCtx& ctx_, Version v, sim::BytePtr dst,
 }
 
 void Engine::ReleasePin(RankCtx& ctx_, Record& rec) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   if (rec.pinned_counted) {
     ctx_.prefetched_pinned_bytes -= rec.size;
     --ctx_.prefetched_pinned_count;
     rec.pinned_counted = false;
+    NotifyPrefetch(ctx_);  // T_PF may be parked on the pin cap
   }
 }
 
 void Engine::AddPin(RankCtx& ctx_, Record& rec) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   ctx_.prefetched_pinned_bytes += rec.size;
   ++ctx_.prefetched_pinned_count;
   rec.pinned_counted = true;
 }
 
 util::StatusOr<Engine::Record*> Engine::FindOrImport(RankCtx& ctx_, Version v) {
+  CKPT_ASSERT_HELD(ctx_.mu);
   auto it = ctx_.records.find(v);
   if (it != ctx_.records.end()) return &it->second;
   // Restart path: the object may exist on the durable stores from a
@@ -719,11 +794,15 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   Record& rec = (c.records[v] = NewRecord(c, v, size));
   Advance(c, rec, CkptState::kWriteInProgress);
   ++c.inflight_flushes;
+  // T_PF may be parked on a hint for this (until now unwritten) version.
+  NotifyPrefetch(c);
 
   auto cleanup_failure = [&](const util::Status& st) {
     --c.inflight_flushes;
     c.records.erase(v);
-    c.cv.notify_all();
+    NotifyState(c);       // WaitForFlushes
+    NotifyPrefetch(c);    // a parked hint for v will never be served
+    NotifyReserveAll(c);  // any released reservation freed cache space
     return st;
   };
 
@@ -768,7 +847,9 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     rr.valid = true;
     c.tiers[static_cast<std::size_t>(placed)]->backlog_bytes += size;
     c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(placed)] += size;
-    c.cv.notify_all();
+    // T_PF may be in its landing wait for this version. The fresh copy is
+    // not evictable yet (no durable backing), so no reservation wakeup.
+    NotifyPrefetch(c);
     lock.unlock();
     c.tiers[static_cast<std::size_t>(placed)]->flush_q.Push(v);
   } else {
@@ -847,8 +928,12 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   const std::uint64_t pdist = ComputePrefetchDistance(c);
   rec.restore_waiting = true;
   Touch(c, rec);
+  DrainHints(c);    // fold parked hints in before dropping ours
   c.hints.Drop(v);  // deviation-proofing: this read satisfies its hint
-  c.cv.notify_all();
+  // restore_waiting aborts T_PF's stuck promotions and blocked
+  // reservations; wake both roles so the abort is prompt.
+  NotifyPrefetch(c);
+  NotifyReserveAll(c);
 
   // If the prefetcher owns an in-flight promotion of this version, wait for
   // it rather than issuing a duplicate transfer (§4.3.2). The prefetcher
@@ -858,10 +943,11 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   while (rec.prefetch_claimed &&
          !rec.res.empty() && !rec.res[0].valid && !c.shutdown) {
     waited_promotion = true;
-    c.cv.wait(lock);
+    c.cv_state.wait(lock);  // promotion completion/rollback is an Advance
   }
   if (c.shutdown) {
     rec.restore_waiting = false;
+    NotifyPrefetch(c);
     return util::ShutdownError("engine stopping");
   }
 
@@ -887,6 +973,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
                               kind);
     lock.lock();
     --rr.read_refs;
+    NotifyReserve(c, src_tier);  // the copy may have become evictable
     if (stack_.is_device(src_tier)) {
       ++c.metrics.restores_from_gpu;
     } else {
@@ -936,6 +1023,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     }
   } else {
     rec.restore_waiting = false;
+    NotifyPrefetch(c);
     return util::FailedPrecondition(
         "checkpoint " + std::to_string(v) +
         " was consumed and discarded; no copy remains on any tier");
@@ -943,7 +1031,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
 
   if (!st.ok()) {
     rec.restore_waiting = false;
-    c.cv.notify_all();
+    NotifyPrefetch(c);
     return st;
   }
 
@@ -964,7 +1052,9 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   c.metrics.bytes_restored += rec.size;
   c.metrics.restore_series.push_back(RestorePoint{
       c.restore_counter - 1, v, sw.ElapsedSec(), rec.size, pdist});
-  c.cv.notify_all();
+  // restore_waiting cleared: the prefetcher may resume with this record.
+  // (Advance and ReleasePin above already woke the state/reserve channels.)
+  NotifyPrefetch(c);
   return util::OkStatus();
 }
 
@@ -978,10 +1068,18 @@ util::StatusOr<std::uint64_t> Engine::RecoverSize(sim::Rank rank, Version v) {
 
 util::Status Engine::PrefetchEnqueue(sim::Rank rank, Version v) {
   RankCtx& c = ctx(rank);
-  std::lock_guard lock(c.mu);
-  if (c.shutdown) return util::ShutdownError("engine stopping");
-  c.hints.Enqueue(v);
-  c.cv.notify_all();
+  // Lock-free hot path (VELOC_Prefetch_enqueue): the hint lands in the
+  // rank's mailbox without touching ctx.mu; T_PF folds the mailbox into the
+  // ordered hint queue under the lock (DrainHints). The notify below is
+  // issued without the mutex, so a waiter between its predicate check and
+  // its block can miss it — T_PF's main wait is therefore bounded (it
+  // re-drains at least every 10 ms), turning the race into bounded latency
+  // instead of a lost wakeup.
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return util::ShutdownError("engine stopping");
+  }
+  c.hint_inbox.Push(v);
+  NotifyPrefetch(c);
   return util::OkStatus();
 }
 
@@ -990,7 +1088,7 @@ util::Status Engine::PrefetchStart(sim::Rank rank) {
   std::lock_guard lock(c.mu);
   if (c.shutdown) return util::ShutdownError("engine stopping");
   c.prefetch_started = true;
-  c.cv.notify_all();
+  NotifyPrefetch(c);
   return util::OkStatus();
 }
 
@@ -998,7 +1096,7 @@ util::Status Engine::WaitForFlushes(sim::Rank rank) {
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
   std::unique_lock lock(c.mu);
-  c.cv.wait(lock, [&] { return c.inflight_flushes == 0 || c.shutdown; });
+  c.cv_state.wait(lock, [&] { return c.inflight_flushes == 0 || c.shutdown; });
   c.metrics.wait_for_flush_s += sw.ElapsedSec();
   if (c.shutdown && c.inflight_flushes != 0) {
     return util::ShutdownError("engine stopped with flushes pending");
@@ -1011,9 +1109,7 @@ util::Status Engine::WaitForFlushes(sim::Rank rank) {
   return util::OkStatus();
 }
 
-const RankMetrics& Engine::metrics(sim::Rank rank) const {
-  return ctx(rank).metrics;
-}
+RankMetrics Engine::metrics(sim::Rank rank) const { return MetricsSnapshot(rank); }
 
 RankMetrics Engine::MetricsSnapshot(sim::Rank rank) const {
   const RankCtx& c = ctx(rank);
@@ -1081,11 +1177,14 @@ bool Engine::ResidentOn(sim::Rank rank, Version v, Tier tier) const {
 }
 
 std::uint64_t Engine::CacheUsed(sim::Rank rank, TierIndex tier) const {
+  // Deliberately does NOT take the rank lock: capacity probes must not
+  // contend with the hot path. `ready` is an acquire-load paired with the
+  // release-store after the buffers are built, and used_bytes() takes the
+  // buffer's own leaf lock.
   const RankCtx& c = ctx(rank);
-  std::lock_guard lock(c.mu);
   if (tier < 0 || !stack_.is_cache(tier)) return 0;
   const CacheTierRt& t = *c.tiers[static_cast<std::size_t>(tier)];
-  if (!t.ready) return 0;
+  if (!t.ready.load(std::memory_order_acquire)) return 0;
   std::uint64_t used = t.write_buf->used_bytes();
   if (t.prefetch_buf) used += t.prefetch_buf->used_bytes();
   return used;
@@ -1166,7 +1265,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
         rec.flush_done = true;
         --c.inflight_flushes;
       }
-      c.cv.notify_all();
+      NotifyState(c);  // WaitForFlushes watches inflight_flushes
     };
 
     // Condition (5): consumed + discardable checkpoints skip pending flushes.
@@ -1177,9 +1276,9 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     if (!mine.valid) {
       // The copy on this tier can only have been evicted if a safe copy
       // existed elsewhere; route the flush obligation to wherever that
-      // copy lives now.
+      // copy lives now. (backlog_bytes only feeds ETA estimates; no waiter
+      // blocks on it, so no wakeup here.)
       t.backlog_bytes -= rec.size;
-      c.cv.notify_all();
       int deeper = -1;
       for (int j = tier + 1; j < ncache; ++j) {
         if (rec.res[static_cast<std::size_t>(j)].valid) {
@@ -1228,6 +1327,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       const TerminalPutResult r = PutTerminal(c, v, src, size, rng);
       lock.lock();
       --mine.read_refs;
+      NotifyReserve(c, tier);  // our source copy may now be evictable
       t.backlog_bytes -= size;
       trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
                        stack_.terminal(), v, size);
@@ -1274,6 +1374,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       const TerminalPutResult r = put_from_tier(v, src, size);
       lock.lock();
       --mine.read_refs;
+      NotifyReserve(c, tier);  // our source copy may now be evictable
       t.backlog_bytes -= size;
       trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
                        stack_.terminal(), v, size);
@@ -1307,6 +1408,8 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     if (!st.ok()) {
       (void)BufferFor(c, target, ReservePurpose::kWrite).Release(v);
       next.Clear();
+      NotifyReserve(c, tier);    // read_refs dropped
+      NotifyReserve(c, target);  // reservation released
       CKPT_LOG(kError, "flush") << "flush stage copy failed: " << st.ToString();
       cancel();
       continue;
@@ -1319,7 +1422,10 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     t.backlog_bytes -= rec.size;
     c.tiers[static_cast<std::size_t>(target)]->backlog_bytes += rec.size;
     c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(target)] += rec.size;
-    c.cv.notify_all();
+    // The deeper copy makes every shallower copy of this record SafeBelow
+    // (and our read_ref dropped): wake reservations above `target` only.
+    for (int j = 0; j < target; ++j) NotifyReserve(c, j);
+    NotifyPrefetch(c);  // T_PF may be in its landing wait for this version
     lock.unlock();
     c.tiers[static_cast<std::size_t>(target)]->flush_q.Push(v);
   }
@@ -1335,11 +1441,16 @@ void Engine::PrefetchLoop(RankCtx& c) {
       options_.prefetch_pin_fraction);
   std::unique_lock lock(c.mu);
   for (;;) {
-    c.cv.wait(lock, [&] {
+    // Bounded wait: PrefetchEnqueue notifies cv_prefetch without holding
+    // ctx.mu (lock-free hint path), so a notify can land between the
+    // predicate check and the block. The 10 ms re-drain bounds that race.
+    c.cv_prefetch.wait_for(lock, std::chrono::milliseconds(10), [&] {
+      DrainHints(c);
       return c.shutdown ||
              (c.prefetch_started && c.hints.Head().has_value());
     });
     if (c.shutdown) return;
+    if (!c.prefetch_started || !c.hints.Head().has_value()) continue;
     const Version v = *c.hints.Head();
 
     auto rec_or = FindOrImport(c, v);
@@ -1347,7 +1458,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       // Hint for a checkpoint that has not been written yet (Listing 1
       // enqueues the whole restore order before the forward pass). Wait for
       // it to appear; Checkpoint() notifies on record creation.
-      c.cv.wait_for(lock, std::chrono::milliseconds(10));
+      c.cv_prefetch.wait_for(lock, std::chrono::milliseconds(10));
       continue;
     }
     Record& rec = **rec_or;
@@ -1355,7 +1466,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
     if (rec.restore_waiting) {
       // The application is already blocked reading this version through the
       // direct path (it dropped its own pending hint); wait it out.
-      c.cv.wait(lock, [&] { return c.shutdown || !rec.restore_waiting; });
+      c.cv_prefetch.wait(lock, [&] { return c.shutdown || !rec.restore_waiting; });
       continue;
     }
 
@@ -1366,7 +1477,6 @@ void Engine::PrefetchLoop(RankCtx& c) {
       ++c.metrics.prefetch_gpu_hits;
       trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
                      rec.size);
-      c.cv.notify_all();
       continue;
     }
 
@@ -1377,7 +1487,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       } else {
         // The write that produces this version is still copying into the
         // fast cache; no residency is valid yet. Wait for it to land.
-        c.cv.wait_for(lock, std::chrono::milliseconds(10));
+        c.cv_prefetch.wait_for(lock, std::chrono::milliseconds(10));
       }
       continue;
     }
@@ -1392,14 +1502,13 @@ void Engine::PrefetchLoop(RankCtx& c) {
         aborted = true;
         break;
       }
-      c.cv.wait(lock);
+      c.cv_prefetch.wait(lock);  // ReleasePin / restore_waiting notify here
     }
     if (c.shutdown) return;
     if (aborted || c.hints.Head() != std::optional<Version>(v)) {
       // The application deviated meanwhile; re-evaluate from the top. The
       // hint (if still present) is served by the direct path.
       ++c.metrics.prefetch_aborts;
-      c.cv.notify_all();
       continue;
     }
 
@@ -1413,7 +1522,6 @@ void Engine::PrefetchLoop(RankCtx& c) {
       ++c.metrics.prefetch_gpu_hits;
       trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
                      rec.size);
-      c.cv.notify_all();
       continue;
     }
 
@@ -1425,12 +1533,13 @@ void Engine::PrefetchLoop(RankCtx& c) {
 
     auto rollback = [&] {
       rec.prefetch_claimed = false;
+      // Advance() wakes cv_state, where Restore's promotion wait re-checks
+      // prefetch_claimed.
       Advance(c, rec,
               rec.flush_done ? CkptState::kFlushed : CkptState::kWriteInProgress);
       ++c.metrics.prefetch_aborts;
       trace::Instant(trace::Kind::kPrefetch, "prefetch:abort", c.rank, 0, v,
                      rec.size);
-      c.cv.notify_all();
     };
 
     // Promotion source: the shallowest cache tier below the fast one still
@@ -1451,6 +1560,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
     if (!goff.ok()) {
       if (src_tier > 0) {
         --rec.res[static_cast<std::size_t>(src_tier)].read_refs;
+        NotifyReserve(c, src_tier);
       }
       rollback();
       if (c.shutdown) return;
@@ -1503,8 +1613,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
                        c.rank, 0, v, rec.size);
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
-      c.cv.notify_all();
-      continue;
+      continue;  // Advance() above already woke the state channel
     }
 
     if (src_tier < 0 && ncache == 1) {
@@ -1555,8 +1664,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
                        c.rank, 0, v, rec.size);
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
-      c.cv.notify_all();
-      continue;
+      continue;  // Advance() above already woke the state channel
     }
 
     if (src_tier < 0) {
@@ -1595,15 +1703,15 @@ void Engine::PrefetchLoop(RankCtx& c) {
         CKPT_LOG(kError, "prefetch") << "store read failed: " << st.ToString();
         (void)BufferFor(c, w, ReservePurpose::kPrefetch).Release(v);
         wres.Clear();
+        NotifyReserve(c, w);  // deep-tier reservation released
         (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
         rec.res[0].Clear();
-        rollback();
+        rollback();  // Advance() inside wakes the fast tier's channel
         continue;
       }
       wres.valid = true;
       ++wres.read_refs;
       src_tier = w;
-      c.cv.notify_all();
     }
 
     // Final hop: src_tier -> fast tier.
@@ -1619,25 +1727,25 @@ void Engine::PrefetchLoop(RankCtx& c) {
                                                  src, size, kind);
     lock.lock();
     --sres.read_refs;
+    NotifyReserve(c, src_tier);  // source copy may now be evictable
     rec.res[0].io_pending = false;
     if (!st.ok()) {
       CKPT_LOG(kError, "prefetch") << "promotion copy failed: " << st.ToString();
       (void)BufferFor(c, 0, ReservePurpose::kPrefetch).Release(v);
       rec.res[0].Clear();
-      rollback();
+      rollback();  // Advance() inside wakes the fast tier's channel
       continue;
     }
     rec.res[0].valid = true;
     rec.prefetch_claimed = false;
     Touch(c, rec);
-    Advance(c, rec, CkptState::kReadComplete);
+    Advance(c, rec, CkptState::kReadComplete);  // wakes Restore's wait
     AddPin(c, rec);
     ++c.metrics.prefetch_promotions;
     trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
                      c.rank, 0, v, rec.size);
     c.metrics.promotion_hist.Add(
         static_cast<double>(util::NowNs() - promo_begin) / 1e9);
-    c.cv.notify_all();
   }
 }
 

@@ -40,6 +40,7 @@
 #include "simgpu/cluster.hpp"
 #include "simgpu/pinned.hpp"
 #include "storage/object_store.hpp"
+#include "util/checked_mutex.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/retry.hpp"
 
@@ -176,9 +177,9 @@ class Engine final : public Runtime {
   /// Idempotent; also called by the destructor.
   void Shutdown() override;
 
-  [[nodiscard]] const RankMetrics& metrics(sim::Rank rank) const override;
-  /// Consistent copy of one rank's metrics, taken under the rank lock —
-  /// safe while the engine is running (metrics() is only safe quiescent).
+  [[nodiscard]] RankMetrics metrics(sim::Rank rank) const override;
+  /// Same consistent, rank-locked copy as metrics(); kept as the
+  /// explicitly-named form used by tests and the trace sink.
   [[nodiscard]] RankMetrics MetricsSnapshot(sim::Rank rank) const;
   [[nodiscard]] std::string_view name() const override { return "score"; }
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
@@ -271,8 +272,11 @@ class Engine final : public Runtime {
 
   /// Per-rank runtime state of one cache tier.
   struct CacheTierRt {
-    std::uint64_t capacity = 0;     ///< this rank's share of the tier
-    bool ready = false;             ///< backing memory allocated/registered
+    std::uint64_t capacity = 0;  ///< this rank's share of the tier
+    /// Backing memory allocated/registered. Atomic so lock-free probes
+    /// (CacheUsed) can check readiness without the rank lock; writers flip
+    /// it under ctx.mu with release ordering.
+    std::atomic<bool> ready{false};
     sim::BytePtr gpu_base = nullptr;            ///< device tiers (owned by
                                                 ///< the rank's Device)
     std::unique_ptr<sim::PinnedArena> arena;    ///< pinned-host tiers
@@ -281,16 +285,31 @@ class Engine final : public Runtime {
     /// Versions whose copy on this tier awaits flushing to the next tier.
     util::MpmcQueue<Version> flush_q;
     std::uint64_t backlog_bytes = 0;
+    /// Wakeup channel for reservations blocked on THIS tier (DESIGN.md
+    /// §10): signalled when space on this tier may have opened up (a
+    /// residency cleared, read_refs dropped, a pin released, the tier
+    /// became ready). Paired with ctx.mu.
+    std::condition_variable_any cv_reserve;
     std::jthread worker;  ///< FlushStageLoop for this tier
   };
 
   struct RankCtx {
     sim::Rank rank = 0;
-    mutable std::mutex mu;
-    std::condition_variable cv;
+    mutable util::CheckedMutex mu;
+    /// Per-role wakeup channels (DESIGN.md §10), all paired with `mu`.
+    /// cv_state: FSM / flush progress (WaitForFlushes, Restore's promotion
+    /// wait, flush-stage reroute checks). cv_prefetch: the T_PF worker's
+    /// wait reasons (new hints, restore_waiting handoffs, pin releases,
+    /// landing-slot retries). Reservation waits live on the per-tier
+    /// CacheTierRt::cv_reserve channels.
+    std::condition_variable_any cv_state;
+    std::condition_variable_any cv_prefetch;
 
     std::unordered_map<Version, Record> records;
     RestoreQueue hints;
+    /// Lock-free mailbox for PrefetchEnqueue: hints land here without the
+    /// rank lock and are folded into `hints` (under mu) by DrainHints.
+    util::MpmcQueue<Version> hint_inbox;
     bool prefetch_started = false;
     bool shutdown = false;
 
@@ -328,20 +347,48 @@ class Engine final : public Runtime {
   /// Refreshes `rec`'s LRU recency. Every read access must call this —
   /// direct restores *and* prefetch hits/promotions — or the LRU ablation
   /// sees stale sequence numbers and evicts recently-touched checkpoints.
+  /// ctx.mu protects seq_counter; callers must hold it (debug-asserted).
   static void Touch(RankCtx& ctx, Record& rec) noexcept {
+    CKPT_ASSERT_HELD(ctx.mu);
     rec.lru_seq = ++ctx.seq_counter;
   }
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
   util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);
-  /// Blocking reservation loop: plan / commit-or-wait / re-plan.
+  /// Blocking reservation loop: snapshot / plan off-lock / revalidate /
+  /// commit-or-wait / re-plan. Waits on the tier's cv_reserve channel.
   /// `abort` (optional) is checked after each failed round; when it returns
   /// true the reservation gives up with kCancelled.
-  util::StatusOr<std::uint64_t> ReserveOn(RankCtx& ctx,
-                                          std::unique_lock<std::mutex>& lock,
-                                          TierIndex tier, ReservePurpose purpose,
-                                          Version v, std::uint64_t size,
-                                          const std::function<bool()>& abort);
+  util::StatusOr<std::uint64_t> ReserveOn(
+      RankCtx& ctx, std::unique_lock<util::CheckedMutex>& lock, TierIndex tier,
+      ReservePurpose purpose, Version v, std::uint64_t size,
+      const std::function<bool()>& abort);
+
+  // --- Per-role wakeup helpers (DESIGN.md §10) ---
+  /// A transition that may unblock reservations on cache tier `tier`
+  /// (residency cleared, read_refs dropped, pin released, tier ready).
+  static void NotifyReserve(RankCtx& ctx, TierIndex tier) {
+    ctx.tiers[tier]->cv_reserve.notify_all();
+  }
+  /// Clears that may free space on several tiers at once (record dropped,
+  /// flush failure reclaim, shutdown).
+  static void NotifyReserveAll(RankCtx& ctx) {
+    for (auto& t : ctx.tiers) t->cv_reserve.notify_all();
+  }
+  /// FSM / flush progress: WaitForFlushes, Restore's promotion wait, the
+  /// flush stage's validity re-checks.
+  static void NotifyState(RankCtx& ctx) { ctx.cv_state.notify_all(); }
+  /// Anything the T_PF worker waits for: hints, restore_waiting handoffs,
+  /// pin releases, landing-slot retries.
+  static void NotifyPrefetch(RankCtx& ctx) { ctx.cv_prefetch.notify_all(); }
+  static void NotifyAllChannels(RankCtx& ctx) {
+    NotifyState(ctx);
+    NotifyPrefetch(ctx);
+    NotifyReserveAll(ctx);
+  }
+  /// Folds hint_inbox into ctx.hints (requires ctx.mu). Returns true if any
+  /// hint was appended.
+  static bool DrainHints(RankCtx& ctx);
   /// Marks a flush stage reaching the terminal tier; advances the FSM.
   void FinishFlush(RankCtx& ctx, Record& rec);
 

@@ -35,6 +35,7 @@ void RankMetrics::Merge(const RankMetrics& other) {
   reserve_wait_write_s += other.reserve_wait_write_s;
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;
+  reserve_plans_stale += other.reserve_plans_stale;
   prefetch_promotions += other.prefetch_promotions;
   prefetch_gpu_hits += other.prefetch_gpu_hits;
   prefetch_aborts += other.prefetch_aborts;

@@ -58,6 +58,8 @@ struct RankMetrics {
   double reserve_wait_write_s = 0.0;     // checkpoint/flush reservations
   double reserve_wait_prefetch_s = 0.0;  // promotion reservations
   std::uint64_t reserve_rounds = 0;      // plan/re-plan iterations
+  std::uint64_t reserve_plans_stale = 0; // off-lock plans invalidated at
+                                         // commit time (re-planned at once)
 
   // Flush pipeline telemetry.
   std::uint64_t flushes_completed = 0;

@@ -28,7 +28,9 @@ class Runtime {
   virtual util::Status WaitForFlushes(sim::Rank rank) = 0;
   virtual void Shutdown() = 0;
 
-  [[nodiscard]] virtual const RankMetrics& metrics(sim::Rank rank) const = 0;
+  /// Consistent copy of one rank's metrics, taken under that rank's lock —
+  /// safe to call while background flush/prefetch threads are running.
+  [[nodiscard]] virtual RankMetrics metrics(sim::Rank rank) const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 

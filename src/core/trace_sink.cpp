@@ -242,6 +242,7 @@ std::string MetricsJson(const RankMetrics& m,
   out += ",\"reserve_wait_prefetch_s\":";
   AppendNum(out, m.reserve_wait_prefetch_s);
   AppendF(out, ",\"reserve_rounds\":%" PRIu64, m.reserve_rounds);
+  AppendF(out, ",\"reserve_plans_stale\":%" PRIu64, m.reserve_plans_stale);
   AppendF(out, ",\"flushes_completed\":%" PRIu64 ",\"flushes_cancelled\":%" PRIu64,
           m.flushes_completed, m.flushes_cancelled);
   out += ",\"wait_for_flush_s\":";
@@ -362,6 +363,12 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
     const util::json::Value* ts = ev.Find("ts");
     if (ts == nullptr || !ts->is_number()) {
       check.error = "event '" + name->as_string() + "' missing ts";
+      return check;
+    }
+    if (ts->as_number() < 0) {
+      // All engine timestamps come from one monotonic clock (util::Clock);
+      // a negative ts means a mixed clock domain or arithmetic underflow.
+      check.error = "event '" + name->as_string() + "' has negative ts";
       return check;
     }
     const int pid = static_cast<int>(

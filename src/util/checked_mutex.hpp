@@ -1,0 +1,73 @@
+// A std::mutex wrapper that, in debug builds, tracks the owning thread so
+// code can assert "this lock is held by me" at the top of helpers whose
+// contract is lock-discipline-by-convention (the engine's per-rank state).
+// Release builds compile the tracking away entirely: lock()/unlock() inline
+// to the raw mutex calls and held_by_caller() folds to `true`, so the
+// assertions cost nothing where it matters.
+//
+// Satisfies Lockable, so std::lock_guard<CheckedMutex>,
+// std::unique_lock<CheckedMutex> and std::condition_variable_any all work
+// unchanged.
+#pragma once
+
+#include <cassert>
+#include <mutex>
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
+
+namespace ckpt::util {
+
+class CheckedMutex {
+ public:
+  CheckedMutex() = default;
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock() {
+    mu_.lock();
+#ifndef NDEBUG
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
+  void unlock() {
+#ifndef NDEBUG
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+#ifndef NDEBUG
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+    return true;
+  }
+
+  /// True when the calling thread holds the lock. Debug builds only; always
+  /// true in release, so it is usable inside assert() without #ifdefs.
+  [[nodiscard]] bool held_by_caller() const noexcept {
+#ifndef NDEBUG
+    return owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+#else
+    return true;
+#endif
+  }
+
+ private:
+  std::mutex mu_;
+#ifndef NDEBUG
+  // Written only by the owner while holding mu_ (or by the next owner after
+  // acquiring it); relaxed is enough for the debug assertion's purposes.
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace ckpt::util
+
+/// Asserts the calling thread holds `mu` (debug builds; no-op in release).
+#define CKPT_ASSERT_HELD(mu) assert((mu).held_by_caller())

@@ -11,6 +11,14 @@ namespace ckpt::util {
 
 using Clock = std::chrono::steady_clock;
 
+// Every timestamp in the engine — trace events, eviction-round spans,
+// reservation ETAs — comes from this one clock. It must be monotonic, or
+// durations computed across threads (ValidateChromeTrace asserts them
+// non-negative) could go backwards under NTP slew.
+static_assert(Clock::is_steady,
+              "ckpt::util::Clock must be monotonic: trace spans and "
+              "eviction-round timing subtract timestamps across threads");
+
 [[nodiscard]] inline std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              Clock::now().time_since_epoch())

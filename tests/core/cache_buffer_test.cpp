@@ -133,7 +133,7 @@ TEST_F(CacheBufferTest, CommitPlacesAtCoalescedGapStart) {
   auto off = buf_.Commit(*plan, 4, 700);
   ASSERT_TRUE(off.ok());
   EXPECT_EQ(*off, 256u);
-  EXPECT_TRUE(buf_.table().CheckInvariants().ok());
+  EXPECT_TRUE(buf_.CheckTableInvariants().ok());
 }
 
 TEST_F(CacheBufferTest, VariableSizesFragmentationRecovery) {
@@ -153,7 +153,7 @@ TEST_F(CacheBufferTest, VariableSizesFragmentationRecovery) {
   auto off = buf_.Commit(*plan, 99, 512);
   ASSERT_TRUE(off.ok());
   EXPECT_TRUE(buf_.Contains(99));
-  EXPECT_TRUE(buf_.table().CheckInvariants().ok());
+  EXPECT_TRUE(buf_.CheckTableInvariants().ok());
 }
 
 TEST_F(CacheBufferTest, TelemetryCounters) {

@@ -278,15 +278,17 @@ TEST_F(TierStackEngineTest, PerTierMetricsTrackTheConfiguredStack) {
   Build(std::move(*stack));
   for (core::Version v = 0; v < 3; ++v) WriteCkpt(0, v);
   ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
-  const core::RankMetrics& m = engine_->metrics(0);
+  const core::RankMetrics m = engine_->metrics(0);
   ASSERT_EQ(m.flush_bytes_to_tier.size(), 4u);
   ASSERT_EQ(m.restores_from_tier.size(), 4u);
   // Every checkpoint reached both durable tiers (terminal = pfs).
   EXPECT_EQ(m.flush_bytes_to_tier[2], 3 * kCkptSize);
   EXPECT_EQ(m.flush_bytes_to_tier[3], 3 * kCkptSize);
   RestoreAndVerify(0, 0);
+  // metrics() returns a snapshot, so re-read after the restore.
+  const core::RankMetrics after = engine_->metrics(0);
   std::uint64_t served = 0;
-  for (std::uint64_t n : m.restores_from_tier) served += n;
+  for (std::uint64_t n : after.restores_from_tier) served += n;
   EXPECT_EQ(served, 1u);
 }
 
