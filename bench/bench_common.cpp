@@ -39,6 +39,10 @@ bool WriteRunReport(const std::string& path, const std::string& title) {
     if (!row.metrics_json.empty()) {
       out += ",\"metrics\":" + row.metrics_json;
     }
+    if (!row.critical_path_json.empty()) {
+      out += ",\"critical_path\":" + row.critical_path_json;
+      out += ",\"watchdog_stalls\":" + std::to_string(row.watchdog_stalls);
+    }
     out += "}";
   }
   out += "]}\n";
@@ -88,7 +92,9 @@ void RegisterShot(const std::string& bench_name, const std::string& variant,
                                result->ckpt_MBps_mean, result->restore_MBps_mean,
                                result->shot.wall_s,
                                result->shot.verify_failures,
-                               std::move(result->metrics_json)});
+                               std::move(result->metrics_json),
+                               std::move(result->critical_path_json),
+                               result->watchdog_stalls});
         }
       })
       ->Iterations(1)

@@ -6,9 +6,11 @@
 //
 // Observability: CKPT_BENCH_REPORT=<path> makes BenchMain write a
 // machine-readable JSON run report (title, every row, and each cell's
-// engine metrics snapshot). When tracing is on (CKPT_TRACE=1) and a trace
-// output path is configured (CKPT_TRACE_OUT), BenchMain also dumps the
-// Chrome trace there on exit.
+// engine metrics snapshot, and each Score cell's critical-path wall-time
+// breakdown). When tracing is on (CKPT_TRACE=1) and a trace output path is
+// configured (CKPT_TRACE_OUT), BenchMain also dumps the Chrome trace there
+// on exit. CKPT_TELEMETRY=1 additionally runs the live sampler during each
+// shot and writes <CKPT_TELEMETRY_OUT>.openmetrics.txt / .window.json.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -29,6 +31,10 @@ struct Row {
   double wall_s = 0.0;
   std::uint64_t verify_failures = 0;
   std::string metrics_json;  ///< engine snapshot for the run report ("" = none)
+  /// Per-shot wall-time breakdown (core::CriticalPathJson, "" = none) and
+  /// the watchdog's stall count for the cell; both land in the run report.
+  std::string critical_path_json;
+  std::uint64_t watchdog_stalls = 0;
 };
 
 /// Rows accumulated by the registered benchmarks, in registration order.

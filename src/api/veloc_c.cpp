@@ -1,5 +1,7 @@
 #include "api/veloc_c.h"
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -7,6 +9,8 @@
 
 #include "api/veloc.hpp"
 #include "core/engine.hpp"
+#include "core/telemetry_sampler.hpp"
+#include "core/telemetry_sink.hpp"
 #include "core/tier_stack.hpp"
 #include "core/trace_sink.hpp"
 #include "storage/file_store.hpp"
@@ -14,6 +18,7 @@
 #include "storage/throttled_store.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -25,6 +30,7 @@ struct GlobalContext {
   std::shared_ptr<storage::ObjectStore> ssd;
   std::shared_ptr<storage::ObjectStore> pfs;
   std::unique_ptr<core::Engine> engine;  // after cluster: destroyed first
+  std::unique_ptr<core::TelemetrySampler> sampler;  // after engine: stops first
   std::vector<std::unique_ptr<api::VelocClient>> clients;
 };
 
@@ -89,6 +95,26 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
         static_cast<std::size_t>(cfg.GetInt("trace_capacity", 0));
     util::trace::Configure(trace_on, trace_cap,
                            cfg.GetString("trace_out", util::trace::out_path()));
+  }
+
+  // Telemetry knobs, same precedence: config keys override the
+  // CKPT_TELEMETRY* environment seed; absent keys keep the seeded values.
+  if (cfg.Has("telemetry") || cfg.Has("telemetry_period_ms") ||
+      cfg.Has("telemetry_window") || cfg.Has("telemetry_out") ||
+      cfg.Has("telemetry_watchdog") || cfg.Has("telemetry_stall_ms") ||
+      cfg.Has("telemetry_stall_windows") || cfg.Has("telemetry_strict")) {
+    util::telemetry::Settings ts = util::telemetry::settings();
+    ts.enabled = cfg.GetBool("telemetry", ts.enabled);
+    ts.period_ms = cfg.GetInt("telemetry_period_ms", ts.period_ms);
+    ts.window = static_cast<std::size_t>(
+        cfg.GetInt("telemetry_window", static_cast<std::int64_t>(ts.window)));
+    ts.out_path = cfg.GetString("telemetry_out", ts.out_path);
+    ts.watchdog = cfg.GetBool("telemetry_watchdog", ts.watchdog);
+    ts.stall_ms = cfg.GetInt("telemetry_stall_ms", ts.stall_ms);
+    ts.stall_windows = static_cast<int>(
+        cfg.GetInt("telemetry_stall_windows", ts.stall_windows));
+    ts.strict = cfg.GetBool("telemetry_strict", ts.strict);
+    util::telemetry::Configure(ts);
   }
 
   auto ctx = std::make_unique<GlobalContext>();
@@ -166,6 +192,10 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
     ctx->engine = std::make_unique<core::Engine>(*ctx->cluster, ctx->ssd,
                                                  ctx->pfs, opts, num_ranks);
   }
+  if (util::telemetry::enabled()) {
+    ctx->sampler = std::make_unique<core::TelemetrySampler>(
+        *ctx->engine, core::TelemetrySampler::Options::FromGlobalConfig());
+  }
   for (int r = 0; r < num_ranks; ++r) {
     ctx->clients.push_back(
         std::make_unique<api::VelocClient>(*ctx->engine, *ctx->cluster, r));
@@ -181,6 +211,17 @@ int VELOCX_Finalize(void) {
   for (auto& client : g_ctx->clients) {
     (void)client->WaitForFlushes();
   }
+  // Stop sampling while the engine is still alive, then check the watchdog
+  // verdict (surfaced after a complete teardown so strict mode never leaks
+  // threads or allocations).
+  bool strict_failed = false;
+  std::uint64_t stalls = 0;
+  if (g_ctx->sampler != nullptr) {
+    g_ctx->sampler->Stop();
+    strict_failed = g_ctx->sampler->strict_tripped();
+    stalls = g_ctx->sampler->stalls_detected();
+    g_ctx->sampler.reset();
+  }
   g_ctx->clients.clear();  // clients reference the engine: drop them first
   g_ctx->engine->Shutdown();
   g_ctx.reset();
@@ -190,6 +231,11 @@ int VELOCX_Finalize(void) {
     if (!st.ok()) {
       CKPT_LOG(kWarn, "api") << "trace dump failed: " << st.ToString();
     }
+  }
+  if (strict_failed) {
+    return Fail(VELOCX_EIO, "telemetry watchdog detected " +
+                                std::to_string(stalls) +
+                                " stall(s) in strict mode");
   }
   t_error.clear();
   return VELOCX_SUCCESS;
@@ -320,6 +366,30 @@ int VELOCX_Trace_dump(const char* path) {
                 "CKPT_TRACE_OUT)");
   }
   return FromStatus(core::WriteChromeTrace(p));
+}
+
+int VELOCX_Telemetry_scrape(char* buf, size_t cap, size_t* out_len) {
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  const std::string text = g_ctx->sampler != nullptr
+                               ? g_ctx->sampler->ScrapeOpenMetrics()
+                               : core::OpenMetricsText(*g_ctx->engine);
+  if (out_len != nullptr) *out_len = text.size();
+  if (buf == nullptr || cap == 0) {
+    return Fail(VELOCX_EINVAL, "scrape buffer too small (need " +
+                                   std::to_string(text.size() + 1) +
+                                   " bytes)");
+  }
+  const size_t n = std::min(cap - 1, text.size());
+  std::memcpy(buf, text.data(), n);
+  buf[n] = '\0';
+  if (n < text.size()) {
+    return Fail(VELOCX_EINVAL, "scrape truncated: need " +
+                                   std::to_string(text.size() + 1) +
+                                   " bytes, got " + std::to_string(cap));
+  }
+  t_error.clear();
+  return VELOCX_SUCCESS;
 }
 
 const char* VELOCX_Error_string(void) { return t_error.c_str(); }

@@ -65,7 +65,21 @@ int VELOCX_Prefetch_start(int rank);
  * (trace = true, trace_out = /path/trace.json, trace_capacity = 16k) or the
  * CKPT_TRACE / CKPT_TRACE_OUT / CKPT_TRACE_CAPACITY environment knobs;
  * config keys win. When a trace output path is configured, Finalize dumps
- * the trace there automatically. */
+ * the trace there automatically.
+ *
+ * Live telemetry is configured the same way (config keys override the
+ * CKPT_TELEMETRY* environment seed):
+ *   telemetry = true            start the background sampler with the engine
+ *   telemetry_period_ms = 100   sampler tick period
+ *   telemetry_window = 128      sample-ring capacity
+ *   telemetry_out = /path/run   flight-recorder dump path prefix
+ *   telemetry_watchdog = true   stall detectors on each tick
+ *   telemetry_stall_ms = 2000   FSM dwell bound before a stall trips
+ *   telemetry_stall_windows = 3 consecutive no-progress samples to trip
+ *   telemetry_strict = false    a watchdog trip fails VELOCX_Finalize (EIO)
+ * When the watchdog trips and telemetry_out is set, the flight recorder
+ * dumps <out>.trace.json, <out>.window.json, <out>.openmetrics.txt and
+ * <out>.metrics.json once per run. */
 
 /* Writes the engine metrics snapshot (per-rank and merged counters, latency
  * histograms, restore series) as JSON to `path`. */
@@ -74,6 +88,15 @@ int VELOCX_Metrics_snapshot_json(const char* path);
 /* Dumps the recorded trace as Chrome trace-event JSON (Perfetto-loadable)
  * to `path`; NULL or "" uses the configured trace output path. */
 int VELOCX_Trace_dump(const char* path);
+
+/* Renders the current engine telemetry in OpenMetrics text format into
+ * `buf` (NUL-terminated). Serves the background sampler's newest sample
+ * when the sampler is running, otherwise probes the engine on the spot.
+ * `*out_len` (may be NULL) receives the full payload length excluding the
+ * NUL, even on failure — call with cap 0 to size a buffer, then retry with
+ * *out_len + 1 bytes. Returns VELOCX_EINVAL when `buf` is too small (the
+ * buffer then holds a truncated, NUL-terminated prefix). */
+int VELOCX_Telemetry_scrape(char* buf, size_t cap, size_t* out_len);
 
 /* Description of the most recent error on the calling thread ("" if none). */
 const char* VELOCX_Error_string(void);

@@ -109,6 +109,7 @@ void Engine::Init(int num_ranks) {
     c->metrics.evictions_from_tier.resize(stack_.size(), 0);
     c->metrics.evicted_bytes_from_tier.resize(stack_.size(), 0);
     c->metrics.flush_stage_hist.resize(static_cast<std::size_t>(ncache));
+    c->tier_probe = std::make_unique<TierProbeCells[]>(stack_.size());
 
     c->tiers.resize(static_cast<std::size_t>(ncache));
     for (int i = 0; i < ncache; ++i) {
@@ -297,13 +298,15 @@ void Engine::Advance(RankCtx& ctx_, Record& rec, CkptState to) {
   if (trace::enabled()) {
     // Dwell span of the outgoing state. Records created with tracing off
     // have no baseline timestamp; they start contributing from here on.
+    // Queued, not emitted: the trace-buffer mutex stays off the rank-lock
+    // critical section.
     if (rec.state_since_ns > 0) {
-      trace::SpanSince(trace::Kind::kLifecycle, StateSpanName(from),
-                       rec.state_since_ns, ctx_.rank, /*tier=*/-1, rec.version,
-                       rec.size);
+      QueueSpanSince(ctx_, trace::Kind::kLifecycle, StateSpanName(from),
+                     rec.state_since_ns, /*tier=*/-1, rec.version, rec.size);
     }
     rec.state_since_ns = trace::Now();
   }
+  ProbeTransition(ctx_, from, to);
   rec.state = to;
   NotifyState(ctx_);
   // Targeted reservation wakeups: entering CONSUMED may make every cached
@@ -442,6 +445,7 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
   const auto charge_wait = [&] { wait_metric += wait_sw.ElapsedSec(); };
   for (;;) {
     ++ctx_.metrics.reserve_rounds;
+    ProbeAdd(ctx_.probe.reserve_rounds);
     const std::int64_t round_begin = util::NowNs();
     if (ctx_.shutdown) {
       charge_wait();
@@ -477,8 +481,8 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       }
       // kUnavailable: everything is pinned right now; wait for a transition
       // on THIS tier's channel.
-      trace::Instant(trace::Kind::kEviction, "evict:blocked", ctx_.rank, tier,
-                     v, size);
+      QueueInstant(ctx_, trace::Kind::kEviction, "evict:blocked", tier, v,
+                   size);
       t.cv_reserve.wait_for(lock, kReplanMax);
       continue;
     }
@@ -495,8 +499,9 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       }
       if (stale) {
         ++ctx_.metrics.reserve_plans_stale;
-        trace::Instant(trace::Kind::kEviction, "evict:stale", ctx_.rank, tier,
-                       v, size);
+        ProbeAdd(ctx_.probe.reserve_plans_stale);
+        QueueInstant(ctx_, trace::Kind::kEviction, "evict:stale", tier, v,
+                     size);
         continue;
       }
       CKPT_RETURN_IF_ERROR(EvictVictims(ctx_, tier, plan->victims));
@@ -505,8 +510,8 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       if (!offset.ok()) return offset.status();
       ctx_.metrics.reserve_round_hist.Add(
           static_cast<double>(util::NowNs() - round_begin) / 1e9);
-      trace::SpanSince(trace::Kind::kEviction, "evict:round", round_begin,
-                       ctx_.rank, tier, v, size, plan->p_score, plan->s_score);
+      QueueSpanSince(ctx_, trace::Kind::kEviction, "evict:round", round_begin,
+                     tier, v, size, plan->p_score, plan->s_score);
       return *offset;
     }
     // Best window still needs time; sleep roughly that long, then re-plan
@@ -515,10 +520,10 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
     // window's scores; the instant marks the ETA it chose to wait out.
     ctx_.metrics.reserve_round_hist.Add(
         static_cast<double>(util::NowNs() - round_begin) / 1e9);
-    trace::SpanSince(trace::Kind::kEviction, "evict:round", round_begin,
-                     ctx_.rank, tier, v, size, plan->p_score, plan->s_score);
-    trace::Instant(trace::Kind::kEviction, "evict:wait", ctx_.rank, tier, v,
-                   size, plan->wait_eta, plan->s_score);
+    QueueSpanSince(ctx_, trace::Kind::kEviction, "evict:round", round_begin,
+                   tier, v, size, plan->p_score, plan->s_score);
+    QueueInstant(ctx_, trace::Kind::kEviction, "evict:wait", tier, v, size,
+                 plan->wait_eta, plan->s_score);
     auto wait = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(plan->wait_eta));
     wait = std::clamp<std::chrono::steady_clock::duration>(wait, kReplanMin,
@@ -581,9 +586,9 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
   ctx_.metrics.flush_retries += r.retries;
   ctx_.metrics.flush_failures += r.failures;
   if (r.retries > 0) {
-    trace::Instant(trace::Kind::kRetry, "flush:retries", ctx_.rank,
-                   stack_.terminal(), rec.version, rec.size,
-                   static_cast<double>(r.retries));
+    ProbeAdd(ctx_.probe.flush_retries, r.retries);
+    QueueInstant(ctx_, trace::Kind::kRetry, "flush:retries", stack_.terminal(),
+                 rec.version, rec.size, static_cast<double>(r.retries));
   }
   const std::size_t n = std::min(r.ok.size(), rec.durable.size());
   bool newly_durable = false;
@@ -591,8 +596,10 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
     if (r.ok[d] && !rec.durable[d]) {
       rec.durable[d] = 1;
       newly_durable = true;
-      ctx_.metrics.flush_bytes_to_tier[static_cast<std::size_t>(
-          stack_.durable_index(static_cast<int>(d)))] += rec.size;
+      const auto idx =
+          static_cast<std::size_t>(stack_.durable_index(static_cast<int>(d)));
+      ctx_.metrics.flush_bytes_to_tier[idx] += rec.size;
+      ProbeAdd(ctx_.tier_probe[idx].flush_bytes, rec.size);
     }
   }
   // A fresh durable copy makes every cached copy of this record SafeBelow,
@@ -620,6 +627,7 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
     // without any extra bookkeeping and Restore() serves it normally.
     rec.degraded = true;
     ++ctx_.metrics.tier_degradations;
+    ProbeAdd(ctx_.probe.tier_degradations);
     int deepest = -1;
     for (int d = stack_.num_durable_tiers() - 1; d >= 0; --d) {
       if (rec.durable[static_cast<std::size_t>(d)]) {
@@ -639,8 +647,8 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
         << "rank " << ctx_.rank << " ckpt " << rec.version
         << ": terminal tier unreachable; degraded durability at tier "
         << stack_.name(static_cast<std::size_t>(deepest));
-    trace::Instant(trace::Kind::kRetry, "tier:degraded", ctx_.rank, deepest,
-                   rec.version, rec.size);
+    QueueInstant(ctx_, trace::Kind::kRetry, "tier:degraded", deepest,
+                 rec.version, rec.size);
     FinishFlush(ctx_, rec);
     return;
   }
@@ -667,11 +675,12 @@ void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
   if (rec.state == CkptState::kWriteInProgress) {
     ++ctx_.flush_failed_count;
     ++ctx_.metrics.checkpoints_lost;
+    ProbeAdd(ctx_.probe.checkpoints_lost);
     CKPT_LOG(kError, "flush")
         << "rank " << ctx_.rank << " ckpt " << rec.version
         << ": flush permanently failed; checkpoint lost";
-    trace::Instant(trace::Kind::kRetry, "ckpt:lost", ctx_.rank, /*tier=*/-1,
-                   rec.version, rec.size);
+    QueueInstant(ctx_, trace::Kind::kRetry, "ckpt:lost", /*tier=*/-1,
+                 rec.version, rec.size);
     Advance(ctx_, rec, CkptState::kFlushFailed);  // notifies waiters
   } else {
     // The data already reached the application (restore overtook the flush);
@@ -758,6 +767,7 @@ util::StatusOr<Engine::Record*> Engine::FindOrImport(RankCtx& ctx_, Version v) {
   rec.flush_done = true;
   auto [nit, inserted] = ctx_.records.emplace(v, std::move(rec));
   (void)inserted;
+  ProbeEnterState(ctx_, CkptState::kFlushed);
   return &nit->second;
 }
 
@@ -783,6 +793,9 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
                        v, size);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
+  // Declared before the lock: flushes the trace events this call queues
+  // under c.mu right after the lock is released, on every return path.
+  ScopedTracePublisher trace_pub(c);
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
   const int ncache = stack_.num_cache_tiers();
   std::unique_lock lock(c.mu);
@@ -792,6 +805,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
                                " already written (checkpoints are immutable)");
   }
   Record& rec = (c.records[v] = NewRecord(c, v, size));
+  ProbeEnterState(c, CkptState::kInit);
   Advance(c, rec, CkptState::kWriteInProgress);
   ++c.inflight_flushes;
   // T_PF may be parked on a hint for this (until now unwritten) version.
@@ -799,6 +813,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
 
   auto cleanup_failure = [&](const util::Status& st) {
     --c.inflight_flushes;
+    ProbeLeaveState(c, rec.state);
     c.records.erase(v);
     NotifyState(c);       // WaitForFlushes
     NotifyPrefetch(c);    // a parked hint for v will never be served
@@ -847,10 +862,14 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     rr.valid = true;
     c.tiers[static_cast<std::size_t>(placed)]->backlog_bytes += size;
     c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(placed)] += size;
+    ProbeAdd(c.tier_probe[static_cast<std::size_t>(placed)].flush_bytes, size);
     // T_PF may be in its landing wait for this version. The fresh copy is
     // not evictable yet (no durable backing), so no reservation wakeup.
     NotifyPrefetch(c);
     lock.unlock();
+    // Depth bumps before Push so the worker-side decrement (one per
+    // iteration, after the work is disposed of) can never underflow.
+    ProbeAdd(c.tier_probe[static_cast<std::size_t>(placed)].flush_queue_depth);
     c.tiers[static_cast<std::size_t>(placed)]->flush_q.Push(v);
   } else {
     // Oversize for every cache tier: synchronous write-through to the
@@ -870,13 +889,16 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     lock.lock();
     c.metrics.flush_retries += r.retries;
     c.metrics.flush_failures += r.failures;
+    ProbeAdd(c.probe.flush_retries, r.retries);
     bool any = false;
     for (std::size_t d = 0; d < r.ok.size(); ++d) {
       if (r.ok[d]) {
         any = true;
         rec.durable[d] = 1;
-        c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(
-            stack_.durable_index(static_cast<int>(d)))] += size;
+        const auto idx =
+            static_cast<std::size_t>(stack_.durable_index(static_cast<int>(d)));
+        c.metrics.flush_bytes_to_tier[idx] += size;
+        ProbeAdd(c.tier_probe[idx].flush_bytes, size);
       }
     }
     if (!any) {
@@ -889,6 +911,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     if (!rec.durable[static_cast<std::size_t>(stack_.terminal_ordinal())]) {
       rec.degraded = true;
       ++c.metrics.tier_degradations;
+      ProbeAdd(c.probe.tier_degradations);
     }
     FinishFlush(c, rec);
   }
@@ -897,6 +920,8 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   c.metrics.ckpt_block_s.Add(sw.ElapsedSec());
   c.metrics.ckpt_block_hist.Add(sw.ElapsedSec());
   c.metrics.bytes_checkpointed += size;
+  ProbeAdd(c.probe.checkpoints);
+  ProbeAdd(c.probe.bytes_checkpointed, size);
   return util::OkStatus();
 }
 
@@ -906,6 +931,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   trace::Span app_span(trace::Kind::kApp, "app:restore", rank, /*tier=*/-1, v);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
+  ScopedTracePublisher trace_pub(c);  // flushes queued events after unlock
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
   std::unique_lock lock(c.mu);
   if (c.shutdown) return util::ShutdownError("engine stopping");
@@ -928,8 +954,9 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   const std::uint64_t pdist = ComputePrefetchDistance(c);
   rec.restore_waiting = true;
   Touch(c, rec);
-  DrainHints(c);    // fold parked hints in before dropping ours
-  c.hints.Drop(v);  // deviation-proofing: this read satisfies its hint
+  DrainHints(c);  // fold parked hints in before dropping ours
+  // Deviation-proofing: this read satisfies its pending hint, if any.
+  if (c.hints.Drop(v)) ProbeAdd(c.probe.hints_retired);
   // restore_waiting aborts T_PF's stuck promotions and blocked
   // reservations; wake both roles so the abort is prompt.
   NotifyPrefetch(c);
@@ -980,6 +1007,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
       ++c.metrics.restores_from_host;
     }
     ++c.metrics.restores_from_tier[static_cast<std::size_t>(src_tier)];
+    ProbeAdd(c.tier_probe[static_cast<std::size_t>(src_tier)].restores);
   } else if (rec.AnyDurable()) {
     const std::vector<unsigned char> durable = rec.durable;
     const std::uint64_t size = rec.size;
@@ -1012,14 +1040,16 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     }
     lock.lock();
     c.metrics.fetch_retries += fetch_retries;
+    ProbeAdd(c.probe.fetch_retries, fetch_retries);
     if (fetch_retries > 0) {
-      trace::Instant(trace::Kind::kRetry, "fetch:retries", rank, served, v,
-                     size, static_cast<double>(fetch_retries));
+      QueueInstant(c, trace::Kind::kRetry, "fetch:retries", served, v, size,
+                   static_cast<double>(fetch_retries));
     }
     if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
     ++c.metrics.restores_from_store;
     if (st.ok() && served >= 0) {
       ++c.metrics.restores_from_tier[static_cast<std::size_t>(served)];
+      ProbeAdd(c.tier_probe[static_cast<std::size_t>(served)].restores);
     }
   } else {
     rec.restore_waiting = false;
@@ -1050,6 +1080,8 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
   c.metrics.restore_block_s.Add(sw.ElapsedSec());
   c.metrics.restore_block_hist.Add(sw.ElapsedSec());
   c.metrics.bytes_restored += rec.size;
+  ProbeAdd(c.probe.restores);
+  ProbeAdd(c.probe.bytes_restored, rec.size);
   c.metrics.restore_series.push_back(RestorePoint{
       c.restore_counter - 1, v, sw.ElapsedSec(), rec.size, pdist});
   // restore_waiting cleared: the prefetcher may resume with this record.
@@ -1079,6 +1111,7 @@ util::Status Engine::PrefetchEnqueue(sim::Rank rank, Version v) {
     return util::ShutdownError("engine stopping");
   }
   c.hint_inbox.Push(v);
+  ProbeAdd(c.probe.hints_enqueued);
   NotifyPrefetch(c);
   return util::OkStatus();
 }
@@ -1115,6 +1148,136 @@ RankMetrics Engine::MetricsSnapshot(sim::Rank rank) const {
   const RankCtx& c = ctx(rank);
   std::lock_guard lock(c.mu);
   return c.metrics;
+}
+
+Engine::RankProbe Engine::Probe(sim::Rank rank) const {
+  // The whole point of this accessor: NO rank-lock acquisition. Every read
+  // is a relaxed atomic load (or CacheUsed's own leaf-locked probe), so a
+  // sampler thread can call it at arbitrary frequency without ever
+  // contending with Checkpoint/Restore/flush/prefetch.
+  constexpr auto relax = std::memory_order_relaxed;
+  const RankCtx& c = ctx(rank);
+  RankProbe p;
+  p.state_occupancy.resize(kCkptStateCount, 0);
+  for (std::size_t s = 0; s < kCkptStateCount; ++s) {
+    p.state_occupancy[s] = c.probe.state_occupancy[s].load(relax);
+  }
+  p.last_transition_ns = c.probe.last_transition_ns.load(relax);
+  // Enqueue and retire sides race; clamp so the gauge never wraps.
+  const std::uint64_t enq = c.probe.hints_enqueued.load(relax);
+  const std::uint64_t ret = c.probe.hints_retired.load(relax);
+  p.restore_queue_depth = enq >= ret ? enq - ret : 0;
+  p.reserve_rounds = c.probe.reserve_rounds.load(relax);
+  p.reserve_plans_stale = c.probe.reserve_plans_stale.load(relax);
+  p.flush_retries = c.probe.flush_retries.load(relax);
+  p.fetch_retries = c.probe.fetch_retries.load(relax);
+  p.tier_degradations = c.probe.tier_degradations.load(relax);
+  p.checkpoints_lost = c.probe.checkpoints_lost.load(relax);
+  p.checkpoints = c.probe.checkpoints.load(relax);
+  p.restores = c.probe.restores.load(relax);
+  p.bytes_checkpointed = c.probe.bytes_checkpointed.load(relax);
+  p.bytes_restored = c.probe.bytes_restored.load(relax);
+  p.watchdog_stalls = c.probe.watchdog_stalls.load(relax);
+  p.tiers.resize(stack_.size());
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    TierProbe& tp = p.tiers[i];
+    const TierProbeCells& cells = c.tier_probe[i];
+    tp.flush_queue_depth = cells.flush_queue_depth.load(relax);
+    tp.flush_bytes = cells.flush_bytes.load(relax);
+    tp.restores = cells.restores.load(relax);
+    const auto ti = static_cast<TierIndex>(i);
+    if (stack_.is_cache(ti)) {
+      tp.bytes_used = CacheUsed(rank, ti);
+      // capacity is written once at Init, before any worker or sampler can
+      // observe it: a plain read is safe.
+      tp.bytes_capacity = c.tiers[i]->capacity;
+    }
+  }
+  return p;
+}
+
+void Engine::NoteStall(sim::Rank rank, StallKind kind) {
+  RankCtx& c = ctx(rank);
+  ProbeAdd(c.probe.watchdog_stalls);
+  std::lock_guard lock(c.mu);
+  ++c.metrics.watchdog_stalls;
+  switch (kind) {
+    case StallKind::kFsmDwell:
+      ++c.metrics.watchdog_fsm_stalls;
+      break;
+    case StallKind::kFlushNoProgress:
+      ++c.metrics.watchdog_flush_stalls;
+      break;
+    case StallKind::kReserveLivelock:
+      ++c.metrics.watchdog_reserve_stalls;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deferred trace emission (S1: trace bookkeeping off the rank lock)
+// ---------------------------------------------------------------------------
+
+void Engine::QueueInstant(RankCtx& ctx_, trace::Kind kind, const char* name,
+                          int tier, Version v, std::uint64_t bytes, double a,
+                          double b) {
+  if (!trace::enabled()) return;
+  CKPT_ASSERT_HELD(ctx_.mu);
+  trace::Event e;
+  e.ts_ns = trace::Now();
+  e.dur_ns = -1;
+  e.name = name;
+  e.kind = kind;
+  e.rank = static_cast<std::int16_t>(ctx_.rank);
+  e.tier = static_cast<std::int16_t>(tier);
+  e.version = v;
+  e.bytes = bytes;
+  e.a = a;
+  e.b = b;
+  ctx_.pending_trace.push_back(e);
+}
+
+void Engine::QueueSpanSince(RankCtx& ctx_, trace::Kind kind, const char* name,
+                            std::int64_t begin_ns, int tier, Version v,
+                            std::uint64_t bytes, double a, double b) {
+  if (!trace::enabled()) return;
+  CKPT_ASSERT_HELD(ctx_.mu);
+  trace::Event e;
+  e.ts_ns = begin_ns;
+  e.dur_ns = trace::Now() - begin_ns;
+  if (e.dur_ns < 0) e.dur_ns = 0;
+  e.name = name;
+  e.kind = kind;
+  e.rank = static_cast<std::int16_t>(ctx_.rank);
+  e.tier = static_cast<std::int16_t>(tier);
+  e.version = v;
+  e.bytes = bytes;
+  e.a = a;
+  e.b = b;
+  ctx_.pending_trace.push_back(e);
+}
+
+void Engine::PublishQueuedTrace(RankCtx& ctx_) {
+  std::vector<trace::Event> batch;
+  {
+    std::lock_guard lock(ctx_.mu);
+    if (ctx_.pending_trace.empty()) return;
+    batch.swap(ctx_.pending_trace);
+  }
+  // Emission happens outside the rank lock: EmitEvent only touches the
+  // calling thread's trace buffer (one leaf mutex).
+  for (const trace::Event& e : batch) trace::detail::EmitEvent(e);
+}
+
+void Engine::PublishQueuedTraceLocked(
+    RankCtx& ctx_, std::unique_lock<util::CheckedMutex>& lock) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  if (ctx_.pending_trace.empty()) return;
+  std::vector<trace::Event> batch;
+  batch.swap(ctx_.pending_trace);
+  lock.unlock();
+  for (const trace::Event& e : batch) trace::detail::EmitEvent(e);
+  lock.lock();
 }
 
 util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
@@ -1250,8 +1413,23 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     return PutTerminal(c, v, staging.data(), size, rng);
   };
 
+  // Balances the producer-side flush_queue_depth bump: the gauge counts
+  // queued + in-flight work, so the decrement happens when an iteration's
+  // work is fully disposed of — whatever exit path it takes — not at Pop.
+  // A hung terminal put therefore keeps the depth visibly non-zero, which
+  // is exactly what the watchdog's no-progress detector needs.
+  struct QueueDepthGuard {
+    RankCtx& c;
+    TierIndex tier;
+    ~QueueDepthGuard() {
+      ProbeSub(c.tier_probe[static_cast<std::size_t>(tier)].flush_queue_depth);
+    }
+  };
+
   while (auto vo = t.flush_q.Pop()) {
     const Version v = *vo;
+    QueueDepthGuard depth_guard{c, tier};
+    ScopedTracePublisher trace_pub(c);  // queued events flush per iteration
     std::unique_lock lock(c.mu);
     auto it = c.records.find(v);
     if (it == c.records.end()) continue;  // defensive
@@ -1290,6 +1468,8 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
         // A deeper cache copy continues the pipeline from there.
         c.tiers[static_cast<std::size_t>(deeper)]->backlog_bytes += rec.size;
         lock.unlock();
+        ProbeAdd(
+            c.tier_probe[static_cast<std::size_t>(deeper)].flush_queue_depth);
         c.tiers[static_cast<std::size_t>(deeper)]->flush_q.Push(v);
       } else if (rec.AnyDurable()) {
         // Already durable from an earlier stage; the missing copy is moot.
@@ -1329,8 +1509,8 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       --mine.read_refs;
       NotifyReserve(c, tier);  // our source copy may now be evictable
       t.backlog_bytes -= size;
-      trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
-                       stack_.terminal(), v, size);
+      QueueSpanSince(c, trace::Kind::kFlush, terminal_span, t0,
+                     stack_.terminal(), v, size);
       c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
           static_cast<double>(util::NowNs() - t0) / 1e9);
       ApplyFlushResult(c, rec, r);
@@ -1376,8 +1556,8 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       --mine.read_refs;
       NotifyReserve(c, tier);  // our source copy may now be evictable
       t.backlog_bytes -= size;
-      trace::SpanSince(trace::Kind::kFlush, terminal_span, t0, c.rank,
-                       stack_.terminal(), v, size);
+      QueueSpanSince(c, trace::Kind::kFlush, terminal_span, t0,
+                     stack_.terminal(), v, size);
       c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
           static_cast<double>(util::NowNs() - t0) / 1e9);
       ApplyFlushResult(c, rec, r);
@@ -1414,19 +1594,22 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       cancel();
       continue;
     }
-    trace::SpanSince(trace::Kind::kFlush, stage_span, t0, c.rank, target, v,
-                     rec.size);
+    QueueSpanSince(c, trace::Kind::kFlush, stage_span, t0, target, v,
+                   rec.size);
     c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
         static_cast<double>(util::NowNs() - t0) / 1e9);
     next.valid = true;
     t.backlog_bytes -= rec.size;
     c.tiers[static_cast<std::size_t>(target)]->backlog_bytes += rec.size;
     c.metrics.flush_bytes_to_tier[static_cast<std::size_t>(target)] += rec.size;
+    ProbeAdd(c.tier_probe[static_cast<std::size_t>(target)].flush_bytes,
+             rec.size);
     // The deeper copy makes every shallower copy of this record SafeBelow
     // (and our read_ref dropped): wake reservations above `target` only.
     for (int j = 0; j < target; ++j) NotifyReserve(c, j);
     NotifyPrefetch(c);  // T_PF may be in its landing wait for this version
     lock.unlock();
+    ProbeAdd(c.tier_probe[static_cast<std::size_t>(target)].flush_queue_depth);
     c.tiers[static_cast<std::size_t>(target)]->flush_q.Push(v);
   }
 }
@@ -1439,8 +1622,14 @@ void Engine::PrefetchLoop(RankCtx& c) {
   const std::uint64_t pin_cap = static_cast<std::uint64_t>(
       static_cast<double>(c.tiers[0]->capacity) *
       options_.prefetch_pin_fraction);
+  // Declared before the lock: flushes whatever is still queued when the
+  // worker exits (the in-loop publish below handles steady state).
+  ScopedTracePublisher trace_pub(c);
   std::unique_lock lock(c.mu);
   for (;;) {
+    // Emit the previous iteration's queued trace events while nothing else
+    // is held up (briefly drops the lock; no-op when the queue is empty).
+    PublishQueuedTraceLocked(c, lock);
     // Bounded wait: PrefetchEnqueue notifies cv_prefetch without holding
     // ctx.mu (lock-free hint path), so a notify can land between the
     // predicate check and the block. The 10 ms re-drain bounds that race.
@@ -1474,9 +1663,9 @@ void Engine::PrefetchLoop(RankCtx& c) {
     if (already_pinned) {
       Touch(c, rec);
       c.hints.PopHead();
+      ProbeAdd(c.probe.hints_retired);
       ++c.metrics.prefetch_gpu_hits;
-      trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
-                     rec.size);
+      QueueInstant(c, trace::Kind::kPrefetch, "prefetch:hit", 0, v, rec.size);
       continue;
     }
 
@@ -1484,6 +1673,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       if (rec.state == CkptState::kConsumed ||
           rec.state == CkptState::kFlushFailed) {
         c.hints.PopHead();  // discarded (condition (5)) or lost: no fetch
+        ProbeAdd(c.probe.hints_retired);
       } else {
         // The write that produces this version is still copying into the
         // fast cache; no residency is valid yet. Wait for it to land.
@@ -1519,14 +1709,15 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       c.hints.PopHead();
+      ProbeAdd(c.probe.hints_retired);
       ++c.metrics.prefetch_gpu_hits;
-      trace::Instant(trace::Kind::kPrefetch, "prefetch:hit", c.rank, 0, v,
-                     rec.size);
+      QueueInstant(c, trace::Kind::kPrefetch, "prefetch:hit", 0, v, rec.size);
       continue;
     }
 
     // Claim the promotion.
     c.hints.PopHead();
+    ProbeAdd(c.probe.hints_retired);
     rec.prefetch_claimed = true;
     Advance(c, rec, CkptState::kReadInProgress);
     const std::int64_t promo_begin = util::NowNs();
@@ -1538,8 +1729,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec,
               rec.flush_done ? CkptState::kFlushed : CkptState::kWriteInProgress);
       ++c.metrics.prefetch_aborts;
-      trace::Instant(trace::Kind::kPrefetch, "prefetch:abort", c.rank, 0, v,
-                     rec.size);
+      QueueInstant(c, trace::Kind::kPrefetch, "prefetch:abort", 0, v,
+                   rec.size);
     };
 
     // Promotion source: the shallowest cache tier below the fast one still
@@ -1594,6 +1785,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       }
       lock.lock();
       c.metrics.fetch_retries += fetch_retries;
+      ProbeAdd(c.probe.fetch_retries, fetch_retries);
       if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
       rec.res[0].io_pending = false;
       if (!st.ok()) {
@@ -1609,8 +1801,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
-      trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
-                       c.rank, 0, v, rec.size);
+      QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                     0, v, rec.size);
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       continue;  // Advance() above already woke the state channel
@@ -1645,6 +1837,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
       }
       lock.lock();
       c.metrics.fetch_retries += fetch_retries;
+      ProbeAdd(c.probe.fetch_retries, fetch_retries);
       if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
       rec.res[0].io_pending = false;
       if (!st.ok()) {
@@ -1660,8 +1853,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
       Advance(c, rec, CkptState::kReadComplete);
       AddPin(c, rec);
       ++c.metrics.prefetch_promotions;
-      trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
-                       c.rank, 0, v, rec.size);
+      QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                     0, v, rec.size);
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       continue;  // Advance() above already woke the state channel
@@ -1697,6 +1890,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
                                          served);
       lock.lock();
       c.metrics.fetch_retries += fetch_retries;
+      ProbeAdd(c.probe.fetch_retries, fetch_retries);
       if (fell_back && st.ok()) ++c.metrics.fetch_fallbacks;
       wres.io_pending = false;
       if (!st.ok()) {
@@ -1742,8 +1936,8 @@ void Engine::PrefetchLoop(RankCtx& c) {
     Advance(c, rec, CkptState::kReadComplete);  // wakes Restore's wait
     AddPin(c, rec);
     ++c.metrics.prefetch_promotions;
-    trace::SpanSince(trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
-                     c.rank, 0, v, rec.size);
+    QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
+                   0, v, rec.size);
     c.metrics.promotion_hist.Add(
         static_cast<double>(util::NowNs() - promo_begin) / 1e9);
   }

@@ -20,6 +20,7 @@
 // holding it.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -41,8 +42,10 @@
 #include "simgpu/pinned.hpp"
 #include "storage/object_store.hpp"
 #include "util/checked_mutex.hpp"
+#include "util/clock.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/retry.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::core {
 
@@ -213,6 +216,53 @@ class Engine final : public Runtime {
   /// tier (the Fig. 7 prefetch-distance metric).
   [[nodiscard]] std::uint64_t PrefetchDistance(sim::Rank rank) const;
 
+  // --- Live telemetry probe (DESIGN.md §11) ---
+  /// Point-in-time reading of one stack tier's probe cells.
+  struct TierProbe {
+    std::uint64_t bytes_used = 0;      ///< cache tiers; 0 for durable tiers
+    std::uint64_t bytes_capacity = 0;  ///< cache tiers; 0 for durable tiers
+    std::uint64_t flush_queue_depth = 0;  ///< queued + in-flight flush work
+    std::uint64_t flush_bytes = 0;        ///< cumulative bytes landed here
+    std::uint64_t restores = 0;           ///< restores served from this tier
+  };
+  /// Point-in-time reading of one rank's probe cells. Produced WITHOUT the
+  /// rank lock: each field is one relaxed atomic read, so the fields are
+  /// individually exact but mutually unsynchronized — exactly what a
+  /// periodic sampler needs, and never what a correctness check should use
+  /// (tests want MetricsSnapshot()).
+  struct RankProbe {
+    std::vector<std::uint64_t> state_occupancy;  ///< records per CkptState
+    std::int64_t last_transition_ns = 0;  ///< NowNs() of the latest FSM edge
+    std::uint64_t restore_queue_depth = 0;  ///< pending restore-order hints
+    std::uint64_t reserve_rounds = 0;
+    std::uint64_t reserve_plans_stale = 0;
+    std::uint64_t flush_retries = 0;
+    std::uint64_t fetch_retries = 0;
+    std::uint64_t tier_degradations = 0;
+    std::uint64_t checkpoints_lost = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t bytes_checkpointed = 0;
+    std::uint64_t bytes_restored = 0;
+    std::uint64_t watchdog_stalls = 0;
+    std::vector<TierProbe> tiers;  ///< by stack index
+  };
+  /// Samples the rank's probe cells without acquiring the rank lock. Safe
+  /// from a sampler thread at arbitrary frequency. Reads all-zero counters
+  /// when the telemetry subsystem is compiled out (CKPT_TELEMETRY_DISABLED
+  /// turns every probe bump into a no-op).
+  [[nodiscard]] RankProbe Probe(sim::Rank rank) const;
+
+  /// Stall categories the telemetry watchdog can detect (DESIGN.md §11).
+  enum class StallKind : std::uint8_t {
+    kFsmDwell = 0,     ///< a record sat in a pending FSM state too long
+    kFlushNoProgress,  ///< flush queue non-empty but no bytes moved
+    kReserveLivelock,  ///< eviction plans kept going stale window over window
+  };
+  /// Charges a watchdog-detected stall to the rank's metrics and probe
+  /// cells. Takes the rank lock — trip path only, never the sample path.
+  void NoteStall(sim::Rank rank, StallKind kind);
+
  private:
   struct Residency {
     bool valid = false;       ///< data present and complete on this tier
@@ -293,6 +343,40 @@ class Engine final : public Runtime {
     std::jthread worker;  ///< FlushStageLoop for this tier
   };
 
+  /// Lock-free telemetry probe cells (DESIGN.md §11): relaxed atomics the
+  /// hot path bumps through the Probe*() helpers below (writers already
+  /// hold ctx.mu; the sampler reads them without any lock, mirroring the
+  /// CacheTierRt::ready pattern). The cells always exist — they are a few
+  /// hundred bytes per rank — but with CKPT_TELEMETRY_DISABLED every bump
+  /// helper compiles to nothing, so the hot path carries zero extra work
+  /// and Probe() reports all-zero counters.
+  struct TierProbeCells {
+    std::atomic<std::uint64_t> flush_queue_depth{0};  ///< queued + in-flight
+    std::atomic<std::uint64_t> flush_bytes{0};
+    std::atomic<std::uint64_t> restores{0};
+  };
+  struct ProbeCells {
+    std::array<std::atomic<std::uint64_t>, kCkptStateCount> state_occupancy{};
+    std::atomic<std::int64_t> last_transition_ns{0};
+    /// restore_queue_depth = hints_enqueued - hints_retired. Split into two
+    /// monotone counters because the enqueue side (PrefetchEnqueue's
+    /// lock-free inbox) and the retire side (T_PF / Restore under ctx.mu)
+    /// run on different threads.
+    std::atomic<std::uint64_t> hints_enqueued{0};
+    std::atomic<std::uint64_t> hints_retired{0};
+    std::atomic<std::uint64_t> reserve_rounds{0};
+    std::atomic<std::uint64_t> reserve_plans_stale{0};
+    std::atomic<std::uint64_t> flush_retries{0};
+    std::atomic<std::uint64_t> fetch_retries{0};
+    std::atomic<std::uint64_t> tier_degradations{0};
+    std::atomic<std::uint64_t> checkpoints_lost{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> restores{0};
+    std::atomic<std::uint64_t> bytes_checkpointed{0};
+    std::atomic<std::uint64_t> bytes_restored{0};
+    std::atomic<std::uint64_t> watchdog_stalls{0};
+  };
+
   struct RankCtx {
     sim::Rank rank = 0;
     mutable util::CheckedMutex mu;
@@ -325,6 +409,16 @@ class Engine final : public Runtime {
 
     RankMetrics metrics;
 
+    ProbeCells probe;
+    /// One cell block per stack tier (cache AND durable), sized at Init.
+    std::unique_ptr<TierProbeCells[]> tier_probe;
+
+    /// Trace events recorded inside the rank-lock critical section, queued
+    /// for emission after the lock is released (the per-thread trace buffer
+    /// mutex must stay out of rank-lock hold time). Guarded by mu; flushed
+    /// by PublishQueuedTrace / ScopedTracePublisher.
+    std::vector<util::trace::Event> pending_trace;
+
     std::jthread t_pf;
   };
 
@@ -352,6 +446,84 @@ class Engine final : public Runtime {
     CKPT_ASSERT_HELD(ctx.mu);
     rec.lru_seq = ++ctx.seq_counter;
   }
+
+  // --- Probe-cell bump helpers (DESIGN.md §11) ---
+  // All relaxed; all compile to nothing under CKPT_TELEMETRY_DISABLED.
+  static void ProbeAdd(std::atomic<std::uint64_t>& cell,
+                       std::uint64_t n = 1) noexcept {
+#ifndef CKPT_TELEMETRY_DISABLED
+    cell.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)cell;
+    (void)n;
+#endif
+  }
+  static void ProbeSub(std::atomic<std::uint64_t>& cell,
+                       std::uint64_t n = 1) noexcept {
+#ifndef CKPT_TELEMETRY_DISABLED
+    cell.fetch_sub(n, std::memory_order_relaxed);
+#else
+    (void)cell;
+    (void)n;
+#endif
+  }
+  /// A record entered the FSM (record inserted into ctx.records).
+  static void ProbeEnterState(RankCtx& ctx, CkptState s) noexcept {
+    ProbeAdd(ctx.probe.state_occupancy[static_cast<std::size_t>(s)]);
+  }
+  /// A record left the FSM (record erased from ctx.records).
+  static void ProbeLeaveState(RankCtx& ctx, CkptState s) noexcept {
+    ProbeSub(ctx.probe.state_occupancy[static_cast<std::size_t>(s)]);
+  }
+  /// An FSM edge: moves the occupancy count and stamps the transition time
+  /// (the watchdog's FSM-dwell detector keys off this stamp).
+  static void ProbeTransition(RankCtx& ctx, CkptState from,
+                              CkptState to) noexcept {
+#ifndef CKPT_TELEMETRY_DISABLED
+    ProbeLeaveState(ctx, from);
+    ProbeEnterState(ctx, to);
+    ctx.probe.last_transition_ns.store(util::NowNs(),
+                                       std::memory_order_relaxed);
+#else
+    (void)ctx;
+    (void)from;
+    (void)to;
+#endif
+  }
+
+  // --- Deferred trace emission (keep trace-buffer locking off the
+  // rank-lock critical section) ---
+  /// Queues an instant event under ctx.mu; emitted by PublishQueuedTrace.
+  static void QueueInstant(RankCtx& ctx, util::trace::Kind kind,
+                           const char* name, int tier = -1, Version v = 0,
+                           std::uint64_t bytes = 0, double a = 0.0,
+                           double b = 0.0);
+  /// Queues a span that began at `begin_ns` and ends now.
+  static void QueueSpanSince(RankCtx& ctx, util::trace::Kind kind,
+                             const char* name, std::int64_t begin_ns,
+                             int tier = -1, Version v = 0,
+                             std::uint64_t bytes = 0, double a = 0.0,
+                             double b = 0.0);
+  /// Emits and clears ctx.pending_trace. Call WITHOUT ctx.mu held (briefly
+  /// re-acquires it to swap the queue out). Events land on the calling
+  /// thread's track; the sink orders tracks by timestamp, so a worker
+  /// publishing spans another thread queued stays a valid trace.
+  static void PublishQueuedTrace(RankCtx& ctx);
+  /// Same, for callers that still hold the lock: unlocks, emits, relocks.
+  static void PublishQueuedTraceLocked(
+      RankCtx& ctx, std::unique_lock<util::CheckedMutex>& lock);
+  /// RAII publisher: declare BEFORE taking ctx.mu so queued events flush
+  /// right after the lock is released on every exit path.
+  class ScopedTracePublisher {
+   public:
+    explicit ScopedTracePublisher(RankCtx& c) noexcept : ctx_(c) {}
+    ~ScopedTracePublisher() { PublishQueuedTrace(ctx_); }
+    ScopedTracePublisher(const ScopedTracePublisher&) = delete;
+    ScopedTracePublisher& operator=(const ScopedTracePublisher&) = delete;
+
+   private:
+    RankCtx& ctx_;
+  };
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
   util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);

@@ -7,6 +7,7 @@
 // state plus residency information; see engine.cpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -26,6 +27,9 @@ enum class CkptState : std::uint8_t {
   kFlushFailed,       ///< flush permanently failed with no surviving copy:
                       ///< the checkpoint is lost (terminal state)
 };
+
+/// Number of CkptState values (state-occupancy arrays index by state).
+inline constexpr std::size_t kCkptStateCount = 8;
 
 [[nodiscard]] constexpr std::string_view to_string(CkptState s) noexcept {
   switch (s) {

@@ -48,6 +48,10 @@ void RankMetrics::Merge(const RankMetrics& other) {
   fetch_retries += other.fetch_retries;
   fetch_fallbacks += other.fetch_fallbacks;
   checkpoints_lost += other.checkpoints_lost;
+  watchdog_stalls += other.watchdog_stalls;
+  watchdog_fsm_stalls += other.watchdog_fsm_stalls;
+  watchdog_flush_stalls += other.watchdog_flush_stalls;
+  watchdog_reserve_stalls += other.watchdog_reserve_stalls;
   init_s += other.init_s;
   restore_series.insert(restore_series.end(), other.restore_series.begin(),
                         other.restore_series.end());

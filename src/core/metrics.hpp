@@ -76,6 +76,13 @@ struct RankMetrics {
                                         // tier after the preferred one failed
   std::uint64_t checkpoints_lost = 0;   // records that entered FLUSH_FAILED
 
+  // Telemetry watchdog verdicts (DESIGN.md §11): stalls the sampler's
+  // health checks detected on this rank, total and by detector.
+  std::uint64_t watchdog_stalls = 0;
+  std::uint64_t watchdog_fsm_stalls = 0;      // FSM dwell bound exceeded
+  std::uint64_t watchdog_flush_stalls = 0;    // flush queue, no byte progress
+  std::uint64_t watchdog_reserve_stalls = 0;  // eviction-plan livelock
+
   // Per-stage latency distributions (seconds), log-bucketed. The scalar
   // accumulators above give totals; these show the shape — a bimodal flush
   // stage (fast overlap vs. backlog stall) is invisible in a sum.

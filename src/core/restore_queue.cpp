@@ -20,9 +20,9 @@ void RestoreQueue::PopHead() {
   RemoveSeq(v, seq);
 }
 
-void RestoreQueue::Drop(Version v) {
+bool RestoreQueue::Drop(Version v) {
   auto it = by_version_.find(v);
-  if (it == by_version_.end() || it->second.empty()) return;
+  if (it == by_version_.end() || it->second.empty()) return false;
   const std::uint64_t seq = *it->second.begin();
   // Remove from the deque (linear, but Drop is rare: only on deviation).
   for (auto dit = hints_.begin(); dit != hints_.end(); ++dit) {
@@ -32,6 +32,7 @@ void RestoreQueue::Drop(Version v) {
     }
   }
   RemoveSeq(v, seq);
+  return true;
 }
 
 std::optional<std::uint64_t> RestoreQueue::DistanceOf(Version v) const {

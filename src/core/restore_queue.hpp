@@ -31,8 +31,9 @@ class RestoreQueue {
   /// Removes the earliest pending hint for `v`, wherever it is (used when
   /// the application deviates and restores `v` before its hint reaches the
   /// head — the stale hint must not trigger a pointless prefetch later).
-  /// No-op if `v` has no pending hint.
-  void Drop(Version v);
+  /// Returns true when a hint was removed; false (a no-op) when `v` has no
+  /// pending hint, so callers can keep depth gauges exact.
+  bool Drop(Version v);
 
   /// Number of hints between the head and the earliest pending hint for
   /// `v`: 0 for the head itself. nullopt when `v` has no pending hint —

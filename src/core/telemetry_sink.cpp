@@ -1,0 +1,624 @@
+#include "core/telemetry_sink.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/engine.hpp"
+#include "core/lifecycle.hpp"
+#include "core/tier_stack.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace ckpt::core {
+
+namespace {
+
+using util::telemetry::RankSample;
+using util::telemetry::SamplePtr;
+using util::telemetry::TelemetrySample;
+using util::telemetry::TierSample;
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+void AppendNum(std::string& out, double v) { AppendF(out, "%.9g", v); }
+
+std::string TierLabel(const std::vector<std::string>& names, std::size_t i) {
+  return i < names.size() ? names[i] : "tier" + std::to_string(i);
+}
+
+/// OpenMetrics label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool ValidMetricName(std::string_view n) {
+  if (n.empty()) return false;
+  const auto body = [](char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+           c == ':';
+  };
+  if (std::isdigit(static_cast<unsigned char>(n[0])) != 0) return false;
+  return std::all_of(n.begin(), n.end(), body);
+}
+
+[[nodiscard]] bool ValidLabelName(std::string_view n) {
+  if (n.empty()) return false;
+  const auto body = [](char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+  };
+  if (std::isdigit(static_cast<unsigned char>(n[0])) != 0) return false;
+  return std::all_of(n.begin(), n.end(), body);
+}
+
+/// Emitter-side family declaration helper.
+struct Exposer {
+  std::string& out;
+
+  void Gauge(const char* name, const char* help) {
+    AppendF(out, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name);
+  }
+  void Counter(const char* name, const char* help) {
+    AppendF(out, "# HELP %s %s\n# TYPE %s counter\n", name, help, name);
+  }
+  /// One sample line. `name` must already carry the `_total` suffix for
+  /// counters; `labels` is the rendered label block without braces ("" for
+  /// label-less samples).
+  void SampleU64(const std::string& name, const std::string& labels,
+                 std::uint64_t v) {
+    out += name;
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    AppendF(out, " %" PRIu64 "\n", v);
+  }
+  void SampleF64(const std::string& name, const std::string& labels, double v) {
+    out += name;
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    out += ' ';
+    AppendNum(out, v);
+    out += '\n';
+  }
+};
+
+std::string RankLabel(int rank) {
+  return "rank=\"" + std::to_string(rank) + "\"";
+}
+std::string TierRankLabel(const std::vector<std::string>& names, std::size_t i,
+                          int rank) {
+  return "tier=\"" + EscapeLabelValue(TierLabel(names, i)) + "\"," +
+         RankLabel(rank);
+}
+
+void AppendRankSampleJson(std::string& out, const RankSample& rs,
+                          const std::vector<std::string>& tier_names) {
+  AppendF(out, "{\"rank\":%d,\"state_occupancy\":[", rs.rank);
+  for (std::size_t i = 0; i < rs.state_occupancy.size(); ++i) {
+    if (i) out += ',';
+    AppendF(out, "%" PRIu64, rs.state_occupancy[i]);
+  }
+  AppendF(out,
+          "],\"last_transition_ns\":%" PRId64 ",\"restore_queue_depth\":%" PRIu64
+          ",\"reserve_rounds\":%" PRIu64 ",\"reserve_plans_stale\":%" PRIu64
+          ",\"flush_retries\":%" PRIu64 ",\"fetch_retries\":%" PRIu64
+          ",\"tier_degradations\":%" PRIu64 ",\"checkpoints_lost\":%" PRIu64
+          ",\"checkpoints\":%" PRIu64 ",\"restores\":%" PRIu64
+          ",\"bytes_checkpointed\":%" PRIu64 ",\"bytes_restored\":%" PRIu64
+          ",\"watchdog_stalls\":%" PRIu64 ",\"restore_Bps\":",
+          rs.last_transition_ns, rs.restore_queue_depth, rs.reserve_rounds,
+          rs.reserve_plans_stale, rs.flush_retries, rs.fetch_retries,
+          rs.tier_degradations, rs.checkpoints_lost, rs.checkpoints,
+          rs.restores, rs.bytes_checkpointed, rs.bytes_restored,
+          rs.watchdog_stalls);
+  AppendNum(out, rs.restore_Bps);
+  out += ",\"tiers\":[";
+  for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+    const TierSample& t = rs.tiers[i];
+    if (i) out += ',';
+    out += "{\"name\":\"" + util::json::Escape(TierLabel(tier_names, i)) + "\"";
+    AppendF(out,
+            ",\"bytes_used\":%" PRIu64 ",\"bytes_capacity\":%" PRIu64
+            ",\"flush_queue_depth\":%" PRIu64 ",\"flush_bytes\":%" PRIu64
+            ",\"restores\":%" PRIu64 ",\"flush_Bps\":",
+            t.bytes_used, t.bytes_capacity, t.flush_queue_depth, t.flush_bytes,
+            t.restores);
+    AppendNum(out, t.flush_Bps);
+    out += '}';
+  }
+  out += "]}";
+}
+
+/// One rank's (or the merged) critical-path entry.
+void AppendCriticalPathEntry(std::string& out, const RankMetrics& m,
+                             double wall_s,
+                             const std::vector<std::string>& tier_names) {
+  const double ckpt_s = m.ckpt_block_s.Sum();
+  const double restore_s = m.restore_block_s.Sum();
+  const double blocked_s = ckpt_s + restore_s + m.wait_for_flush_s;
+  const double compute_s = std::max(0.0, wall_s - blocked_s);
+  out += "{\"wall_s\":";
+  AppendNum(out, wall_s);
+  out += ",\"compute_s\":";
+  AppendNum(out, compute_s);
+  out += ",\"ckpt_block_s\":";
+  AppendNum(out, ckpt_s);
+  out += ",\"restore_block_s\":";
+  AppendNum(out, restore_s);
+  out += ",\"wait_for_flush_s\":";
+  AppendNum(out, m.wait_for_flush_s);
+  out += ",\"reserve_wait_write_s\":";
+  AppendNum(out, m.reserve_wait_write_s);
+  out += ",\"reserve_wait_prefetch_s\":";
+  AppendNum(out, m.reserve_wait_prefetch_s);
+  out += ",\"prefetch_promote_s\":";
+  AppendNum(out, m.promotion_hist.sum());
+  out += ",\"blocked_frac\":";
+  AppendNum(out, wall_s > 0 ? blocked_s / wall_s : 0.0);
+  out += ",\"flush_stage_s\":{";
+  for (std::size_t i = 0; i < m.flush_stage_hist.size(); ++i) {
+    if (i) out += ',';
+    out += "\"" + util::json::Escape(TierLabel(tier_names, i)) + "\":";
+    AppendNum(out, m.flush_stage_hist[i].sum());
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::vector<std::string> TelemetryTierNames(const Engine& engine) {
+  const TierStack& stack = engine.tiers();
+  std::vector<std::string> names;
+  names.reserve(stack.size());
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    names.emplace_back(stack.name(i));
+  }
+  return names;
+}
+
+SamplePtr BuildTelemetrySample(const Engine& engine, std::uint64_t seq,
+                               const TelemetrySample* prev) {
+  auto s = std::make_shared<TelemetrySample>();
+  s->ts_ns = util::trace::Now();
+  s->seq = seq;
+  double dt_s = 0.0;
+  if (prev != nullptr && s->ts_ns > prev->ts_ns) {
+    dt_s = static_cast<double>(s->ts_ns - prev->ts_ns) / 1e9;
+  }
+  const auto rate = [dt_s](std::uint64_t cur, std::uint64_t before) {
+    if (dt_s <= 0.0 || cur <= before) return 0.0;
+    return static_cast<double>(cur - before) / dt_s;
+  };
+  const int nr = engine.num_ranks();
+  s->ranks.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    Engine::RankProbe p = engine.Probe(r);
+    const RankSample* prev_rank =
+        prev != nullptr && static_cast<std::size_t>(r) < prev->ranks.size()
+            ? &prev->ranks[static_cast<std::size_t>(r)]
+            : nullptr;
+    RankSample rs;
+    rs.rank = r;
+    rs.state_occupancy = std::move(p.state_occupancy);
+    rs.last_transition_ns = p.last_transition_ns;
+    rs.restore_queue_depth = p.restore_queue_depth;
+    rs.reserve_rounds = p.reserve_rounds;
+    rs.reserve_plans_stale = p.reserve_plans_stale;
+    rs.flush_retries = p.flush_retries;
+    rs.fetch_retries = p.fetch_retries;
+    rs.tier_degradations = p.tier_degradations;
+    rs.checkpoints_lost = p.checkpoints_lost;
+    rs.checkpoints = p.checkpoints;
+    rs.restores = p.restores;
+    rs.bytes_checkpointed = p.bytes_checkpointed;
+    rs.bytes_restored = p.bytes_restored;
+    rs.watchdog_stalls = p.watchdog_stalls;
+    if (prev_rank != nullptr) {
+      rs.restore_Bps = rate(rs.bytes_restored, prev_rank->bytes_restored);
+    }
+    rs.tiers.resize(p.tiers.size());
+    for (std::size_t i = 0; i < p.tiers.size(); ++i) {
+      TierSample& t = rs.tiers[i];
+      t.bytes_used = p.tiers[i].bytes_used;
+      t.bytes_capacity = p.tiers[i].bytes_capacity;
+      t.flush_queue_depth = p.tiers[i].flush_queue_depth;
+      t.flush_bytes = p.tiers[i].flush_bytes;
+      t.restores = p.tiers[i].restores;
+      if (prev_rank != nullptr && i < prev_rank->tiers.size()) {
+        t.flush_Bps = rate(t.flush_bytes, prev_rank->tiers[i].flush_bytes);
+      }
+    }
+    s->ranks.push_back(std::move(rs));
+  }
+  return s;
+}
+
+std::string OpenMetricsText(const TelemetrySample& s,
+                            const std::vector<std::string>& tier_names) {
+  std::string out;
+  out.reserve(8192);
+  Exposer x{out};
+
+  x.Gauge("ckpt_telemetry_sample_seq", "Sample index since sampler start.");
+  x.SampleU64("ckpt_telemetry_sample_seq", "", s.seq);
+
+  x.Gauge("ckpt_tier_bytes_used", "Cache bytes resident per tier.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      if (rs.tiers[i].bytes_capacity == 0) continue;  // durable tiers
+      x.SampleU64("ckpt_tier_bytes_used", TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].bytes_used);
+    }
+  }
+  x.Gauge("ckpt_tier_bytes_capacity", "Cache capacity per tier.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      if (rs.tiers[i].bytes_capacity == 0) continue;
+      x.SampleU64("ckpt_tier_bytes_capacity",
+                  TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].bytes_capacity);
+    }
+  }
+  x.Gauge("ckpt_flush_queue_depth",
+          "Flush work queued or in flight per cache tier.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      if (rs.tiers[i].bytes_capacity == 0) continue;
+      x.SampleU64("ckpt_flush_queue_depth",
+                  TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].flush_queue_depth);
+    }
+  }
+  x.Gauge("ckpt_restore_queue_depth", "Pending restore-order hints.");
+  for (const RankSample& rs : s.ranks) {
+    x.SampleU64("ckpt_restore_queue_depth", RankLabel(rs.rank),
+                rs.restore_queue_depth);
+  }
+  x.Gauge("ckpt_state_occupancy", "Checkpoint records per FSM state.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.state_occupancy.size(); ++i) {
+      const std::string state(to_string(static_cast<CkptState>(i)));
+      x.SampleU64("ckpt_state_occupancy",
+                  "state=\"" + EscapeLabelValue(state) + "\"," +
+                      RankLabel(rs.rank),
+                  rs.state_occupancy[i]);
+    }
+  }
+  x.Gauge("ckpt_tier_flush_bps",
+          "Bytes/s landed on each tier over the last sampling window.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      x.SampleF64("ckpt_tier_flush_bps", TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].flush_Bps);
+    }
+  }
+  x.Gauge("ckpt_restore_bps",
+          "Bytes/s restored over the last sampling window.");
+  for (const RankSample& rs : s.ranks) {
+    x.SampleF64("ckpt_restore_bps", RankLabel(rs.rank), rs.restore_Bps);
+  }
+
+  struct CounterSpec {
+    const char* family;
+    const char* help;
+    std::uint64_t RankSample::* field;
+  };
+  static constexpr CounterSpec kRankCounters[] = {
+      {"ckpt_checkpoints", "Checkpoints accepted.", &RankSample::checkpoints},
+      {"ckpt_restores", "Restores served.", &RankSample::restores},
+      {"ckpt_bytes_checkpointed", "Bytes accepted by Checkpoint().",
+       &RankSample::bytes_checkpointed},
+      {"ckpt_bytes_restored", "Bytes returned by Restore().",
+       &RankSample::bytes_restored},
+      {"ckpt_reserve_rounds", "Eviction plan/commit rounds.",
+       &RankSample::reserve_rounds},
+      {"ckpt_reserve_plans_stale", "Off-lock eviction plans gone stale.",
+       &RankSample::reserve_plans_stale},
+      {"ckpt_flush_retries", "Extra durable-store write attempts.",
+       &RankSample::flush_retries},
+      {"ckpt_fetch_retries", "Extra durable-store read attempts.",
+       &RankSample::fetch_retries},
+      {"ckpt_tier_degradations",
+       "Checkpoints durable at a shallower tier than configured.",
+       &RankSample::tier_degradations},
+      {"ckpt_checkpoints_lost", "Checkpoints that entered FLUSH_FAILED.",
+       &RankSample::checkpoints_lost},
+      {"ckpt_watchdog_stalls", "Stalls detected by the telemetry watchdog.",
+       &RankSample::watchdog_stalls},
+  };
+  for (const CounterSpec& c : kRankCounters) {
+    x.Counter(c.family, c.help);
+    const std::string sample_name = std::string(c.family) + "_total";
+    for (const RankSample& rs : s.ranks) {
+      x.SampleU64(sample_name, RankLabel(rs.rank), rs.*(c.field));
+    }
+  }
+  x.Counter("ckpt_tier_flush_bytes", "Cumulative bytes landed on each tier.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      x.SampleU64("ckpt_tier_flush_bytes_total",
+                  TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].flush_bytes);
+    }
+  }
+  x.Counter("ckpt_tier_restores", "Restores served from each tier.");
+  for (const RankSample& rs : s.ranks) {
+    for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
+      x.SampleU64("ckpt_tier_restores_total",
+                  TierRankLabel(tier_names, i, rs.rank),
+                  rs.tiers[i].restores);
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string OpenMetricsText(const Engine& engine) {
+  const SamplePtr s = BuildTelemetrySample(engine, 0, nullptr);
+  return OpenMetricsText(*s, TelemetryTierNames(engine));
+}
+
+std::string TelemetryWindowJson(const util::telemetry::SampleRing& ring,
+                                const std::vector<std::string>& tier_names) {
+  const std::vector<SamplePtr> window = ring.Window();
+  std::string out;
+  out.reserve(window.size() * 512 + 256);
+  AppendF(out, "{\"capacity\":%zu,\"total\":%" PRIu64 ",\"samples\":[",
+          ring.capacity(), ring.total());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const TelemetrySample& s = *window[i];
+    if (i) out += ',';
+    AppendF(out, "{\"ts_ns\":%" PRId64 ",\"seq\":%" PRIu64 ",\"ranks\":[",
+            s.ts_ns, s.seq);
+    for (std::size_t r = 0; r < s.ranks.size(); ++r) {
+      if (r) out += ',';
+      AppendRankSampleJson(out, s.ranks[r], tier_names);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string CriticalPathJson(const Engine& engine, double wall_s) {
+  const std::vector<std::string> tier_names = TelemetryTierNames(engine);
+  std::string out;
+  out.reserve(2048);
+  out += "{\"wall_s\":";
+  AppendNum(out, wall_s);
+  out += ",\"ranks\":[";
+  RankMetrics merged;
+  for (int r = 0; r < engine.num_ranks(); ++r) {
+    const RankMetrics m = engine.MetricsSnapshot(r);
+    if (r) out += ',';
+    AppendF(out, "{\"rank\":%d,\"breakdown\":", r);
+    AppendCriticalPathEntry(out, m, wall_s, tier_names);
+    out += '}';
+    merged.Merge(m);
+  }
+  out += "],\"merged\":";
+  // The merged wall budget is one wall clock per rank.
+  AppendCriticalPathEntry(out, merged, wall_s * engine.num_ranks(), tier_names);
+  out += '}';
+  return out;
+}
+
+TelemetryCheck ValidateOpenMetrics(std::string_view text) {
+  TelemetryCheck ck;
+  const auto fail = [&ck](std::size_t lineno, std::string msg) {
+    ck.error = "line " + std::to_string(lineno) + ": " + std::move(msg);
+    return ck;
+  };
+  std::set<std::string> families_with_samples;
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  bool after_eof = false;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++lineno;
+    if (after_eof) return fail(lineno, "content after # EOF");
+    if (line.empty()) return fail(lineno, "blank line");
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        ck.eof = true;
+        after_eof = true;
+        continue;
+      }
+      const bool is_help = line.rfind("# HELP ", 0) == 0;
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      if (!is_help && !is_type) {
+        return fail(lineno, "unrecognized comment line (expect HELP/TYPE/EOF)");
+      }
+      const std::string_view rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string_view::npos || sp == 0 || sp + 1 >= rest.size()) {
+        return fail(lineno, "malformed HELP/TYPE line");
+      }
+      const std::string name(rest.substr(0, sp));
+      if (!ValidMetricName(name)) {
+        return fail(lineno, "invalid metric name '" + name + "'");
+      }
+      if (is_type) {
+        const std::string type(rest.substr(sp + 1));
+        if (type != "gauge" && type != "counter" && type != "info" &&
+            type != "histogram" && type != "summary" && type != "unknown") {
+          return fail(lineno, "unknown metric type '" + type + "'");
+        }
+        if (!ck.family_type.emplace(name, type).second) {
+          return fail(lineno, "duplicate TYPE for family '" + name + "'");
+        }
+        if (families_with_samples.count(name) != 0) {
+          return fail(lineno, "TYPE for '" + name + "' after its samples");
+        }
+        ++ck.families;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!ValidMetricName(name)) {
+      return fail(lineno, "invalid sample metric name '" + name + "'");
+    }
+    std::string family = name;
+    auto ft = ck.family_type.find(family);
+    if (ft == ck.family_type.end() && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, "_total") == 0) {
+      family = name.substr(0, name.size() - 6);
+      ft = ck.family_type.find(family);
+    }
+    if (ft == ck.family_type.end()) {
+      return fail(lineno, "sample for undeclared family '" + name + "'");
+    }
+    if (ft->second == "counter" && name == family) {
+      return fail(lineno, "counter sample '" + name + "' missing _total");
+    }
+    if (ft->second != "counter" && name != family) {
+      return fail(lineno,
+                  "non-counter sample '" + name + "' uses _total suffix");
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;  // consume '{'
+      bool first = true;
+      while (true) {
+        if (i >= line.size()) return fail(lineno, "unterminated label block");
+        if (line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (!first) {
+          if (line[i] != ',') return fail(lineno, "expected ',' in labels");
+          ++i;
+        }
+        first = false;
+        std::size_t eq = i;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        if (eq >= line.size()) return fail(lineno, "label missing '='");
+        const std::string lname(line.substr(i, eq - i));
+        if (!ValidLabelName(lname)) {
+          return fail(lineno, "invalid label name '" + lname + "'");
+        }
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          return fail(lineno, "label value must be quoted");
+        }
+        ++i;
+        bool closed = false;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) {
+              return fail(lineno, "dangling escape in label value");
+            }
+            const char e = line[i + 1];
+            if (e != '\\' && e != '"' && e != 'n') {
+              return fail(lineno, std::string("illegal escape '\\") + e +
+                                      "' in label value");
+            }
+            i += 2;
+            continue;
+          }
+          if (line[i] == '"') {
+            closed = true;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        if (!closed) return fail(lineno, "unterminated label value");
+      }
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(lineno, "sample '" + name + "' missing value separator");
+    }
+    const std::string key(line.substr(0, i));
+    const std::string value_str(line.substr(i + 1));
+    if (value_str.empty() || value_str.find(' ') != std::string::npos) {
+      return fail(lineno, "sample '" + name + "' has malformed value field");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(value_str.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return fail(lineno, "sample '" + name + "' value not a finite number");
+    }
+    if (ft->second == "counter" && v < 0) {
+      return fail(lineno, "counter '" + name + "' is negative");
+    }
+    if (!ck.values.emplace(key, v).second) {
+      return fail(lineno, "duplicate sample '" + key + "'");
+    }
+    families_with_samples.insert(family);
+    ++ck.samples;
+  }
+  if (!ck.eof) {
+    ck.error = "payload does not end with # EOF";
+    return ck;
+  }
+  if (ck.samples == 0) {
+    ck.error = "payload contains no samples";
+    return ck;
+  }
+  ck.ok = true;
+  return ck;
+}
+
+util::Status CheckCounterMonotonic(const TelemetryCheck& prev,
+                                   const TelemetryCheck& cur) {
+  for (const auto& [key, prev_v] : prev.values) {
+    const std::size_t brace = key.find('{');
+    const std::string name =
+        brace == std::string::npos ? key : key.substr(0, brace);
+    if (name.size() <= 6 || name.compare(name.size() - 6, 6, "_total") != 0) {
+      continue;
+    }
+    const std::string family = name.substr(0, name.size() - 6);
+    const auto ft = prev.family_type.find(family);
+    if (ft == prev.family_type.end() || ft->second != "counter") continue;
+    const auto it = cur.values.find(key);
+    if (it == cur.values.end()) {
+      return util::InvalidArgument("counter disappeared between scrapes: " +
+                                   key);
+    }
+    if (it->second < prev_v) {
+      return util::InvalidArgument(
+          "counter went backwards: " + key + " " + std::to_string(prev_v) +
+          " -> " + std::to_string(it->second));
+    }
+  }
+  return util::OkStatus();
+}
+
+}  // namespace ckpt::core

@@ -253,6 +253,12 @@ std::string MetricsJson(const RankMetrics& m,
           ",\"fetch_fallbacks\":%" PRIu64 ",\"checkpoints_lost\":%" PRIu64,
           m.flush_retries, m.flush_failures, m.tier_degradations,
           m.fetch_retries, m.fetch_fallbacks, m.checkpoints_lost);
+  AppendF(out,
+          ",\"watchdog_stalls\":%" PRIu64 ",\"watchdog_fsm_stalls\":%" PRIu64
+          ",\"watchdog_flush_stalls\":%" PRIu64
+          ",\"watchdog_reserve_stalls\":%" PRIu64,
+          m.watchdog_stalls, m.watchdog_fsm_stalls, m.watchdog_flush_stalls,
+          m.watchdog_reserve_stalls);
   out += ",\"init_s\":";
   AppendNum(out, m.init_s);
   out += ",";
@@ -347,6 +353,10 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
   // Per-track last-seen begin timestamp for the monotonicity check.
   std::map<std::pair<int, std::uint64_t>, double> last_ts;
   std::set<std::pair<int, std::uint64_t>> tracks;
+  // Per-track rollups for --summary; names come from thread_name metadata,
+  // kept separate so metadata-only tracks don't show up in the stats.
+  std::map<std::pair<int, std::uint64_t>, TraceCheck::TrackStats> stats;
+  std::map<std::pair<int, std::uint64_t>, std::string> track_names;
   for (const auto& ev : events->as_array()) {
     if (!ev.is_object()) {
       check.error = "traceEvents element is not an object";
@@ -359,7 +369,20 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
       check.error = "event missing ph/name";
       return check;
     }
-    if (ph->as_string() == "M") continue;  // metadata carries no timestamp
+    const int pid = static_cast<int>(
+        ev.Find("pid") != nullptr ? ev.Find("pid")->as_number() : 0);
+    const auto tid = static_cast<std::uint64_t>(
+        ev.Find("tid") != nullptr ? ev.Find("tid")->as_number() : 0);
+    const auto key = std::make_pair(pid, tid);
+    if (ph->as_string() == "M") {  // metadata carries no timestamp
+      if (name->as_string() == "thread_name") {
+        const util::json::Value* args = ev.Find("args");
+        const util::json::Value* nm =
+            args != nullptr ? args->Find("name") : nullptr;
+        if (nm != nullptr && nm->is_string()) track_names[key] = nm->as_string();
+      }
+      continue;
+    }
     const util::json::Value* ts = ev.Find("ts");
     if (ts == nullptr || !ts->is_number()) {
       check.error = "event '" + name->as_string() + "' missing ts";
@@ -371,12 +394,9 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
       check.error = "event '" + name->as_string() + "' has negative ts";
       return check;
     }
-    const int pid = static_cast<int>(
-        ev.Find("pid") != nullptr ? ev.Find("pid")->as_number() : 0);
-    const auto tid = static_cast<std::uint64_t>(
-        ev.Find("tid") != nullptr ? ev.Find("tid")->as_number() : 0);
-    const auto key = std::make_pair(pid, tid);
     tracks.insert(key);
+    TraceCheck::TrackStats& track = stats[key];
+    ++track.events;
     auto [it, inserted] = last_ts.try_emplace(key, ts->as_number());
     if (!inserted) {
       if (ts->as_number() < it->second) {
@@ -397,11 +417,23 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
       }
       ++check.spans;
       ++check.spans_per_category[cat];
+      ++track.spans;
+      track.total_dur_us += dur->as_number();
+      track.max_dur_us = std::max(track.max_dur_us, dur->as_number());
     } else if (ph->as_string() == "i") {
       ++check.instants;
     }
   }
   check.tracks = tracks.size();
+  check.track_stats.reserve(stats.size());
+  for (auto& [key, track] : stats) {
+    track.pid = key.first;
+    track.tid = key.second;
+    if (auto nit = track_names.find(key); nit != track_names.end()) {
+      track.name = nit->second;
+    }
+    check.track_stats.push_back(std::move(track));
+  }
   if (check.events == 0) {
     check.error = "trace contains no events";
     return check;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -53,6 +54,19 @@ struct TraceCheck {
   std::size_t tracks = 0;            ///< distinct (pid, tid) pairs
   /// Complete-span count per category ("lifecycle", "flush", ...).
   std::map<std::string, std::size_t> spans_per_category;
+
+  /// Per-track rollup backing `trace_check --summary`.
+  struct TrackStats {
+    int pid = 0;
+    std::uint64_t tid = 0;
+    std::string name;           ///< thread_name metadata when present
+    std::size_t events = 0;     ///< non-metadata events on the track
+    std::size_t spans = 0;
+    double total_dur_us = 0.0;  ///< sum of span durations on the track
+    double max_dur_us = 0.0;    ///< longest single span on the track
+  };
+  /// One entry per track, ordered by (pid, tid).
+  std::vector<TrackStats> track_stats;
 
   [[nodiscard]] std::size_t spans_in(std::string_view cat) const {
     auto it = spans_per_category.find(std::string(cat));

@@ -1,9 +1,13 @@
 #include "harness/experiment.hpp"
 
 #include <cstdio>
+#include <fstream>
 
+#include "core/telemetry_sampler.hpp"
+#include "core/telemetry_sink.hpp"
 #include "core/trace_sink.hpp"
 #include "util/config.hpp"
+#include "util/telemetry.hpp"
 
 namespace ckpt::harness {
 
@@ -104,15 +108,56 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
     }
   }
 
+  // Live telemetry: sample the Score engine's probe cells in the background
+  // for the duration of the shot. Baselines expose no probes.
+  auto* engine = dynamic_cast<core::Engine*>(runtime.get());
+  std::unique_ptr<core::TelemetrySampler> sampler;
+  if (engine != nullptr && util::telemetry::enabled()) {
+    sampler = std::make_unique<core::TelemetrySampler>(
+        *engine, core::TelemetrySampler::Options::FromGlobalConfig());
+  }
+
   auto shot = rtm::RunShot(cluster, *runtime, cfg.shot, cfg.num_ranks);
+  // Stop sampling before teardown: the final tick closes the window while
+  // the flush workers and probe cells are still alive.
+  if (sampler != nullptr) sampler->Stop();
   runtime->Shutdown();
   if (!shot.ok()) return shot.status();
 
   ExperimentResult result;
   // Snapshot the Score engine's metrics after the workers drain, while the
   // runtime is still alive. Baselines expose no RankMetrics.
-  if (const auto* engine = dynamic_cast<const core::Engine*>(runtime.get())) {
+  if (engine != nullptr) {
     result.metrics_json = core::MetricsSnapshotJson(*engine);
+    result.critical_path_json = core::CriticalPathJson(*engine, shot->wall_s);
+  }
+  if (sampler != nullptr) {
+    result.openmetrics_text = sampler->ScrapeOpenMetrics();
+    result.watchdog_stalls = sampler->stalls_detected();
+    // Healthy-run exposition: when an output prefix is configured and the
+    // flight recorder did not already claim these names for the stall-time
+    // snapshot, drop the end-of-run scrape + window there for scraping by
+    // telemetry_check.
+    const std::string& prefix = sampler->options().out_path;
+    if (!prefix.empty() && !sampler->flight_dumped()) {
+      const auto write = [](const std::string& path, const std::string& body) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (f) f.write(body.data(), static_cast<std::streamsize>(body.size()));
+        if (!f) {
+          std::fprintf(stderr, "harness: failed to write telemetry to '%s'\n",
+                       path.c_str());
+        }
+      };
+      write(prefix + ".openmetrics.txt", result.openmetrics_text);
+      write(prefix + ".window.json",
+            core::TelemetryWindowJson(sampler->ring(),
+                                      core::TelemetryTierNames(*engine)));
+    }
+    if (sampler->strict_tripped()) {
+      return util::IoError("telemetry watchdog detected " +
+                           std::to_string(result.watchdog_stalls) +
+                           " stall(s) in strict mode");
+    }
   }
   result.shot = std::move(*shot);
   result.config_name = ConfigName(cfg.approach, cfg.shot.hint_mode);

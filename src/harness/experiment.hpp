@@ -88,6 +88,15 @@ struct ExperimentResult {
   /// shot; empty for the baseline runtimes. Embedded verbatim in the bench
   /// run reports (CKPT_BENCH_REPORT).
   std::string metrics_json;
+  /// Critical-path attribution (core::CriticalPathJson): the shot's wall
+  /// time split into checkpoint / restore / blocked / compute per rank.
+  /// Score engine only; embedded in the bench run reports.
+  std::string critical_path_json;
+  /// Final OpenMetrics scrape from the live-telemetry sampler; empty unless
+  /// telemetry is enabled (CKPT_TELEMETRY=1 or util::telemetry::Configure).
+  std::string openmetrics_text;
+  /// Stalls the telemetry watchdog detected during the shot (0 = healthy).
+  std::uint64_t watchdog_stalls = 0;
 };
 
 /// Builds the stack and runs one shot. Deterministic modulo thread timing.

@@ -20,7 +20,10 @@ constexpr std::size_t kMinCapacity = 64;
 
 /// One thread's ring buffer. Lives in the registry as a shared_ptr so the
 /// events survive the writer thread's exit; the writer holds a second
-/// reference through its thread_local slot.
+/// reference through its thread_local slot. A thread keeps its buffer for
+/// its whole lifetime — ResetBuffers() clears contents in place instead of
+/// dropping registrations, so a writer can never race into a buffer the
+/// registry no longer knows about.
 struct TraceBuffer {
   explicit TraceBuffer(std::uint64_t id_, std::size_t cap, std::string name)
       : id(id_), thread_name(std::move(name)) {
@@ -29,22 +32,54 @@ struct TraceBuffer {
 
   void Push(const Event& e) {
     std::lock_guard lk(mu);
-    ring[total % ring.size()] = e;
-    ++total;
+    const std::size_t cap = ring.size();
+    if (count < cap) {
+      ring[(start + count) % cap] = e;
+      ++count;
+    } else {
+      ring[start] = e;
+      start = (start + 1) % cap;
+      ++dropped;
+    }
+  }
+
+  /// Clears events and drop accounting; keeps the registration and name.
+  void Clear() {
+    std::lock_guard lk(mu);
+    start = 0;
+    count = 0;
+    dropped = 0;
+  }
+
+  /// Rebuilds the ring at `cap` slots, keeping the newest events that fit.
+  void Resize(std::size_t cap) {
+    std::lock_guard lk(mu);
+    cap = std::max(cap, kMinCapacity);
+    if (cap == ring.size()) return;
+    std::vector<Event> fresh(cap);
+    const std::size_t keep = std::min(count, cap);
+    for (std::size_t i = 0; i < keep; ++i) {
+      fresh[i] = ring[(start + (count - keep) + i) % ring.size()];
+    }
+    dropped += count - keep;
+    ring.swap(fresh);
+    start = 0;
+    count = keep;
   }
 
   const std::uint64_t id;
   std::mutex mu;  // leaf lock: never acquired while holding another lock here
   std::string thread_name;        // guarded by mu
   std::vector<Event> ring;        // guarded by mu
-  std::uint64_t total = 0;        // events ever pushed; guarded by mu
+  std::size_t start = 0;          // index of oldest event; guarded by mu
+  std::size_t count = 0;          // live events; guarded by mu
+  std::uint64_t dropped = 0;      // events overwritten/discarded; guarded by mu
 };
 
 struct Registry {
   std::mutex mu;
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
   std::uint64_t next_id = 1;
-  std::atomic<std::uint64_t> epoch{1};  // bumped by ResetBuffers
   std::size_t capacity = kDefaultCapacity;
   std::string out_path;
 };
@@ -115,13 +150,13 @@ void EnvSeedOnce() {
 /// initialization (idempotent with the lazy calls).
 [[maybe_unused]] const bool g_env_seeded_at_startup = (EnvSeedOnce(), true);
 
-/// Per-thread slot: a reference to this thread's buffer plus the epoch it
-/// was registered under. On epoch change (ResetBuffers) the slot lazily
-/// re-registers, and a pending thread name survives the reset.
+/// Per-thread slot: a reference to this thread's buffer. The reference is
+/// permanent once registered — ResetBuffers() clears contents rather than
+/// invalidating registrations, so there is no re-registration epoch to
+/// race against.
 struct ThreadSlot {
   std::shared_ptr<TraceBuffer> buffer;
-  std::uint64_t epoch = 0;
-  std::string name;  // sticky label, re-applied on re-registration
+  std::string name;  // sticky label, applied at registration
 };
 
 ThreadSlot& thread_slot() {
@@ -132,22 +167,17 @@ ThreadSlot& thread_slot() {
 TraceBuffer& CurrentBuffer() {
   EnvSeedOnce();
   ThreadSlot& slot = thread_slot();
+  // Fast path without the registry lock: the slot's buffer stays registered
+  // for the thread's lifetime, so the reference can never be stale.
+  if (slot.buffer != nullptr) return *slot.buffer;
   auto& r = registry();
-  // Fast path without the registry lock: a stale epoch read at worst lets
-  // one event land in a buffer ResetBuffers() just dropped, which is the
-  // documented reset semantics anyway.
-  if (slot.buffer != nullptr &&
-      slot.epoch == r.epoch.load(std::memory_order_acquire)) {
-    return *slot.buffer;
-  }
   std::lock_guard lk(r.mu);
+  const std::uint64_t id = r.next_id++;
   auto buf = std::make_shared<TraceBuffer>(
-      r.next_id++, r.capacity,
-      slot.name.empty() ? "thread-" + std::to_string(r.next_id - 1)
-                        : slot.name);
+      id, r.capacity,
+      slot.name.empty() ? "thread-" + std::to_string(id) : slot.name);
   r.buffers.push_back(buf);
   slot.buffer = std::move(buf);
-  slot.epoch = r.epoch.load(std::memory_order_relaxed);
   return *slot.buffer;
 }
 
@@ -159,13 +189,27 @@ std::atomic<bool> g_enabled{false};
 }  // namespace detail
 #endif
 
+namespace {
+
+/// Applies a new per-thread ring capacity to future and already-registered
+/// buffers (registrations are permanent, so a capacity change must reach
+/// live rings in place).
+void SetCapacity(std::size_t cap) {
+  auto& r = registry();
+  std::lock_guard lk(r.mu);
+  r.capacity = cap;
+  for (const auto& b : r.buffers) b->Resize(cap);
+}
+
+}  // namespace
+
 void Configure(bool on, std::size_t cap, std::string out) {
   EnvSeedOnce();
   auto& r = registry();
-  {
+  if (cap > 0) SetCapacity(cap);
+  if (!out.empty()) {
     std::lock_guard lk(r.mu);
-    if (cap > 0) r.capacity = cap;
-    if (!out.empty()) r.out_path = std::move(out);
+    r.out_path = std::move(out);
   }
 #ifndef CKPT_TRACE_DISABLED
   detail::g_enabled.store(on, std::memory_order_relaxed);
@@ -176,11 +220,7 @@ void Configure(bool on, std::size_t cap, std::string out) {
 
 void Enable(std::size_t cap) {
   EnvSeedOnce();
-  if (cap > 0) {
-    auto& r = registry();
-    std::lock_guard lk(r.mu);
-    r.capacity = cap;
-  }
+  if (cap > 0) SetCapacity(cap);
 #ifndef CKPT_TRACE_DISABLED
   detail::g_enabled.store(true, std::memory_order_relaxed);
 #endif
@@ -248,17 +288,14 @@ TraceSnapshot Collect() {
   for (const auto& b : bufs) {
     ThreadEvents te;
     std::lock_guard lk(b->mu);
+    if (b->count == 0) continue;  // e.g. cleared by ResetBuffers, or idle
     te.buffer_id = b->id;
     te.thread_name = b->thread_name;
-    const std::size_t cap = b->ring.size();
-    const std::size_t n = static_cast<std::size_t>(
-        std::min<std::uint64_t>(b->total, cap));
-    te.dropped = b->total - n;
-    te.events.reserve(n);
+    te.dropped = b->dropped;
+    te.events.reserve(b->count);
     // Oldest surviving event first.
-    const std::uint64_t start = b->total - n;
-    for (std::uint64_t i = start; i < b->total; ++i) {
-      te.events.push_back(b->ring[i % cap]);
+    for (std::size_t i = 0; i < b->count; ++i) {
+      te.events.push_back(b->ring[(b->start + i) % b->ring.size()]);
     }
     snap.threads.push_back(std::move(te));
   }
@@ -268,8 +305,13 @@ TraceSnapshot Collect() {
 void ResetBuffers() {
   auto& r = registry();
   std::lock_guard lk(r.mu);
-  r.buffers.clear();
-  r.epoch.fetch_add(1, std::memory_order_release);
+  for (const auto& b : r.buffers) b->Clear();
+  // Prune buffers whose writer thread has exited (the registry holds the
+  // only remaining reference); live threads keep their registration so
+  // concurrent emission stays collectable.
+  std::erase_if(r.buffers, [](const std::shared_ptr<TraceBuffer>& b) {
+    return b.use_count() == 1;
+  });
 }
 
 }  // namespace ckpt::util::trace

@@ -42,6 +42,7 @@ enum class Kind : std::uint8_t {
   kEviction,       ///< eviction planner rounds and re-plan waits
   kRetry,          ///< retry storms, tier degradations, lost checkpoints
   kApp,            ///< application-observed blocking (Checkpoint/Restore)
+  kHealth,         ///< watchdog verdicts (stall detection, flight dumps)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Kind k) noexcept {
@@ -52,6 +53,7 @@ enum class Kind : std::uint8_t {
     case Kind::kEviction: return "eviction";
     case Kind::kRetry: return "retry";
     case Kind::kApp: return "app";
+    case Kind::kHealth: return "health";
   }
   return "?";
 }
@@ -221,13 +223,16 @@ struct TraceSnapshot {
 
 /// Copies every live buffer. Safe while writers are running (per-buffer
 /// mutex); events recorded concurrently with the collection may or may not
-/// be included.
+/// be included. Buffers that hold no events are omitted.
 [[nodiscard]] TraceSnapshot Collect();
 
-/// Drops every registered buffer and bumps the registration epoch, so
-/// threads (including the caller) lazily re-register on their next event.
-/// Does not change the enabled flag. Intended for tests and for separating
-/// back-to-back runs in one process.
+/// Clears every registered buffer in place (events and drop counts), and
+/// prunes buffers whose writer thread has exited. Live threads keep their
+/// buffer registered, so an event emitted concurrently with the reset lands
+/// either before the clear (discarded) or after it (kept) — never in an
+/// orphaned buffer invisible to later Collect() calls. Does not change the
+/// enabled flag. Intended for tests and for separating back-to-back runs in
+/// one process.
 void ResetBuffers();
 
 }  // namespace ckpt::util::trace

@@ -95,6 +95,40 @@ TEST_F(TraceIntegrationTest, WriteChromeTraceRoundTripsThroughDisk) {
   EXPECT_GT(check.spans, 0u);
 }
 
+TEST_F(TraceIntegrationTest, ValidatorAggregatesPerTrackStats) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  util::trace::Enable();
+  auto result = harness::RunExperiment(SmallTracedExperiment());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const TraceCheck check = ValidateChromeTrace(ChromeTraceJson());
+  ASSERT_TRUE(check.ok) << check.error;
+  ASSERT_FALSE(check.track_stats.empty());
+  EXPECT_EQ(check.track_stats.size(), check.tracks);
+  std::size_t events = 0, spans = 0;
+  bool saw_named_track = false;
+  for (std::size_t i = 0; i < check.track_stats.size(); ++i) {
+    const TraceCheck::TrackStats& t = check.track_stats[i];
+    EXPECT_GT(t.events, 0u);  // metadata-only tracks are excluded
+    EXPECT_LE(t.spans, t.events);
+    EXPECT_GE(t.total_dur_us, t.max_dur_us);
+    EXPECT_GE(t.max_dur_us, 0.0);
+    if (t.spans > 0) EXPECT_GT(t.max_dur_us, 0.0);
+    if (!t.name.empty()) saw_named_track = true;
+    if (i > 0) {  // ordered by (pid, tid) for stable --summary output
+      const TraceCheck::TrackStats& p = check.track_stats[i - 1];
+      EXPECT_TRUE(p.pid < t.pid || (p.pid == t.pid && p.tid < t.tid));
+    }
+    events += t.events;
+    spans += t.spans;
+  }
+  // Engine worker threads announce themselves via SetThreadName.
+  EXPECT_TRUE(saw_named_track);
+  // Per-track tallies partition the global ones.
+  EXPECT_EQ(events, check.events);
+  EXPECT_EQ(spans, check.spans);
+}
+
 TEST_F(TraceIntegrationTest, HarnessEmbedsParseableMetricsSnapshot) {
   // Metrics are recorded unconditionally, so this holds even in the
   // CKPT_TRACE_DISABLED build.

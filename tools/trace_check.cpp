@@ -1,12 +1,14 @@
 // trace_check: structural validator for emitted Chrome trace-event JSON.
 // Used by CI after a traced bench run and handy for eyeballing a dump:
 //
-//   trace_check trace.json [--require CAT ...]
+//   trace_check trace.json [--require CAT ...] [--summary]
 //
 // Exits 0 when the trace is well-formed, non-empty, per-track monotonic,
 // and contains at least one complete span for every --require'd category
-// (lifecycle, flush, prefetch, eviction, retry, app). Prints a summary
-// either way.
+// (lifecycle, flush, prefetch, eviction, retry, app, health). Prints the
+// per-category span counts either way; --summary adds a per-track table
+// (events, spans, total/max span duration) so a dump's thread balance is
+// visible without loading Perfetto.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,10 +21,11 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace.json> [--require CAT ...]\n"
-               "  CAT: lifecycle | flush | prefetch | eviction | retry | app\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json> [--require CAT ...] [--summary]\n"
+      "  CAT: lifecycle | flush | prefetch | eviction | retry | app | health\n",
+      argv0);
   return 2;
 }
 
@@ -32,9 +35,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string path = argv[1];
   std::vector<std::string> required;
+  bool summary = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
     } else {
       return Usage(argv[0]);
     }
@@ -55,6 +61,19 @@ int main(int argc, char** argv) {
               check.tracks);
   for (const auto& [cat, n] : check.spans_per_category) {
     std::printf("  %-10s %zu spans\n", cat.c_str(), n);
+  }
+  if (summary) {
+    std::printf("per-track summary:\n");
+    std::printf("  %-28s %8s %8s %14s %12s\n", "track", "events", "spans",
+                "total_dur_ms", "max_dur_ms");
+    for (const auto& t : check.track_stats) {
+      const std::string label =
+          t.name.empty() ? "pid " + std::to_string(t.pid) + " tid " +
+                               std::to_string(t.tid)
+                         : t.name;
+      std::printf("  %-28s %8zu %8zu %14.3f %12.3f\n", label.c_str(), t.events,
+                  t.spans, t.total_dur_us / 1e3, t.max_dur_us / 1e3);
+    }
   }
   if (!check.ok) {
     std::fprintf(stderr, "trace_check: INVALID: %s\n", check.error.c_str());
