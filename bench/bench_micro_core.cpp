@@ -153,6 +153,46 @@ void BM_EngineHotPath(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineHotPath)->UseRealTime();
 
+/// Reserve path with tenant quota admission armed: two tenants with
+/// asymmetric non-zero quotas (so every reservation pays the cross-rank
+/// TenantCacheUsed sum) churning one shared cache tier. Compare against
+/// BM_EngineHotPath in BENCH_hotpath.json — the quota check must stay in
+/// the noise.
+void BM_MultiTenantReserve(benchmark::State& state) {
+  constexpr std::uint64_t kSize = 64 << 10;
+  auto stack = core::ParseTierStack(
+      "gpu:gpucache:256Ki:score;ssd:durable:mem", "", {});
+  if (!stack.ok()) {
+    state.SkipWithError("ParseTierStack failed");
+    return;
+  }
+  auto tenants = core::ParseTenantSpecs("a:1Mi;b:1Mi:0.5");
+  if (!tenants.ok()) {
+    state.SkipWithError("ParseTenantSpecs failed");
+    return;
+  }
+  sim::Cluster cluster(sim::TopologyConfig::Testing());
+  core::EngineOptions opts;
+  opts.tenants = std::move(*tenants);
+  core::Engine engine(cluster, std::move(*stack), opts, 2);
+  auto buf_a = *cluster.device(0).Allocate(kSize);
+  auto buf_b = *cluster.device(1).Allocate(kSize);
+  core::Version v = 0;
+  for (auto _ : state) {
+    if (!engine.Checkpoint(0, v, buf_a, kSize).ok() ||
+        !engine.Checkpoint(1, v, buf_b, kSize).ok()) {
+      state.SkipWithError("checkpoint failed");
+      break;
+    }
+    ++v;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kSize));
+  (void)cluster.device(0).Free(buf_a);
+  (void)cluster.device(1).Free(buf_b);
+}
+BENCHMARK(BM_MultiTenantReserve)->UseRealTime();
+
 /// The lock-free hint path: PrefetchEnqueue must never take the rank mutex,
 /// so its latency should be queue-push + notify, independent of engine
 /// state. Fixed iteration count keeps the (append-only) hint queue bounded.

@@ -65,6 +65,14 @@ class VelocClient {
   [[nodiscard]] core::RankMetrics metrics() const {
     return engine_.metrics(rank_);
   }
+  /// Tenant owning this client's rank (kDefaultTenant in single-tenant mode).
+  [[nodiscard]] core::TenantId tenant() const noexcept {
+    return engine_.TenantOf(rank_);
+  }
+  /// Owning tenant's name; empty in single-tenant mode.
+  [[nodiscard]] std::string tenant_name() const {
+    return engine_.TenantLabelOf(rank_);
+  }
 
  private:
   struct Region {

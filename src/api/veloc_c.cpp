@@ -10,6 +10,7 @@
 #include "api/veloc.hpp"
 #include "core/engine.hpp"
 #include "core/telemetry_sampler.hpp"
+#include "core/tenant.hpp"
 #include "core/telemetry_sink.hpp"
 #include "core/tier_stack.hpp"
 #include "core/trace_sink.hpp"
@@ -136,6 +137,20 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
     opts.eviction = *kind;
   } else {
     return Fail(VELOCX_EINVAL, "unknown eviction policy '" + eviction + "'");
+  }
+  // Multi-tenant mode: a "tenants" key splits the ranks into contiguous
+  // per-job blocks over the shared stack (core/tenant.hpp grammar). Absent
+  // key = legacy single-tenant runtime.
+  if (cfg.Has("tenants")) {
+    auto specs = core::ParseTenantSpecs(cfg.GetString("tenants", ""));
+    if (!specs.ok()) return FromStatus(specs.status());
+    if (static_cast<int>(specs->size()) > num_ranks) {
+      return Fail(VELOCX_EINVAL,
+                  "tenants: " + std::to_string(specs->size()) +
+                      " tenants need at least as many ranks, have " +
+                      std::to_string(num_ranks));
+    }
+    opts.tenants = std::move(*specs);
   }
   // Tier layout: a "tiers" key describes an arbitrary N-tier stack
   // ("name:kind[:arg[:policy]],..." — see core/tier_stack.hpp); without it
@@ -345,6 +360,28 @@ int VELOCX_Prefetch_start(int rank) {
   }
   if (c == nullptr) return VELOCX_EINVAL;
   return FromStatus(c->PrefetchStart());
+}
+
+int VELOCX_Tenant_open(const char* name, int* out_id) {
+  if (name == nullptr || name[0] == '\0') {
+    return Fail(VELOCX_EINVAL, "null tenant name");
+  }
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  const core::TenantId id = g_ctx->engine->tenant_registry().FindByName(name);
+  if (id == core::kNoTenant) {
+    return Fail(VELOCX_ENOTFOUND,
+                "unknown tenant '" + std::string(name) + "'");
+  }
+  if (out_id != nullptr) *out_id = id;
+  t_error.clear();
+  return VELOCX_SUCCESS;
+}
+
+int VELOCX_Tenant_close(int tenant_id) {
+  std::lock_guard lock(g_mu);
+  if (!g_ctx) return Fail(VELOCX_ESHUTDOWN, "not initialized");
+  return FromStatus(g_ctx->engine->CloseTenant(tenant_id));
 }
 
 int VELOCX_Metrics_snapshot_json(const char* path) {

@@ -61,6 +61,25 @@ int VELOCX_Checkpoint_wait(int rank);
 int VELOCX_Prefetch_enqueue(int rank, uint64_t version);
 int VELOCX_Prefetch_start(int rank);
 
+/* Multi-tenant service mode. A `tenants` config key at Init carves the
+ * ranks into contiguous per-job blocks sharing one engine:
+ *
+ *   tenants = name ":" quota [":" weight] (";" ...)*
+ *   e.g.    tenants = rtm:24Mi;synth:8Mi:0.5
+ *
+ * quota caps the tenant's total cache bytes (0 = unlimited); weight scales
+ * its fair share of PCIe/NVMe bandwidth under contention. Without the key
+ * the runtime is single-tenant and behaves exactly as before. */
+
+/* Resolves the tenant named at Init to its id (for Tenant_close and
+ * metric correlation). VELOCX_ENOTFOUND for unknown names. */
+int VELOCX_Tenant_open(const char* name, int* out_id);
+
+/* Quiesces a tenant: waits for its in-flight flushes, then rejects new
+ * checkpoint/restore/prefetch calls on its ranks. Other tenants are
+ * unaffected. */
+int VELOCX_Tenant_close(int tenant_id);
+
 /* Observability. Tracing is configured through the Init config string
  * (trace = true, trace_out = /path/trace.json, trace_capacity = 16k) or the
  * CKPT_TRACE / CKPT_TRACE_OUT / CKPT_TRACE_CAPACITY environment knobs;

@@ -20,6 +20,10 @@ namespace trace = util::trace;
 
 constexpr auto kReplanMin = std::chrono::microseconds(100);
 constexpr auto kReplanMax = std::chrono::milliseconds(20);
+/// Bounded tenant-quota wait: after this many kReplanMax sleeps without
+/// headroom, ReserveOn returns kCapacityExceeded and the caller falls back
+/// to a deeper tier (DESIGN.md §12).
+constexpr int kQuotaRoundsMax = 5;
 
 storage::ObjectKey KeyOf(sim::Rank rank, Version v) {
   return storage::ObjectKey{rank, v};
@@ -82,6 +86,35 @@ void Engine::Init(int num_ranks) {
   // Cache tiers that did not name a policy in their spec inherit the legacy
   // engine-wide knob; after this every stack_.policy(i) is concrete.
   stack_.ResolveEvictionPolicies(options_.eviction);
+
+  // Tenant table (DESIGN.md §12), built before any worker can run. Explicit
+  // tenants claim contiguous rank blocks in declaration order (even split,
+  // remainder to the earlier tenants); legacy callers get one implicit
+  // unlimited "default" tenant over every rank, which keeps the hot path,
+  // thread names and telemetry byte-identical to the pre-tenant engine.
+  tenant_registry_ = std::make_unique<TenantRegistry>(num_ranks);
+  label_tenants_ = !options_.tenants.empty();
+  if (options_.tenants.empty()) {
+    auto id = tenant_registry_->Open(TenantSpec{.name = "default"}, num_ranks);
+    assert(id.ok());
+    (void)id;
+  } else {
+    const int nt = static_cast<int>(options_.tenants.size());
+    const int base = num_ranks / nt;
+    const int extra = num_ranks % nt;
+    for (int i = 0; i < nt; ++i) {
+      const int share = base + (i < extra ? 1 : 0);
+      auto id = tenant_registry_->Open(options_.tenants[static_cast<std::size_t>(i)],
+                                       share);
+      if (!id.ok()) {
+        CKPT_LOG(kError, "engine")
+            << "cannot open tenant '"
+            << options_.tenants[static_cast<std::size_t>(i)].name
+            << "': " << id.status().ToString();
+        std::abort();
+      }
+    }
+  }
 
   // Drain-bandwidth estimate per cache tier, toward the next tier down:
   // device tiers drain over their PCIe link, host->host over DDR, and the
@@ -413,6 +446,108 @@ util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
   return util::OkStatus();
 }
 
+// ---------------------------------------------------------------------------
+// Tenant admission (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+util::Status Engine::CheckTenantOpen(sim::Rank rank) const {
+  const TenantCtx* t = tenant_registry_->Get(tenant_registry_->tenant_of(rank));
+  if (t != nullptr && !t->open.load(std::memory_order_acquire)) {
+    return util::FailedPrecondition("tenant '" + t->spec.name + "' is closed");
+  }
+  return util::OkStatus();
+}
+
+std::string Engine::TenantLabelOf(sim::Rank rank) const {
+  if (!label_tenants_) return {};
+  const TenantCtx* t = tenant_registry_->Get(tenant_registry_->tenant_of(rank));
+  return t != nullptr ? t->spec.name : std::string{};
+}
+
+std::string Engine::TenantThreadPrefix(const RankCtx& ctx_) const {
+  if (!label_tenants_) return {};
+  const TenantCtx* t =
+      tenant_registry_->Get(tenant_registry_->tenant_of(ctx_.rank));
+  return t != nullptr ? t->spec.name + "/" : std::string{};
+}
+
+sim::Flow Engine::FlowOf(const RankCtx& ctx_) const noexcept {
+  const TenantCtx* t =
+      tenant_registry_->Get(tenant_registry_->tenant_of(ctx_.rank));
+  if (t == nullptr) return sim::Flow{};
+  return sim::Flow{t->id, t->spec.weight};
+}
+
+std::uint64_t Engine::TenantCacheUsed(TenantId id) const {
+  const TenantCtx* t = tenant_registry_->Get(id);
+  if (t == nullptr) return 0;
+  const int ncache = stack_.num_cache_tiers();
+  const int last = std::min(t->first_rank + t->num_ranks, num_ranks());
+  std::uint64_t used = 0;
+  for (int r = t->first_rank; r < last; ++r) {
+    for (int i = 0; i < ncache; ++i) {
+      used += CacheUsed(r, i);
+    }
+  }
+  return used;
+}
+
+bool Engine::OverTenantQuota(const RankCtx& ctx_,
+                             std::uint64_t size) const {
+  const TenantCtx* t =
+      tenant_registry_->Get(tenant_registry_->tenant_of(ctx_.rank));
+  // Quota 0 (every legacy caller) skips the cross-rank usage sum entirely:
+  // the single-tenant hot path pays one lock-free map lookup and a branch.
+  if (t == nullptr || t->spec.quota_bytes == 0) return false;
+  return TenantCacheUsed(t->id) + size > t->spec.quota_bytes;
+}
+
+std::uint64_t Engine::ShedForQuota(RankCtx& ctx_,
+                                   std::unique_lock<util::CheckedMutex>& lock,
+                                   TierIndex tier, ReservePurpose purpose,
+                                   std::uint64_t need) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  (void)lock;
+  CacheBuffer& buf = BufferFor(ctx_, tier, purpose);
+  const CacheBuffer::TableSnapshot snap = buf.Snapshot();
+  std::uint64_t freed = 0;
+  for (const Fragment& frag : snap.frags) {
+    if (freed >= need) break;
+    if (frag.is_gap()) continue;
+    auto it = ctx_.records.find(frag.id);
+    if (it == ctx_.records.end() || !EvictableNow(it->second, tier)) continue;
+    if (!EvictVictims(ctx_, tier, {frag.id}).ok()) continue;
+    if (buf.Release(frag.id).ok()) freed += frag.size;
+  }
+  if (freed > 0) {
+    QueueInstant(ctx_, trace::Kind::kEviction, "evict:quota-shed", tier,
+                 /*v=*/0, freed);
+    NotifyReserve(ctx_, tier);
+  }
+  return freed;
+}
+
+util::StatusOr<TenantId> Engine::OpenTenant(const TenantSpec& spec,
+                                            int num_ranks) {
+  auto id = tenant_registry_->Open(spec, num_ranks);
+  if (id.ok()) label_tenants_ = true;
+  return id;
+}
+
+util::Status Engine::CloseTenant(TenantId id) {
+  const TenantCtx* t = tenant_registry_->Get(id);
+  if (t == nullptr) {
+    return util::NotFound("tenant " + std::to_string(id) + " unknown");
+  }
+  // Quiesce: wait for the tenant's in-flight flushes so its durable state
+  // is settled, then flip the open flag — subsequent ops on its ranks fail.
+  const int last = std::min(t->first_rank + t->num_ranks, num_ranks());
+  for (int r = t->first_rank; r < last; ++r) {
+    CKPT_RETURN_IF_ERROR(WaitForFlushes(r));
+  }
+  return tenant_registry_->Close(id);
+}
+
 bool Engine::DrainHints(RankCtx& ctx_) {
   CKPT_ASSERT_HELD(ctx_.mu);
   bool any = false;
@@ -443,7 +578,16 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
                             ? ctx_.metrics.reserve_wait_prefetch_s
                             : ctx_.metrics.reserve_wait_write_s;
   const auto charge_wait = [&] { wait_metric += wait_sw.ElapsedSec(); };
-  for (;;) {
+  // Hoisted out of the round loop: consecutive rounds whose table version is
+  // unchanged (typically stale replans — the geometry didn't move, only the
+  // annotations did) reuse the fragment list instead of re-copying it.
+  CacheBuffer::TableSnapshot snap;
+  bool have_snap = false;
+  // Rounds spent blocked on the tenant's byte quota. Bounded: a tenant that
+  // cannot shed enough (everything busy / pinned) is pushed to a deeper
+  // tier rather than parked forever on a neighbour's progress.
+  int quota_rounds = 0;
+  for (int round = 0;; ++round) {
     ++ctx_.metrics.reserve_rounds;
     ProbeAdd(ctx_.probe.reserve_rounds);
     const std::int64_t round_begin = util::NowNs();
@@ -455,12 +599,43 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       charge_wait();
       return util::Cancelled("reservation aborted");
     }
+    // Tenant admission (DESIGN.md §12): before competing for space, the
+    // rank's tenant must have quota headroom across ALL its cache bytes.
+    // Over quota, first shed this tenant's own evictable copies on this
+    // tier (victims are structurally within the over-quota tenant — rank
+    // buffers are single-tenant), then wait boundedly for its in-flight
+    // transfers to settle.
+    if (OverTenantQuota(ctx_, size)) {
+      ShedForQuota(ctx_, lock, tier, purpose, size);
+      if (OverTenantQuota(ctx_, size)) {
+        ++ctx_.metrics.reserve_quota_waits;
+        ProbeAdd(ctx_.probe.reserve_quota_waits);
+        QueueInstant(ctx_, trace::Kind::kEviction, "evict:quota", tier, v,
+                     size);
+        if (++quota_rounds >= kQuotaRoundsMax) {
+          charge_wait();
+          return util::CapacityExceeded("tenant cache quota exceeded");
+        }
+        const Stopwatch quota_sw;
+        t.cv_reserve.wait_for(lock, kReplanMax);
+        ctx_.metrics.reserve_wait_quota_s += quota_sw.ElapsedSec();
+        continue;
+      }
+    }
     // Annotate the tier geometry with life-cycle metadata under the rank
     // lock, then run the O(N) policy scan with the rank lock DROPPED: the
     // scan is the expensive part of a reservation round, and holding ctx.mu
     // across it would stall every concurrent checkpoint/restore/flush on
     // this rank behind one tier's eviction planning.
-    const CacheBuffer::TableSnapshot snap = buf.Snapshot();
+    if (have_snap && buf.table_version() == snap.version) {
+      // Same geometry as last round; only the annotations can have changed,
+      // and those are recomputed below.
+      ++ctx_.metrics.reserve_snapshot_reuse;
+      ProbeAdd(ctx_.probe.reserve_snapshot_reuse);
+    } else {
+      snap = buf.Snapshot();
+      have_snap = true;
+    }
     const std::vector<FragmentView> views =
         CacheBuffer::AnnotateViews(snap.frags, meta);
     lock.unlock();
@@ -496,6 +671,10 @@ util::StatusOr<std::uint64_t> Engine::ReserveOn(
       for (std::size_t i = 0; !stale && i < plan->victims.size(); ++i) {
         auto it = ctx_.records.find(plan->victims[i]);
         stale = it == ctx_.records.end() || !EvictableNow(it->second, tier);
+      }
+      if (!stale && options_.test_force_stale_plan &&
+          options_.test_force_stale_plan(round)) {
+        stale = true;  // test hook: exercise the replan/snapshot-reuse path
       }
       if (stale) {
         ++ctx_.metrics.reserve_plans_stale;
@@ -789,10 +968,12 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   if (src == nullptr || size == 0) {
     return util::InvalidArgument("Checkpoint: empty payload");
   }
+  CKPT_RETURN_IF_ERROR(CheckTenantOpen(rank));
   trace::Span app_span(trace::Kind::kApp, "app:checkpoint", rank, /*tier=*/-1,
                        v, size);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
+  const sim::Flow flow = FlowOf(c);
   // Declared before the lock: flushes the trace events this call queues
   // under c.mu right after the lock is released, on every return path.
   ScopedTracePublisher trace_pub(c);
@@ -850,8 +1031,8 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
     const sim::MemcpyKind kind =
         stack_.is_device(placed) ? sim::MemcpyKind::kD2D : sim::MemcpyKind::kD2H;
     lock.unlock();
-    const util::Status st =
-        sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, size, kind);
+    const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
+                                                 src, size, kind, flow);
     lock.lock();
     rr.io_pending = false;
     if (!st.ok()) {
@@ -879,7 +1060,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
                              cluster_.topology().node_of_rank(rank), size);
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
                                                  staging.data(), src, size,
-                                                 sim::MemcpyKind::kD2H);
+                                                 sim::MemcpyKind::kD2H, flow);
     if (!st.ok()) {
       lock.lock();
       return cleanup_failure(st);
@@ -928,9 +1109,11 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
 util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
                              std::uint64_t capacity) {
   if (dst == nullptr) return util::InvalidArgument("Restore: null buffer");
+  CKPT_RETURN_IF_ERROR(CheckTenantOpen(rank));
   trace::Span app_span(trace::Kind::kApp, "app:restore", rank, /*tier=*/-1, v);
   const Stopwatch sw;
   RankCtx& c = ctx(rank);
+  const sim::Flow flow = FlowOf(c);
   ScopedTracePublisher trace_pub(c);  // flushes queued events after unlock
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(rank);
   std::unique_lock lock(c.mu);
@@ -997,7 +1180,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
                                      : sim::MemcpyKind::kH2D;
     lock.unlock();
     st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, src, rec.size,
-                              kind);
+                              kind, flow);
     lock.lock();
     --rr.read_refs;
     NotifyReserve(c, src_tier);  // the copy may have become evictable
@@ -1035,7 +1218,7 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
                       /*abort=*/{}, fetch_retries, fell_back, served);
       if (st.ok()) {
         st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst, staging.data(),
-                                  size, sim::MemcpyKind::kH2D);
+                                  size, sim::MemcpyKind::kH2D, flow);
       }
     }
     lock.lock();
@@ -1099,6 +1282,7 @@ util::StatusOr<std::uint64_t> Engine::RecoverSize(sim::Rank rank, Version v) {
 }
 
 util::Status Engine::PrefetchEnqueue(sim::Rank rank, Version v) {
+  CKPT_RETURN_IF_ERROR(CheckTenantOpen(rank));
   RankCtx& c = ctx(rank);
   // Lock-free hot path (VELOC_Prefetch_enqueue): the hint lands in the
   // rank's mailbox without touching ctx.mu; T_PF folds the mailbox into the
@@ -1169,6 +1353,8 @@ Engine::RankProbe Engine::Probe(sim::Rank rank) const {
   p.restore_queue_depth = enq >= ret ? enq - ret : 0;
   p.reserve_rounds = c.probe.reserve_rounds.load(relax);
   p.reserve_plans_stale = c.probe.reserve_plans_stale.load(relax);
+  p.reserve_snapshot_reuse = c.probe.reserve_snapshot_reuse.load(relax);
+  p.reserve_quota_waits = c.probe.reserve_quota_waits.load(relax);
   p.flush_retries = c.probe.flush_retries.load(relax);
   p.fetch_retries = c.probe.fetch_retries.load(relax);
   p.tier_degradations = c.probe.tier_degradations.load(relax);
@@ -1386,10 +1572,12 @@ std::uint64_t Engine::PrefetchDistance(sim::Rank rank) const {
 void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
   std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(tier));
+  const sim::Flow flow = FlowOf(c);
   CacheTierRt& t = *c.tiers[static_cast<std::size_t>(tier)];
   const int ncache = stack_.num_cache_tiers();
   const std::string tier_name(stack_.name(static_cast<std::size_t>(tier)));
-  trace::SetThreadName("r" + std::to_string(c.rank) + "/flush:" + tier_name);
+  trace::SetThreadName(TenantThreadPrefix(c) + "r" + std::to_string(c.rank) +
+                       "/flush:" + tier_name);
   // Span names are interned once per worker: the Chrome `name` groups one
   // stage's copies ("flush:gpu" = everything leaving the gpu tier).
   const char* stage_span = trace::Intern("flush:" + tier_name);
@@ -1405,7 +1593,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     sim::PinnedArena staging(cluster_.topology(), gpu.node, size);
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu,
                                                  staging.data(), src, size,
-                                                 sim::MemcpyKind::kD2H);
+                                                 sim::MemcpyKind::kD2H, flow);
     if (!st.ok()) {
       CKPT_LOG(kError, "flush") << "direct store flush failed: " << st.ToString();
       return TerminalPutResult{};
@@ -1580,7 +1768,7 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
 
     const std::int64_t t0 = util::NowNs();
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
-                                                 src, rec.size, kind);
+                                                 src, rec.size, kind, flow);
 
     lock.lock();
     --mine.read_refs;
@@ -1615,8 +1803,10 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
 }
 
 void Engine::PrefetchLoop(RankCtx& c) {
-  trace::SetThreadName("r" + std::to_string(c.rank) + "/prefetch");
+  trace::SetThreadName(TenantThreadPrefix(c) + "r" + std::to_string(c.rank) +
+                       "/prefetch");
   const sim::GpuId gpu = cluster_.topology().gpu_of_rank(c.rank);
+  const sim::Flow flow = FlowOf(c);
   const int ncache = stack_.num_cache_tiers();
   std::mt19937_64 rng = RngFor(c, static_cast<std::uint64_t>(ncache));
   const std::uint64_t pin_cap = static_cast<std::uint64_t>(
@@ -1829,7 +2019,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
         if (st.ok()) {
           st = sim::ThrottledMemcpy(cluster_.topology(), gpu, slot,
                                     staging.data(), size,
-                                    sim::MemcpyKind::kH2D);
+                                    sim::MemcpyKind::kH2D, flow);
         }
       } else {
         st = GetDurable(c, v, slot, size, durable, rng, abandon, fetch_retries,
@@ -1918,7 +2108,7 @@ void Engine::PrefetchLoop(RankCtx& c) {
                                                      : sim::MemcpyKind::kH2H;
     lock.unlock();
     const util::Status st = sim::ThrottledMemcpy(cluster_.topology(), gpu, dst,
-                                                 src, size, kind);
+                                                 src, size, kind, flow);
     lock.lock();
     --sres.read_refs;
     NotifyReserve(c, src_tier);  // source copy may now be evictable

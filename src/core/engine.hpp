@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -36,9 +37,11 @@
 #include "core/metrics.hpp"
 #include "core/restore_queue.hpp"
 #include "core/runtime.hpp"
+#include "core/tenant.hpp"
 #include "core/tier_stack.hpp"
 #include "core/types.hpp"
 #include "simgpu/cluster.hpp"
+#include "simgpu/copy.hpp"
 #include "simgpu/pinned.hpp"
 #include "storage/object_store.hpp"
 #include "util/checked_mutex.hpp"
@@ -129,6 +132,21 @@ struct EngineOptions {
   /// Master seed for retry backoff jitter (per-rank/thread streams are
   /// derived from it, so failure runs reproduce deterministically).
   std::uint64_t retry_seed = 0xC5EEDull;
+
+  // --- Multi-tenant service mode (DESIGN.md §12) ---
+
+  /// Tenants to open at Init, in declaration order; ranks are split into
+  /// contiguous blocks (even split, remainder to earlier tenants). Empty =
+  /// legacy single-tenant mode: one implicit "default" tenant with no quota
+  /// spans every rank and the hot path is byte-identical to a pre-tenant
+  /// engine.
+  std::vector<TenantSpec> tenants;
+
+  /// Test hook: when set, a commit-ready eviction plan in round `round`
+  /// (0-based per ReserveOn call) is treated as stale even though the table
+  /// version matched — exercises the stale-replan path (and the snapshot
+  /// reuse that follows it) deterministically.
+  std::function<bool(int round)> test_force_stale_plan;
 };
 
 class Engine final : public Runtime {
@@ -179,6 +197,35 @@ class Engine final : public Runtime {
   /// Stops background threads; in-flight transfers complete first.
   /// Idempotent; also called by the destructor.
   void Shutdown() override;
+
+  // --- Multi-tenant service surface (DESIGN.md §12) ---
+  /// Opens a tenant over the next `num_ranks` unassigned ranks. Rare
+  /// control-plane call; checkpoint/restore traffic of other tenants is
+  /// unaffected. Init() already opened the configured (or default) tenants,
+  /// so this is only needed for stacks assembled incrementally in tests.
+  util::StatusOr<TenantId> OpenTenant(const TenantSpec& spec, int num_ranks);
+  /// Quiesces a tenant: waits for its in-flight flushes, then rejects new
+  /// checkpoint/restore/hint calls on its ranks with kFailedPrecondition.
+  /// Its cached/durable data stays addressable for other introspection.
+  util::Status CloseTenant(TenantId id);
+  [[nodiscard]] const TenantRegistry& tenant_registry() const noexcept {
+    return *tenant_registry_;
+  }
+  /// Lock-free: tenant owning `rank` (kDefaultTenant in single-tenant mode).
+  [[nodiscard]] TenantId TenantOf(sim::Rank rank) const noexcept {
+    return tenant_registry_->tenant_of(rank);
+  }
+  /// Total cache bytes (all cache tiers, all the tenant's ranks) the tenant
+  /// currently holds. Lock-free, same consistency as CacheUsed.
+  [[nodiscard]] std::uint64_t TenantCacheUsed(TenantId id) const;
+  /// True in explicit multi-tenant mode: tenant names appear in thread/track
+  /// names, telemetry labels, and metrics JSON. False keeps single-tenant
+  /// output byte-identical to the pre-tenant engine.
+  [[nodiscard]] bool multi_tenant() const noexcept override {
+    return label_tenants_;
+  }
+  /// Name of the tenant owning `rank` when multi_tenant(), else "".
+  [[nodiscard]] std::string TenantLabelOf(sim::Rank rank) const;
 
   [[nodiscard]] RankMetrics metrics(sim::Rank rank) const override;
   /// Same consistent, rank-locked copy as metrics(); kept as the
@@ -236,6 +283,8 @@ class Engine final : public Runtime {
     std::uint64_t restore_queue_depth = 0;  ///< pending restore-order hints
     std::uint64_t reserve_rounds = 0;
     std::uint64_t reserve_plans_stale = 0;
+    std::uint64_t reserve_snapshot_reuse = 0;
+    std::uint64_t reserve_quota_waits = 0;
     std::uint64_t flush_retries = 0;
     std::uint64_t fetch_retries = 0;
     std::uint64_t tier_degradations = 0;
@@ -366,6 +415,8 @@ class Engine final : public Runtime {
     std::atomic<std::uint64_t> hints_retired{0};
     std::atomic<std::uint64_t> reserve_rounds{0};
     std::atomic<std::uint64_t> reserve_plans_stale{0};
+    std::atomic<std::uint64_t> reserve_snapshot_reuse{0};
+    std::atomic<std::uint64_t> reserve_quota_waits{0};
     std::atomic<std::uint64_t> flush_retries{0};
     std::atomic<std::uint64_t> fetch_retries{0};
     std::atomic<std::uint64_t> tier_degradations{0};
@@ -527,6 +578,31 @@ class Engine final : public Runtime {
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
   util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);
+
+  // --- Tenant admission (DESIGN.md §12) ---
+  /// kFailedPrecondition when the rank's tenant was closed; Ok otherwise
+  /// (including the unassigned-rank case, which only tests can reach).
+  [[nodiscard]] util::Status CheckTenantOpen(sim::Rank rank) const;
+  /// Fair-queuing attribution for the rank's transfers: flow = tenant id,
+  /// weight = tenant weight. Single-tenant mode yields {0, 1.0} == the
+  /// limiters' default flow.
+  [[nodiscard]] sim::Flow FlowOf(const RankCtx& ctx) const noexcept;
+  /// "<tenant>/" for worker thread/track names in multi-tenant mode; empty
+  /// (single-tenant) keeps every thread name byte-identical to PR 7.
+  [[nodiscard]] std::string TenantThreadPrefix(const RankCtx& ctx) const;
+  /// Quota headroom check for the rank's tenant: true when admitting `size`
+  /// more cache bytes would exceed the tenant's quota. Quota 0 never blocks
+  /// (and skips the cross-rank usage sum entirely).
+  [[nodiscard]] bool OverTenantQuota(const RankCtx& ctx,
+                                     std::uint64_t size) const;
+  /// Sheds evictable bytes from THIS rank's buffer on `tier` to make quota
+  /// headroom (victims are structurally within the over-quota tenant: rank
+  /// buffers are single-tenant). Returns bytes freed. Requires ctx.mu; may
+  /// briefly drop it while planning.
+  std::uint64_t ShedForQuota(RankCtx& ctx,
+                             std::unique_lock<util::CheckedMutex>& lock,
+                             TierIndex tier, ReservePurpose purpose,
+                             std::uint64_t need);
   /// Blocking reservation loop: snapshot / plan off-lock / revalidate /
   /// commit-or-wait / re-plan. Waits on the tier's cv_reserve channel.
   /// `abort` (optional) is checked after each failed round; when it returns
@@ -624,6 +700,12 @@ class Engine final : public Runtime {
   sim::Cluster& cluster_;
   TierStack stack_;
   EngineOptions options_;
+  /// Tenant table + rank->tenant mapping; created before the workers spawn.
+  std::unique_ptr<TenantRegistry> tenant_registry_;
+  /// True when the engine runs in explicit multi-tenant mode: tenant labels
+  /// appear in thread/track names and telemetry. Single-tenant mode keeps
+  /// every name and label byte-identical to the pre-tenant engine.
+  bool label_tenants_ = false;
   /// Estimated drain bandwidth of each cache tier toward the next tier
   /// (bytes/s), for predict_evictable ETAs (§4.2).
   std::vector<double> drain_bw_;

@@ -36,6 +36,9 @@ void RankMetrics::Merge(const RankMetrics& other) {
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;
   reserve_plans_stale += other.reserve_plans_stale;
+  reserve_snapshot_reuse += other.reserve_snapshot_reuse;
+  reserve_quota_waits += other.reserve_quota_waits;
+  reserve_wait_quota_s += other.reserve_wait_quota_s;
   prefetch_promotions += other.prefetch_promotions;
   prefetch_gpu_hits += other.prefetch_gpu_hits;
   prefetch_aborts += other.prefetch_aborts;

@@ -60,6 +60,11 @@ struct RankMetrics {
   std::uint64_t reserve_rounds = 0;      // plan/re-plan iterations
   std::uint64_t reserve_plans_stale = 0; // off-lock plans invalidated at
                                          // commit time (re-planned at once)
+  std::uint64_t reserve_snapshot_reuse = 0;  // replan rounds that reused the
+                                             // previous fragment snapshot
+  // Tenant admission telemetry (DESIGN.md §12).
+  std::uint64_t reserve_quota_waits = 0;  // rounds blocked on tenant quota
+  double reserve_wait_quota_s = 0.0;      // time parked on quota headroom
 
   // Flush pipeline telemetry.
   std::uint64_t flushes_completed = 0;

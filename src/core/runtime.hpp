@@ -32,6 +32,11 @@ class Runtime {
   /// safe to call while background flush/prefetch threads are running.
   [[nodiscard]] virtual RankMetrics metrics(sim::Rank rank) const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when the runtime serves several tenants over one shared engine
+  /// (DESIGN.md §12). The baselines are single-job runtimes and keep the
+  /// default; only the score engine overrides this.
+  [[nodiscard]] virtual bool multi_tenant() const { return false; }
 };
 
 }  // namespace ckpt::core

@@ -111,18 +111,29 @@ struct Exposer {
   }
 };
 
-std::string RankLabel(int rank) {
-  return "rank=\"" + std::to_string(rank) + "\"";
+// A `tenant` label is emitted only when the sample carries a tenant name, so
+// single-tenant exposition stays byte-identical to the legacy format.
+std::string RankLabel(const RankSample& rs) {
+  std::string out;
+  if (!rs.tenant.empty()) {
+    out += "tenant=\"" + EscapeLabelValue(rs.tenant) + "\",";
+  }
+  out += "rank=\"" + std::to_string(rs.rank) + "\"";
+  return out;
 }
 std::string TierRankLabel(const std::vector<std::string>& names, std::size_t i,
-                          int rank) {
+                          const RankSample& rs) {
   return "tier=\"" + EscapeLabelValue(TierLabel(names, i)) + "\"," +
-         RankLabel(rank);
+         RankLabel(rs);
 }
 
 void AppendRankSampleJson(std::string& out, const RankSample& rs,
                           const std::vector<std::string>& tier_names) {
-  AppendF(out, "{\"rank\":%d,\"state_occupancy\":[", rs.rank);
+  AppendF(out, "{\"rank\":%d", rs.rank);
+  if (!rs.tenant.empty()) {
+    out += ",\"tenant\":\"" + util::json::Escape(rs.tenant) + "\"";
+  }
+  out += ",\"state_occupancy\":[";
   for (std::size_t i = 0; i < rs.state_occupancy.size(); ++i) {
     if (i) out += ',';
     AppendF(out, "%" PRIu64, rs.state_occupancy[i]);
@@ -130,13 +141,16 @@ void AppendRankSampleJson(std::string& out, const RankSample& rs,
   AppendF(out,
           "],\"last_transition_ns\":%" PRId64 ",\"restore_queue_depth\":%" PRIu64
           ",\"reserve_rounds\":%" PRIu64 ",\"reserve_plans_stale\":%" PRIu64
+          ",\"reserve_snapshot_reuse\":%" PRIu64
+          ",\"reserve_quota_waits\":%" PRIu64
           ",\"flush_retries\":%" PRIu64 ",\"fetch_retries\":%" PRIu64
           ",\"tier_degradations\":%" PRIu64 ",\"checkpoints_lost\":%" PRIu64
           ",\"checkpoints\":%" PRIu64 ",\"restores\":%" PRIu64
           ",\"bytes_checkpointed\":%" PRIu64 ",\"bytes_restored\":%" PRIu64
           ",\"watchdog_stalls\":%" PRIu64 ",\"restore_Bps\":",
           rs.last_transition_ns, rs.restore_queue_depth, rs.reserve_rounds,
-          rs.reserve_plans_stale, rs.flush_retries, rs.fetch_retries,
+          rs.reserve_plans_stale, rs.reserve_snapshot_reuse,
+          rs.reserve_quota_waits, rs.flush_retries, rs.fetch_retries,
           rs.tier_degradations, rs.checkpoints_lost, rs.checkpoints,
           rs.restores, rs.bytes_checkpointed, rs.bytes_restored,
           rs.watchdog_stalls);
@@ -228,11 +242,14 @@ SamplePtr BuildTelemetrySample(const Engine& engine, std::uint64_t seq,
             : nullptr;
     RankSample rs;
     rs.rank = r;
+    rs.tenant = engine.TenantLabelOf(r);
     rs.state_occupancy = std::move(p.state_occupancy);
     rs.last_transition_ns = p.last_transition_ns;
     rs.restore_queue_depth = p.restore_queue_depth;
     rs.reserve_rounds = p.reserve_rounds;
     rs.reserve_plans_stale = p.reserve_plans_stale;
+    rs.reserve_snapshot_reuse = p.reserve_snapshot_reuse;
+    rs.reserve_quota_waits = p.reserve_quota_waits;
     rs.flush_retries = p.flush_retries;
     rs.fetch_retries = p.fetch_retries;
     rs.tier_degradations = p.tier_degradations;
@@ -275,7 +292,7 @@ std::string OpenMetricsText(const TelemetrySample& s,
   for (const RankSample& rs : s.ranks) {
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
       if (rs.tiers[i].bytes_capacity == 0) continue;  // durable tiers
-      x.SampleU64("ckpt_tier_bytes_used", TierRankLabel(tier_names, i, rs.rank),
+      x.SampleU64("ckpt_tier_bytes_used", TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].bytes_used);
     }
   }
@@ -284,7 +301,7 @@ std::string OpenMetricsText(const TelemetrySample& s,
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
       if (rs.tiers[i].bytes_capacity == 0) continue;
       x.SampleU64("ckpt_tier_bytes_capacity",
-                  TierRankLabel(tier_names, i, rs.rank),
+                  TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].bytes_capacity);
     }
   }
@@ -294,13 +311,13 @@ std::string OpenMetricsText(const TelemetrySample& s,
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
       if (rs.tiers[i].bytes_capacity == 0) continue;
       x.SampleU64("ckpt_flush_queue_depth",
-                  TierRankLabel(tier_names, i, rs.rank),
+                  TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].flush_queue_depth);
     }
   }
   x.Gauge("ckpt_restore_queue_depth", "Pending restore-order hints.");
   for (const RankSample& rs : s.ranks) {
-    x.SampleU64("ckpt_restore_queue_depth", RankLabel(rs.rank),
+    x.SampleU64("ckpt_restore_queue_depth", RankLabel(rs),
                 rs.restore_queue_depth);
   }
   x.Gauge("ckpt_state_occupancy", "Checkpoint records per FSM state.");
@@ -309,7 +326,7 @@ std::string OpenMetricsText(const TelemetrySample& s,
       const std::string state(to_string(static_cast<CkptState>(i)));
       x.SampleU64("ckpt_state_occupancy",
                   "state=\"" + EscapeLabelValue(state) + "\"," +
-                      RankLabel(rs.rank),
+                      RankLabel(rs),
                   rs.state_occupancy[i]);
     }
   }
@@ -317,14 +334,14 @@ std::string OpenMetricsText(const TelemetrySample& s,
           "Bytes/s landed on each tier over the last sampling window.");
   for (const RankSample& rs : s.ranks) {
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
-      x.SampleF64("ckpt_tier_flush_bps", TierRankLabel(tier_names, i, rs.rank),
+      x.SampleF64("ckpt_tier_flush_bps", TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].flush_Bps);
     }
   }
   x.Gauge("ckpt_restore_bps",
           "Bytes/s restored over the last sampling window.");
   for (const RankSample& rs : s.ranks) {
-    x.SampleF64("ckpt_restore_bps", RankLabel(rs.rank), rs.restore_Bps);
+    x.SampleF64("ckpt_restore_bps", RankLabel(rs), rs.restore_Bps);
   }
 
   struct CounterSpec {
@@ -343,6 +360,11 @@ std::string OpenMetricsText(const TelemetrySample& s,
        &RankSample::reserve_rounds},
       {"ckpt_reserve_plans_stale", "Off-lock eviction plans gone stale.",
        &RankSample::reserve_plans_stale},
+      {"ckpt_reserve_snapshot_reuse",
+       "Replan rounds that reused the prior fragment snapshot.",
+       &RankSample::reserve_snapshot_reuse},
+      {"ckpt_reserve_quota_waits", "Reserve rounds parked on tenant quota.",
+       &RankSample::reserve_quota_waits},
       {"ckpt_flush_retries", "Extra durable-store write attempts.",
        &RankSample::flush_retries},
       {"ckpt_fetch_retries", "Extra durable-store read attempts.",
@@ -359,14 +381,14 @@ std::string OpenMetricsText(const TelemetrySample& s,
     x.Counter(c.family, c.help);
     const std::string sample_name = std::string(c.family) + "_total";
     for (const RankSample& rs : s.ranks) {
-      x.SampleU64(sample_name, RankLabel(rs.rank), rs.*(c.field));
+      x.SampleU64(sample_name, RankLabel(rs), rs.*(c.field));
     }
   }
   x.Counter("ckpt_tier_flush_bytes", "Cumulative bytes landed on each tier.");
   for (const RankSample& rs : s.ranks) {
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
       x.SampleU64("ckpt_tier_flush_bytes_total",
-                  TierRankLabel(tier_names, i, rs.rank),
+                  TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].flush_bytes);
     }
   }
@@ -374,7 +396,7 @@ std::string OpenMetricsText(const TelemetrySample& s,
   for (const RankSample& rs : s.ranks) {
     for (std::size_t i = 0; i < rs.tiers.size(); ++i) {
       x.SampleU64("ckpt_tier_restores_total",
-                  TierRankLabel(tier_names, i, rs.rank),
+                  TierRankLabel(tier_names, i, rs),
                   rs.tiers[i].restores);
     }
   }

@@ -1,0 +1,147 @@
+#include "core/tenant.hpp"
+
+#include <cstdlib>
+
+#include "util/config.hpp"
+
+namespace ckpt::core {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<TenantSpec>> ParseTenantSpecs(
+    std::string_view text) {
+  std::vector<TenantSpec> specs;
+  std::string_view rest = Trim(text);
+  while (!rest.empty()) {
+    const std::size_t sep = rest.find(';');
+    std::string_view entry = Trim(rest.substr(0, sep));
+    rest = sep == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sep + 1);
+    if (entry.empty()) continue;
+
+    TenantSpec spec;
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string_view::npos || c1 == 0) {
+      return util::InvalidArgument("tenant entry needs name:quota, got '" +
+                                   std::string(entry) + "'");
+    }
+    spec.name = std::string(Trim(entry.substr(0, c1)));
+    std::string_view tail = entry.substr(c1 + 1);
+    const std::size_t c2 = tail.find(':');
+    const std::string_view quota_text =
+        Trim(c2 == std::string_view::npos ? tail : tail.substr(0, c2));
+    auto quota = util::ParseSize(quota_text);
+    if (!quota.ok() || *quota < 0) {
+      return util::InvalidArgument("tenant '" + spec.name + "': bad quota '" +
+                                   std::string(quota_text) + "'");
+    }
+    spec.quota_bytes = static_cast<std::uint64_t>(*quota);
+    if (c2 != std::string_view::npos) {
+      const std::string weight_text(Trim(tail.substr(c2 + 1)));
+      char* end = nullptr;
+      spec.weight = std::strtod(weight_text.c_str(), &end);
+      if (weight_text.empty() || end != weight_text.c_str() + weight_text.size() ||
+          !(spec.weight > 0.0)) {
+        return util::InvalidArgument("tenant '" + spec.name +
+                                     "': bad weight '" + weight_text + "'");
+      }
+    }
+    for (const TenantSpec& prev : specs) {
+      if (prev.name == spec.name) {
+        return util::InvalidArgument("duplicate tenant name '" + spec.name +
+                                     "'");
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TenantRegistry::TenantRegistry(int total_ranks)
+    : total_ranks_(total_ranks < 0 ? 0 : total_ranks),
+      tenants_(static_cast<std::size_t>(total_ranks_) + 1),
+      rank_tenant_(static_cast<std::size_t>(total_ranks_)) {
+  for (auto& t : rank_tenant_) t.store(kNoTenant, std::memory_order_relaxed);
+}
+
+util::StatusOr<TenantId> TenantRegistry::Open(const TenantSpec& spec,
+                                              int num_ranks) {
+  if (spec.name.empty()) {
+    return util::InvalidArgument("tenant name must be non-empty");
+  }
+  if (num_ranks <= 0) {
+    return util::InvalidArgument("tenant '" + spec.name +
+                                 "' needs at least one rank");
+  }
+  if (!(spec.weight > 0.0)) {
+    return util::InvalidArgument("tenant '" + spec.name +
+                                 "': weight must be > 0");
+  }
+  std::lock_guard lock(mu_);
+  const int id = count_.load(std::memory_order_relaxed);
+  if (id >= static_cast<int>(tenants_.size())) {
+    return util::CapacityExceeded("tenant table full");
+  }
+  for (int i = 0; i < id; ++i) {
+    if (tenants_[static_cast<std::size_t>(i)]->spec.name == spec.name) {
+      return util::AlreadyExists("tenant '" + spec.name + "' already open");
+    }
+  }
+  const int first = next_rank_.load(std::memory_order_relaxed);
+  if (first + num_ranks > total_ranks_) {
+    return util::CapacityExceeded(
+        "tenant '" + spec.name + "' wants " + std::to_string(num_ranks) +
+        " ranks but only " + std::to_string(total_ranks_ - first) +
+        " of " + std::to_string(total_ranks_) + " remain");
+  }
+
+  auto ctx = std::make_unique<TenantCtx>();
+  ctx->id = id;
+  ctx->spec = spec;
+  ctx->first_rank = first;
+  ctx->num_ranks = num_ranks;
+  tenants_[static_cast<std::size_t>(id)] = std::move(ctx);
+  for (int r = first; r < first + num_ranks; ++r) {
+    rank_tenant_[static_cast<std::size_t>(r)].store(id,
+                                                    std::memory_order_release);
+  }
+  next_rank_.store(first + num_ranks, std::memory_order_release);
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+util::Status TenantRegistry::Close(TenantId id) {
+  std::lock_guard lock(mu_);
+  if (id < 0 || id >= count_.load(std::memory_order_relaxed)) {
+    return util::NotFound("tenant " + std::to_string(id) + " unknown");
+  }
+  TenantCtx& ctx = *tenants_[static_cast<std::size_t>(id)];
+  if (!ctx.open.exchange(false, std::memory_order_acq_rel)) {
+    return util::FailedPrecondition("tenant '" + ctx.spec.name +
+                                    "' already closed");
+  }
+  return util::OkStatus();
+}
+
+TenantId TenantRegistry::FindByName(std::string_view name) const {
+  const int n = count_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const TenantCtx* ctx = tenants_[static_cast<std::size_t>(i)].get();
+    if (ctx != nullptr && ctx->spec.name == name) return i;
+  }
+  return kNoTenant;
+}
+
+}  // namespace ckpt::core

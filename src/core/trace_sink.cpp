@@ -243,6 +243,11 @@ std::string MetricsJson(const RankMetrics& m,
   AppendNum(out, m.reserve_wait_prefetch_s);
   AppendF(out, ",\"reserve_rounds\":%" PRIu64, m.reserve_rounds);
   AppendF(out, ",\"reserve_plans_stale\":%" PRIu64, m.reserve_plans_stale);
+  AppendF(out, ",\"reserve_snapshot_reuse\":%" PRIu64,
+          m.reserve_snapshot_reuse);
+  AppendF(out, ",\"reserve_quota_waits\":%" PRIu64, m.reserve_quota_waits);
+  out += ",\"reserve_wait_quota_s\":";
+  AppendNum(out, m.reserve_wait_quota_s);
   AppendF(out, ",\"flushes_completed\":%" PRIu64 ",\"flushes_cancelled\":%" PRIu64,
           m.flushes_completed, m.flushes_cancelled);
   out += ",\"wait_for_flush_s\":";
@@ -318,7 +323,14 @@ std::string MetricsSnapshotJson(const Engine& engine) {
   for (int r = 0; r < engine.num_ranks(); ++r) {
     const RankMetrics m = engine.MetricsSnapshot(r);
     if (r) out += ",";
-    out += MetricsJson(m, tier_names);
+    std::string entry = MetricsJson(m, tier_names);
+    // Multi-tenant engines attribute each rank entry to its owning tenant;
+    // single-tenant output is unchanged.
+    const std::string tenant = engine.TenantLabelOf(r);
+    if (!tenant.empty()) {
+      entry.insert(1, "\"tenant\":\"" + util::json::Escape(tenant) + "\",");
+    }
+    out += entry;
     merged.Merge(m);
   }
   out += "],\"merged\":";

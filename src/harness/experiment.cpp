@@ -1,11 +1,16 @@
 #include "harness/experiment.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "core/telemetry_sampler.hpp"
 #include "core/telemetry_sink.hpp"
+#include "core/tenant.hpp"
 #include "core/trace_sink.hpp"
+#include "util/clock.hpp"
 #include "util/config.hpp"
 #include "util/telemetry.hpp"
 
@@ -165,6 +170,181 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
   result.restore_MBps_mean = result.shot.MeanRestoreThroughput() / 1e6;
   result.ckpt_MBps_agg = result.shot.AggCkptThroughput() / 1e6;
   result.restore_MBps_agg = result.shot.AggRestoreThroughput() / 1e6;
+  return result;
+}
+
+util::StatusOr<MultiTenantResult> RunMultiTenantExperiment(
+    const MultiTenantConfig& cfg) {
+  auto specs = core::ParseTenantSpecs(cfg.tenants);
+  if (!specs.ok()) return specs.status();
+  if (specs->size() != 2) {
+    return util::InvalidArgument(
+        "multi-tenant harness drives exactly two tenants (RTM + synthetic), "
+        "got " + std::to_string(specs->size()));
+  }
+  if (cfg.ranks_per_tenant <= 0) {
+    return util::InvalidArgument("ranks_per_tenant must be positive");
+  }
+  const int num_ranks = 2 * cfg.ranks_per_tenant;
+
+  sim::Cluster cluster(cfg.topology);
+  if (num_ranks > cluster.total_gpus()) {
+    return util::InvalidArgument("more ranks than simulated GPUs");
+  }
+
+  core::EngineOptions opts;
+  opts.gpu_cache_bytes = cfg.gpu_cache_bytes;
+  opts.host_cache_bytes = cfg.host_cache_bytes;
+  opts.eviction = cfg.eviction;
+  opts.tenants = std::move(*specs);
+
+  std::unique_ptr<core::Engine> engine;
+  if (!cfg.tiers.empty()) {
+    const core::TierStoreFactory factory =
+        [&cluster](std::string_view tier, std::string_view backend, int ordinal)
+        -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+      if (!backend.empty() && backend != "mem") {
+        return util::InvalidArgument("tier '" + std::string(tier) +
+                                     "': the multi-tenant harness only builds "
+                                     "'mem' backends");
+      }
+      std::shared_ptr<storage::ObjectStore> raw =
+          std::make_shared<storage::MemStore>();
+      if (ordinal == 0) {
+        return storage::MakeSsdStore(cluster.topology(), std::move(raw));
+      }
+      return storage::MakePfsStore(cluster.topology(), std::move(raw));
+    };
+    auto stack =
+        core::ParseTierStack(cfg.tiers, cfg.terminal_tier_name, factory);
+    if (!stack.ok()) return stack.status();
+    engine = std::make_unique<core::Engine>(cluster, std::move(*stack), opts,
+                                            num_ranks);
+  } else {
+    auto ssd = storage::MakeSsdStore(cluster.topology(),
+                                     std::make_shared<storage::MemStore>());
+    auto pfs = storage::MakePfsStore(cluster.topology(),
+                                     std::make_shared<storage::MemStore>());
+    engine = std::make_unique<core::Engine>(cluster, std::move(ssd),
+                                            std::move(pfs), opts, num_ranks);
+  }
+
+  std::unique_ptr<core::TelemetrySampler> sampler;
+  if (util::telemetry::enabled()) {
+    sampler = std::make_unique<core::TelemetrySampler>(
+        *engine, core::TelemetrySampler::Options::FromGlobalConfig());
+  }
+
+  // Tenant B: synthetic checkpoint/restore loop, one thread per rank of the
+  // second block, concurrent with tenant A's RTM shot below.
+  std::atomic<std::uint64_t> verify_failures{0};
+  std::mutex synth_mu;
+  util::Status synth_status = util::OkStatus();
+  const auto record_synth_error = [&](const util::Status& st) {
+    std::lock_guard lock(synth_mu);
+    if (synth_status.ok()) synth_status = st;
+  };
+  const util::Stopwatch wall;
+  std::vector<std::thread> synth;
+  synth.reserve(static_cast<std::size_t>(cfg.ranks_per_tenant));
+  for (int r = cfg.ranks_per_tenant; r < num_ranks; ++r) {
+    synth.emplace_back([&, r] {
+      auto buf = cluster.device(r).Allocate(cfg.synth_ckpt_bytes);
+      if (!buf.ok()) {
+        record_synth_error(buf.status());
+        return;
+      }
+      sim::BytePtr p = *buf;
+      for (int v = 0; v < cfg.synth_ckpts; ++v) {
+        const auto ver = static_cast<core::Version>(v);
+        rtm::FillPattern(r, ver, p, cfg.synth_ckpt_bytes);
+        util::Status st = engine->Checkpoint(r, ver, p, cfg.synth_ckpt_bytes);
+        if (!st.ok()) {
+          record_synth_error(st);
+          break;
+        }
+        if (cfg.synth_restore_every > 0 &&
+            (v + 1) % cfg.synth_restore_every == 0) {
+          (void)engine->PrefetchEnqueue(r, ver);  // hint traffic
+          st = engine->Restore(r, ver, p, cfg.synth_ckpt_bytes);
+          if (!st.ok()) {
+            record_synth_error(st);
+            break;
+          }
+          if (!rtm::CheckPattern(r, ver, p, cfg.synth_ckpt_bytes)) {
+            verify_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      (void)engine->WaitForFlushes(r);
+      (void)cluster.device(r).Free(p);
+    });
+  }
+
+  // Tenant A: the RTM shot over the first rank block.
+  auto shot = rtm::RunShot(cluster, *engine, cfg.shot, cfg.ranks_per_tenant);
+  for (std::thread& t : synth) t.join();
+  const double wall_s = wall.ElapsedSec();
+
+  MultiTenantResult result;
+  result.wall_s = wall_s;
+  if (sampler != nullptr) {
+    sampler->Stop();
+    result.openmetrics_text = sampler->ScrapeOpenMetrics();
+    result.watchdog_stalls = sampler->stalls_detected();
+    const std::string& prefix = sampler->options().out_path;
+    if (!prefix.empty() && !sampler->flight_dumped()) {
+      const auto write = [](const std::string& path, const std::string& body) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (f) f.write(body.data(), static_cast<std::streamsize>(body.size()));
+        if (!f) {
+          std::fprintf(stderr, "harness: failed to write telemetry to '%s'\n",
+                       path.c_str());
+        }
+      };
+      write(prefix + ".openmetrics.txt", result.openmetrics_text);
+      write(prefix + ".window.json",
+            core::TelemetryWindowJson(sampler->ring(),
+                                      core::TelemetryTierNames(*engine)));
+    }
+  }
+  // Per-tenant attribution while the caches are still resident.
+  const core::TenantRegistry& reg = engine->tenant_registry();
+  for (core::TenantId id = 0; id < reg.count(); ++id) {
+    const core::TenantCtx* t = reg.Get(id);
+    TenantSummary s;
+    s.name = t->spec.name;
+    s.id = t->id;
+    s.first_rank = t->first_rank;
+    s.num_ranks = t->num_ranks;
+    s.quota_bytes = t->spec.quota_bytes;
+    s.cache_used_end = engine->TenantCacheUsed(id);
+    for (int r = t->first_rank; r < t->first_rank + t->num_ranks; ++r) {
+      const core::RankMetrics m = engine->MetricsSnapshot(r);
+      s.bytes_checkpointed += m.bytes_checkpointed;
+      s.bytes_restored += m.bytes_restored;
+      s.reserve_quota_waits += m.reserve_quota_waits;
+      for (const std::uint64_t b : m.evicted_bytes_from_tier) {
+        s.evicted_bytes += b;
+      }
+    }
+    result.tenants.push_back(std::move(s));
+  }
+  result.metrics_json = core::MetricsSnapshotJson(*engine);
+  engine->Shutdown();
+  if (!shot.ok()) return shot.status();
+  {
+    std::lock_guard lock(synth_mu);
+    if (!synth_status.ok()) return synth_status;
+  }
+  if (sampler != nullptr && sampler->strict_tripped()) {
+    return util::IoError("telemetry watchdog detected " +
+                         std::to_string(result.watchdog_stalls) +
+                         " stall(s) in strict mode");
+  }
+  result.shot = std::move(*shot);
+  result.synth_verify_failures =
+      verify_failures.load(std::memory_order_relaxed);
   return result;
 }
 

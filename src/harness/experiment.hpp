@@ -102,6 +102,67 @@ struct ExperimentResult {
 /// Builds the stack and runs one shot. Deterministic modulo thread timing.
 util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg);
 
+// --- Multi-tenant service experiment (DESIGN.md §12) ---
+//
+// Two independent jobs share one Score engine: tenant A (first rank block)
+// runs the RTM shot, tenant B (second block) runs a synthetic
+// checkpoint/restore loop, concurrently. Exercises per-tenant quota
+// admission, weighted bandwidth sharing, and tenant-labeled telemetry
+// end-to-end.
+
+struct MultiTenantConfig {
+  sim::TopologyConfig topology = sim::TopologyConfig::Scaled();
+  /// Ranks per tenant; the shared engine serves 2x this many ranks.
+  int ranks_per_tenant = 4;
+  /// `tenants=` spec (core/tenant.hpp grammar); must name exactly two
+  /// tenants: first = RTM job, second = synthetic job.
+  std::string tenants = "rtm:24Mi;synth:8Mi:0.5";
+  std::uint64_t gpu_cache_bytes = 4ull << 20;
+  std::uint64_t host_cache_bytes = 32ull << 20;
+  core::EvictionKind eviction = core::EvictionKind::kScore;
+  /// Optional N-tier stack spec (see ExperimentConfig::tiers).
+  std::string tiers;
+  std::string terminal_tier_name;
+  /// Tenant A workload.
+  rtm::ShotConfig shot;
+  /// Tenant B workload: per rank, `synth_ckpts` checkpoints of
+  /// `synth_ckpt_bytes`, restoring (and verifying) every
+  /// `synth_restore_every`-th version.
+  int synth_ckpts = 48;
+  std::uint64_t synth_ckpt_bytes = 1ull << 20;
+  int synth_restore_every = 4;
+};
+
+/// Per-tenant attribution of one multi-tenant run.
+struct TenantSummary {
+  std::string name;
+  core::TenantId id = core::kNoTenant;
+  int first_rank = 0;
+  int num_ranks = 0;
+  std::uint64_t quota_bytes = 0;
+  std::uint64_t bytes_checkpointed = 0;
+  std::uint64_t bytes_restored = 0;
+  std::uint64_t reserve_quota_waits = 0;
+  std::uint64_t evicted_bytes = 0;
+  /// TenantCacheUsed at end of run, before shutdown (quota-conformance
+  /// evidence: <= quota_bytes when a quota is set).
+  std::uint64_t cache_used_end = 0;
+};
+
+struct MultiTenantResult {
+  std::vector<TenantSummary> tenants;
+  rtm::ShotResult shot;  ///< tenant A's RTM result
+  double wall_s = 0.0;
+  std::uint64_t synth_verify_failures = 0;
+  std::string metrics_json;       ///< tenant-labeled MetricsSnapshotJson
+  std::string openmetrics_text;   ///< final scrape (telemetry enabled only)
+  std::uint64_t watchdog_stalls = 0;
+};
+
+/// Runs the two tenants' workloads concurrently against one shared engine.
+util::StatusOr<MultiTenantResult> RunMultiTenantExperiment(
+    const MultiTenantConfig& cfg);
+
 /// Environment-driven scaling for the bench suite:
 ///   CKPT_BENCH_CKPTS     checkpoints per shot (default 384, the paper's
 ///                        count: 48 MB of scaled history per GPU, 12x the

@@ -10,7 +10,8 @@
 namespace ckpt::sim {
 
 util::Status ThrottledMemcpy(const Topology& topo, GpuId gpu, BytePtr dst,
-                             ConstBytePtr src, std::uint64_t n, MemcpyKind kind) {
+                             ConstBytePtr src, std::uint64_t n, MemcpyKind kind,
+                             Flow flow) {
   if (dst == nullptr || src == nullptr) {
     return util::InvalidArgument("ThrottledMemcpy: null pointer");
   }
@@ -26,18 +27,20 @@ util::Status ThrottledMemcpy(const Topology& topo, GpuId gpu, BytePtr dst,
     const std::uint64_t chunk = std::min(kCopyChunk, n - done);
     switch (kind) {
       case MemcpyKind::kD2D:
-        topo.d2d(gpu).Acquire(chunk);
+        topo.d2d(gpu).Acquire(chunk, flow.id, flow.weight);
         break;
       case MemcpyKind::kD2H:
-        topo.pcie_link(gpu, Topology::LinkDir::kD2H).Acquire(chunk);
-        topo.host_mem(gpu).Acquire(chunk);
+        topo.pcie_link(gpu, Topology::LinkDir::kD2H)
+            .Acquire(chunk, flow.id, flow.weight);
+        topo.host_mem(gpu).Acquire(chunk, flow.id, flow.weight);
         break;
       case MemcpyKind::kH2D:
-        topo.pcie_link(gpu, Topology::LinkDir::kH2D).Acquire(chunk);
-        topo.host_mem(gpu).Acquire(chunk);
+        topo.pcie_link(gpu, Topology::LinkDir::kH2D)
+            .Acquire(chunk, flow.id, flow.weight);
+        topo.host_mem(gpu).Acquire(chunk, flow.id, flow.weight);
         break;
       case MemcpyKind::kH2H:
-        topo.host_mem(gpu).Acquire(chunk);
+        topo.host_mem(gpu).Acquire(chunk, flow.id, flow.weight);
         break;
     }
     std::memcpy(dst + done, src + done, chunk);

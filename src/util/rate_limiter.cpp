@@ -25,83 +25,120 @@ std::chrono::nanoseconds RateLimiter::TimeToSolvency() const {
   return std::chrono::nanoseconds(static_cast<std::int64_t>(secs * 1e9) + 1);
 }
 
-void RateLimiter::Acquire(std::uint64_t n) {
+RateLimiter::Key RateLimiter::Enqueue(std::uint64_t n, int flow,
+                                      double weight) {
+  if (waiting_.empty() && !in_service_) {
+    // Idle reset: with no backlog there is no contention to arbitrate, so
+    // virtual time restarts and stale per-flow finish tags are dropped
+    // (standard SFQ idle handling — an idle flow is not owed back-credit).
+    vclock_ = 0.0;
+    flow_finish_.clear();
+  }
+  const double start = std::max(vclock_, flow_finish_[flow]);
+  flow_finish_[flow] =
+      start + static_cast<double>(n) / (weight > 0.0 ? weight : 1.0);
+  const Key key{start, next_ticket_++};
+  waiting_.insert(key);
+  queued_bytes_ += n;
+  return key;
+}
+
+void RateLimiter::Grant(const Key& key, std::uint64_t n, int flow) {
+  tokens_ -= static_cast<double>(n);
+  admitted_ += n;
+  if (flow == 0) {
+    flow0_admitted_ += n;
+  } else {
+    flow_admitted_[flow] += n;
+  }
+  queued_bytes_ -= n;
+  vclock_ = std::max(vclock_, key.first);
+  waiting_.erase(key);
+  in_service_ = false;
+  cv_.notify_all();
+}
+
+void RateLimiter::Abandon(const Key& key, std::uint64_t n) {
+  waiting_.erase(key);
+  queued_bytes_ -= n;
+  cv_.notify_all();  // the head may have changed
+}
+
+void RateLimiter::Acquire(std::uint64_t n, int flow, double weight) {
   std::unique_lock lock(mu_);
   if (rate_ == 0) {
-    ++admitted_;  // unlimited: still count traffic
-    admitted_ += n - 1;
+    admitted_ += n;  // unlimited: still count traffic
+    // Flow 0 (every single-flow legacy caller) bypasses the per-flow map so
+    // the unlimited fast path stays a couple of adds.
+    if (flow == 0) {
+      flow0_admitted_ += n;
+    } else {
+      flow_admitted_[flow] += n;
+    }
     return;
   }
-  const std::uint64_t ticket = next_ticket_++;
-  queued_bytes_ += n;
-  cv_.wait(lock, [&] { return serving_ticket_ == ticket; });
+  const Key key = Enqueue(n, flow, weight);
+  cv_.wait(lock, [&] { return !in_service_ && *waiting_.begin() == key; });
+  in_service_ = true;
   // Head of the queue: wait until the bucket recovers from prior debt.
   for (;;) {
     Refill(Clock::now());
     if (tokens_ >= 0 || rate_ == 0) break;
     cv_.wait_for(lock, TimeToSolvency());
   }
-  tokens_ -= static_cast<double>(n);
-  admitted_ += n;
-  queued_bytes_ -= n;
-  ++serving_ticket_;
-  cv_.notify_all();
+  Grant(key, n, flow);
 }
 
 bool RateLimiter::TryAcquire(std::uint64_t n) {
   std::unique_lock lock(mu_);
   if (rate_ == 0) {
     admitted_ += n;
+    flow0_admitted_ += n;
     return true;
   }
-  if (serving_ticket_ != next_ticket_) return false;  // someone is queued
+  if (!waiting_.empty() || in_service_) return false;  // someone is queued
   Refill(Clock::now());
   if (tokens_ < 0) return false;
-  ++next_ticket_;
   tokens_ -= static_cast<double>(n);
   admitted_ += n;
-  ++serving_ticket_;
+  flow0_admitted_ += n;
   return true;
 }
 
-Status RateLimiter::AcquireFor(std::uint64_t n, std::chrono::nanoseconds timeout) {
+Status RateLimiter::AcquireFor(std::uint64_t n, std::chrono::nanoseconds timeout,
+                               int flow, double weight) {
   const auto deadline = Clock::now() + timeout;
   std::unique_lock lock(mu_);
   if (rate_ == 0) {
     admitted_ += n;
+    if (flow == 0) {
+      flow0_admitted_ += n;
+    } else {
+      flow_admitted_[flow] += n;
+    }
     return OkStatus();
   }
-  const std::uint64_t ticket = next_ticket_++;
-  queued_bytes_ += n;
-  auto abandon = [&]() -> Status {
-    // We cannot simply vanish: later tickets wait for serving_ticket_ to
-    // reach them. Convert our turn into a no-op by advancing when served.
-    cv_.wait(lock, [&] { return serving_ticket_ == ticket; });
-    queued_bytes_ -= n;
-    ++serving_ticket_;
-    cv_.notify_all();
+  const Key key = Enqueue(n, flow, weight);
+  if (!cv_.wait_until(lock, deadline, [&] {
+        return !in_service_ && *waiting_.begin() == key;
+      })) {
+    Abandon(key, n);
     return Timeout("rate limiter admission timed out");
-  };
-  if (!cv_.wait_until(lock, deadline, [&] { return serving_ticket_ == ticket; })) {
-    return abandon();
   }
+  in_service_ = true;
   for (;;) {
     Refill(Clock::now());
-    if (tokens_ >= 0) break;
-    const auto wait = std::min<Clock::duration>(TimeToSolvency(), deadline - Clock::now());
+    if (tokens_ >= 0 || rate_ == 0) break;
     if (Clock::now() >= deadline) {
-      queued_bytes_ -= n;
-      ++serving_ticket_;
-      cv_.notify_all();
+      in_service_ = false;
+      Abandon(key, n);
       return Timeout("rate limiter token wait timed out");
     }
+    const auto wait = std::min<Clock::duration>(TimeToSolvency(),
+                                                deadline - Clock::now());
     cv_.wait_for(lock, wait);
   }
-  tokens_ -= static_cast<double>(n);
-  admitted_ += n;
-  queued_bytes_ -= n;
-  ++serving_ticket_;
-  cv_.notify_all();
+  Grant(key, n, flow);
   return OkStatus();
 }
 
@@ -120,6 +157,13 @@ std::uint64_t RateLimiter::rate() const {
 std::uint64_t RateLimiter::admitted_bytes() const {
   std::lock_guard lock(mu_);
   return admitted_;
+}
+
+std::uint64_t RateLimiter::admitted_bytes(int flow) const {
+  std::lock_guard lock(mu_);
+  if (flow == 0) return flow0_admitted_;
+  const auto it = flow_admitted_.find(flow);
+  return it == flow_admitted_.end() ? 0 : it->second;
 }
 
 std::chrono::nanoseconds RateLimiter::EstimateDelay(std::uint64_t n) const {

@@ -2,19 +2,28 @@
 // the simulated node: NVLink/D2D engines, shared PCIe Gen4 links, NVMe
 // drives, the parallel file system uplink, and pinned-memory registration.
 //
-// The limiter uses a debt model with FIFO admission: acquire(n) waits until
-// (a) it is the oldest waiter and (b) the bucket is non-negative, then
-// subtracts n (the bucket may go negative, which delays the *next* waiter).
-// This yields accurate long-term throughput shaping and models the
+// The limiter uses a debt model with weighted fair admission: acquire(n)
+// waits until (a) it holds the smallest start-time tag among waiters and (b)
+// the bucket is non-negative, then subtracts n (the bucket may go negative,
+// which delays the *next* waiter). Admission order follows start-time fair
+// queuing (SFQ): each request is tagged start = max(vclock, flow_finish[flow])
+// and finish = start + n/weight; requests are served in ascending start-tag
+// order, so concurrent flows share bandwidth in proportion to their weights.
+// With a single flow (the default — every legacy caller), tags are strictly
+// increasing and admission degenerates to exact FIFO, preserving the
 // serialization observed on a shared physical link: two GPUs sharing a PCIe
 // link each see roughly half the bandwidth under contention, full bandwidth
-// alone — exactly the DGX-A100 behaviour the paper describes.
+// alone — exactly the DGX-A100 behaviour the paper describes. Tenant-tagged
+// traffic (core/tenant.hpp) passes flow = tenant id so one tenant's burst
+// cannot starve another's restore path.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 
 #include "util/status.hpp"
 
@@ -32,14 +41,17 @@ class RateLimiter {
   RateLimiter(const RateLimiter&) = delete;
   RateLimiter& operator=(const RateLimiter&) = delete;
 
-  /// Blocks until `n` bytes worth of tokens have been admitted.
-  void Acquire(std::uint64_t n);
+  /// Blocks until `n` bytes worth of tokens have been admitted. `flow`
+  /// identifies the fair-queuing flow (e.g. tenant id) and `weight` its
+  /// bandwidth share; the defaults reproduce plain FIFO admission.
+  void Acquire(std::uint64_t n, int flow = 0, double weight = 1.0);
 
   /// Non-blocking variant: admits only if no queue and tokens available now.
   [[nodiscard]] bool TryAcquire(std::uint64_t n);
 
   /// Blocks at most `timeout`; returns kTimeout if not admitted in time.
-  Status AcquireFor(std::uint64_t n, std::chrono::nanoseconds timeout);
+  Status AcquireFor(std::uint64_t n, std::chrono::nanoseconds timeout,
+                    int flow = 0, double weight = 1.0);
 
   /// Dynamically retune the rate (e.g. ablations on link speed).
   void set_rate(std::uint64_t bytes_per_sec);
@@ -48,17 +60,29 @@ class RateLimiter {
   /// Total bytes admitted since construction (telemetry).
   [[nodiscard]] std::uint64_t admitted_bytes() const;
 
+  /// Bytes admitted on behalf of `flow` (per-tenant telemetry).
+  [[nodiscard]] std::uint64_t admitted_bytes(int flow) const;
+
   /// Estimated time for `n` further bytes to be admitted, given the current
   /// debt and queue. Used by the eviction predictor (`predict_evictable`).
   [[nodiscard]] std::chrono::nanoseconds EstimateDelay(std::uint64_t n) const;
 
  private:
   using Clock = std::chrono::steady_clock;
+  /// SFQ admission key: (start tag, arrival ticket). The ticket breaks
+  /// equal-tag ties in arrival order and makes every key unique.
+  using Key = std::pair<double, std::uint64_t>;
 
   // Refills tokens_ from elapsed time. Caller holds mu_.
   void Refill(Clock::time_point now);
   // Nanoseconds until tokens_ reaches >= 0 at the current rate. Caller holds mu_.
   [[nodiscard]] std::chrono::nanoseconds TimeToSolvency() const;
+  // Tags a new request and enqueues its key. Caller holds mu_.
+  Key Enqueue(std::uint64_t n, int flow, double weight);
+  // Grants the head request `key` for `n` bytes. Caller holds mu_.
+  void Grant(const Key& key, std::uint64_t n, int flow);
+  // Removes an abandoned waiter. Caller holds mu_.
+  void Abandon(const Key& key, std::uint64_t n);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -66,8 +90,13 @@ class RateLimiter {
   std::uint64_t burst_;        // max positive tokens
   double tokens_;              // may be negative (debt)
   Clock::time_point last_refill_;
-  std::uint64_t next_ticket_ = 0;   // FIFO admission
-  std::uint64_t serving_ticket_ = 0;
+  std::uint64_t next_ticket_ = 0;   // tie-break + key uniqueness
+  std::set<Key> waiting_;           // pending requests, ascending start tag
+  bool in_service_ = false;         // head is inside the solvency wait
+  double vclock_ = 0.0;             // SFQ virtual time (last granted start tag)
+  std::map<int, double> flow_finish_;    // per-flow last finish tag
+  std::uint64_t flow0_admitted_ = 0;            // flow-0 (legacy) fast path
+  std::map<int, std::uint64_t> flow_admitted_;  // other flows' telemetry
   std::uint64_t admitted_ = 0;
   std::uint64_t queued_bytes_ = 0;  // bytes held by waiters, for EstimateDelay
 };

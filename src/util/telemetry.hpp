@@ -54,12 +54,17 @@ struct TierSample {
 /// start; the sampler derives window rates from consecutive samples.
 struct RankSample {
   int rank = -1;
+  /// Owning tenant's name, empty in single-tenant engines. Scrapers emit a
+  /// `tenant` label only when non-empty, so legacy exposition is unchanged.
+  std::string tenant;
   /// FSM-state occupancy histogram, indexed by core::CkptState.
   std::vector<std::uint64_t> state_occupancy;
   std::int64_t last_transition_ns = 0;  ///< trace-epoch ns of newest FSM edge
   std::uint64_t restore_queue_depth = 0;
   std::uint64_t reserve_rounds = 0;
   std::uint64_t reserve_plans_stale = 0;
+  std::uint64_t reserve_snapshot_reuse = 0;
+  std::uint64_t reserve_quota_waits = 0;
   std::uint64_t flush_retries = 0;
   std::uint64_t fetch_retries = 0;
   std::uint64_t tier_degradations = 0;

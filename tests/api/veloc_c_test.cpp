@@ -232,4 +232,47 @@ TEST_F(VelocCApiTest, GpudirectConfigWorks) {
   ASSERT_EQ(VELOCX_Device_free(0, ptr), VELOCX_SUCCESS);
 }
 
+TEST_F(VelocCApiTest, TenantsConfigSplitsRanksAndResolvesByName) {
+  ASSERT_EQ(VELOCX_Init("gpu_cache = 256Ki, host_cache = 1Mi, "
+                        "tenants = jobA:1Mi;jobB:512Ki:0.5",
+                        2),
+            VELOCX_SUCCESS);
+  int a = -1;
+  int b = -1;
+  ASSERT_EQ(VELOCX_Tenant_open("jobA", &a), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Tenant_open("jobB", &b), VELOCX_SUCCESS);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(VELOCX_Tenant_open("nosuch", &a), VELOCX_ENOTFOUND);
+  EXPECT_EQ(VELOCX_Tenant_open(nullptr, &a), VELOCX_EINVAL);
+
+  /* jobB's rank works until its tenant closes; jobA is unaffected. */
+  void* pa = nullptr;
+  void* pb = nullptr;
+  ASSERT_EQ(VELOCX_Device_alloc(0, 4096, &pa), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Device_alloc(1, 4096, &pb), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(0, 1, pa, 4096), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Mem_protect(1, 1, pb, 4096), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Checkpoint(1, "b", 0), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Tenant_close(b), VELOCX_SUCCESS);
+  EXPECT_NE(VELOCX_Checkpoint(1, "b", 1), VELOCX_SUCCESS);
+  EXPECT_EQ(VELOCX_Checkpoint(0, "a", 0), VELOCX_SUCCESS);
+  EXPECT_NE(VELOCX_Tenant_close(b), VELOCX_SUCCESS);  /* double close */
+  ASSERT_EQ(VELOCX_Device_free(0, pa), VELOCX_SUCCESS);
+  ASSERT_EQ(VELOCX_Device_free(1, pb), VELOCX_SUCCESS);
+}
+
+TEST_F(VelocCApiTest, InvalidTenantsConfigIsRejectedAtInit) {
+  EXPECT_EQ(VELOCX_Init("tenants = solo", 1), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Init("tenants = a:1Mi;a:2Mi", 1), VELOCX_EINVAL);
+  EXPECT_EQ(VELOCX_Init("tenants = a:1Mi:0", 1), VELOCX_EINVAL);
+  /* more tenants than ranks */
+  EXPECT_EQ(VELOCX_Init("tenants = a:1Mi;b:1Mi", 1), VELOCX_EINVAL);
+  /* tenant calls on a single-tenant engine still resolve the default */
+  ASSERT_EQ(VELOCX_Init(nullptr, 1), VELOCX_SUCCESS);
+  int id = -1;
+  EXPECT_EQ(VELOCX_Tenant_open("default", &id), VELOCX_SUCCESS);
+  EXPECT_EQ(id, 0);
+}
+
 }  // namespace

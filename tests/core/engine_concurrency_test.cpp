@@ -245,5 +245,104 @@ TEST(EngineConcurrencyTest, MultiRankStormConservesBytesAndResidency) {
   }
 }
 
+// Two tenants with asymmetric quotas storm one shared mixed-policy stack:
+// tenant a (unlimited) and tenant b (64Ki, half bandwidth weight) each run
+// checkpoint writers plus hint+restore readers on their own rank block.
+// TSan covers the quota admission path (TenantCacheUsed sums, ShedForQuota,
+// the quota wait/wake channel) racing the regular reserve/evict machinery.
+// At quiescence: per-tenant byte conservation must hold, tenant b must sit
+// at or under its quota, and tenant a must never have taken a quota wait.
+TEST(EngineConcurrencyTest, MultiTenantStormRespectsQuotasAndConservesBytes) {
+  constexpr int kRanksPerTenant = 2;
+  constexpr int kRanks = 2 * kRanksPerTenant;
+  constexpr int kCkpts = 24;
+  constexpr std::uint64_t kQuotaB = 64 << 10;
+  auto stack = ParseTierStack(
+      "gpu:gpucache:96Ki:score,host:cache:256Ki:lru,ssd:durable:mem", "", {});
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  auto tenants = ParseTenantSpecs("a:0;b:64Ki:0.5");
+  ASSERT_TRUE(tenants.ok()) << tenants.status();
+  EngineOptions opts;
+  opts.tenants = std::move(*tenants);
+  Stack s;
+  sim::TopologyConfig topo = sim::TopologyConfig::Testing();
+  topo.gpus_per_node = kRanks;
+  s.cluster = std::make_unique<sim::Cluster>(topo);
+  s.engine =
+      std::make_unique<Engine>(*s.cluster, std::move(*stack), opts, kRanks);
+  auto& engine = *s.engine;
+  ASSERT_TRUE(engine.multi_tenant());
+
+  std::vector<std::uint64_t> written_bytes(kRanks, 0);
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<Version>> hwm(kRanks);  // highest written + 1
+  std::atomic<int> failures{0};
+
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      auto& dev = s.cluster->device(r);
+      auto buf = *dev.Allocate(24 << 10);
+      for (int i = 0; i < kCkpts; ++i) {
+        const Version v = static_cast<Version>(i);
+        const std::uint64_t size = (8 << 10) * (1 + i % 3);  // 8/16/24 KiB
+        written_bytes[static_cast<std::size_t>(r)] += size;
+        FillPattern(r, v, buf, size);
+        if (!engine.Checkpoint(r, v, buf, size).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        hwm[static_cast<std::size_t>(r)].store(v + 1,
+                                               std::memory_order_release);
+        if (i % 8 == 7) (void)engine.WaitForFlushes(r);
+      }
+      (void)dev.Free(buf);
+    });
+    threads.emplace_back([&, r] {
+      auto& dev = s.cluster->device(r);
+      auto buf = *dev.Allocate(24 << 10);
+      bool started = false;
+      for (int i = 0; i < kCkpts; ++i) {
+        const Version v = static_cast<Version>(i);
+        while (hwm[static_cast<std::size_t>(r)].load(
+                   std::memory_order_acquire) <= v) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (i % 2 == 0) {
+          (void)engine.PrefetchEnqueue(r, v);
+          if (!started) {
+            (void)engine.PrefetchStart(r);
+            started = true;
+          }
+        }
+        auto size = engine.RecoverSize(r, v);
+        if (!size.ok() || !engine.Restore(r, v, buf, 24 << 10).ok() ||
+            !CheckPattern(r, v, buf, *size)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      (void)dev.Free(buf);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  std::uint64_t quota_waits_a = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(engine.WaitForFlushes(r).ok());
+    const RankMetrics m = engine.MetricsSnapshot(r);
+    const std::uint64_t expect = written_bytes[static_cast<std::size_t>(r)];
+    EXPECT_EQ(m.bytes_checkpointed, expect) << "rank " << r;
+    EXPECT_EQ(m.bytes_restored, expect) << "rank " << r;
+    if (r < kRanksPerTenant) quota_waits_a += m.reserve_quota_waits;
+  }
+  // Quota pressure stays inside tenant b: the unlimited tenant never waits.
+  EXPECT_EQ(quota_waits_a, 0u);
+  // Tenant b quiesces at or under its quota; the registry still maps every
+  // rank to the right block after the storm.
+  EXPECT_LE(engine.TenantCacheUsed(1), kQuotaB);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(engine.TenantOf(r), r < kRanksPerTenant ? 0 : 1) << "rank " << r;
+  }
+}
+
 }  // namespace
 }  // namespace ckpt::core

@@ -1,0 +1,328 @@
+// Multi-tenant service layer (DESIGN.md §12): the tenants= grammar, the
+// registry's rank-block assignment, engine-level quota admission and close
+// semantics, tenant-labeled telemetry, and the reserve path's fragment
+// snapshot reuse across consecutive stale replan rounds.
+#include "core/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/telemetry_sink.hpp"
+#include "core/trace_sink.hpp"
+#include "rtm/workload.hpp"
+#include "storage/mem_store.hpp"
+
+namespace ckpt::core {
+namespace {
+
+using rtm::CheckPattern;
+using rtm::FillPattern;
+
+// --- tenants= grammar --------------------------------------------------
+
+TEST(ParseTenantSpecsTest, EmptyTextIsLegacySingleTenantMode) {
+  auto specs = ParseTenantSpecs("");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_TRUE(specs->empty());
+}
+
+TEST(ParseTenantSpecsTest, ParsesNamesQuotasAndWeights) {
+  auto specs = ParseTenantSpecs("rtm:24Mi;synth:8Mi:0.5; third : 0 ");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 3u);
+  EXPECT_EQ((*specs)[0].name, "rtm");
+  EXPECT_EQ((*specs)[0].quota_bytes, 24ull << 20);
+  EXPECT_DOUBLE_EQ((*specs)[0].weight, 1.0);
+  EXPECT_EQ((*specs)[1].name, "synth");
+  EXPECT_EQ((*specs)[1].quota_bytes, 8ull << 20);
+  EXPECT_DOUBLE_EQ((*specs)[1].weight, 0.5);
+  EXPECT_EQ((*specs)[2].name, "third");
+  EXPECT_EQ((*specs)[2].quota_bytes, 0u);  // 0 = unlimited
+}
+
+TEST(ParseTenantSpecsTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(ParseTenantSpecs("noquota").ok());
+  EXPECT_FALSE(ParseTenantSpecs(":1Mi").ok());
+  EXPECT_FALSE(ParseTenantSpecs("a:notasize").ok());
+  EXPECT_FALSE(ParseTenantSpecs("a:1Mi:0").ok());     // weight must be > 0
+  EXPECT_FALSE(ParseTenantSpecs("a:1Mi:-2").ok());
+  EXPECT_FALSE(ParseTenantSpecs("a:1Mi;a:2Mi").ok()); // duplicate name
+}
+
+// --- TenantRegistry -----------------------------------------------------
+
+TEST(TenantRegistryTest, AssignsContiguousRankBlocksInOrder) {
+  TenantRegistry reg(8);
+  auto a = reg.Open(TenantSpec{.name = "a"}, 3);
+  auto b = reg.Open(TenantSpec{.name = "b"}, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 1);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(reg.tenant_of(r), *a);
+  for (int r = 3; r < 8; ++r) EXPECT_EQ(reg.tenant_of(r), *b);
+  EXPECT_EQ(reg.tenant_of(8), kNoTenant);
+  EXPECT_EQ(reg.tenant_of(-1), kNoTenant);
+  EXPECT_EQ(reg.count(), 2);
+  EXPECT_EQ(reg.assigned_ranks(), 8);
+  EXPECT_EQ(reg.FindByName("b"), *b);
+  EXPECT_EQ(reg.FindByName("zzz"), kNoTenant);
+}
+
+TEST(TenantRegistryTest, RejectsOverCommitAndDuplicates) {
+  TenantRegistry reg(4);
+  ASSERT_TRUE(reg.Open(TenantSpec{.name = "a"}, 3).ok());
+  EXPECT_FALSE(reg.Open(TenantSpec{.name = "b"}, 2).ok());  // 1 rank left
+  EXPECT_FALSE(reg.Open(TenantSpec{.name = "a"}, 1).ok());  // duplicate
+  EXPECT_FALSE(reg.Open(TenantSpec{.name = ""}, 1).ok());
+  EXPECT_FALSE(reg.Open(TenantSpec{.name = "w", .weight = 0.0}, 1).ok());
+}
+
+TEST(TenantRegistryTest, CloseIsSingleShotAndKeepsCtxReadable) {
+  TenantRegistry reg(2);
+  auto id = reg.Open(TenantSpec{.name = "a"}, 2);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(reg.Close(*id).ok());
+  EXPECT_EQ(reg.Close(*id).code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(reg.Close(99).ok());
+  const TenantCtx* ctx = reg.Get(*id);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_FALSE(ctx->open.load());
+  EXPECT_EQ(reg.tenant_of(0), *id);  // ranks stay assigned
+}
+
+// --- Engine integration -------------------------------------------------
+
+class TenantEngineTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kCkptSize = 64 << 10;
+
+  void Build(EngineOptions opts, int ranks,
+             const std::string& tenants = "") {
+    if (!tenants.empty()) {
+      auto specs = ParseTenantSpecs(tenants);
+      ASSERT_TRUE(specs.ok()) << specs.status();
+      opts.tenants = std::move(*specs);
+    }
+    engine_.reset();  // must go before the cluster it references
+    sim::TopologyConfig topo = sim::TopologyConfig::Testing();
+    topo.gpus_per_node = std::max(topo.gpus_per_node, ranks);
+    cluster_ = std::make_unique<sim::Cluster>(topo);
+    ssd_ = std::make_shared<storage::MemStore>();
+    pfs_ = std::make_shared<storage::MemStore>();
+    engine_ = std::make_unique<Engine>(*cluster_, ssd_, pfs_, opts, ranks);
+  }
+
+  EngineOptions SmallCaches() {
+    EngineOptions opts;
+    opts.gpu_cache_bytes = 4 * kCkptSize;
+    opts.host_cache_bytes = 16 * kCkptSize;
+    return opts;
+  }
+
+  void WriteCkpt(sim::Rank rank, Version v) {
+    auto buf = cluster_->device(rank).Allocate(kCkptSize);
+    ASSERT_TRUE(buf.ok());
+    FillPattern(rank, v, *buf, kCkptSize);
+    ASSERT_TRUE(engine_->Checkpoint(rank, v, *buf, kCkptSize).ok());
+    ASSERT_TRUE(cluster_->device(rank).Free(*buf).ok());
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::shared_ptr<storage::MemStore> ssd_;
+  std::shared_ptr<storage::MemStore> pfs_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(TenantEngineTest, LegacyModeOpensOneDefaultTenantOverAllRanks) {
+  Build(SmallCaches(), 2);
+  EXPECT_FALSE(engine_->multi_tenant());
+  const TenantRegistry& reg = engine_->tenant_registry();
+  EXPECT_EQ(reg.count(), 1);
+  EXPECT_EQ(engine_->TenantOf(0), kDefaultTenant);
+  EXPECT_EQ(engine_->TenantOf(1), kDefaultTenant);
+  // No tenant labels anywhere in single-tenant mode.
+  EXPECT_EQ(engine_->TenantLabelOf(0), "");
+  const std::string text = OpenMetricsText(*engine_);
+  EXPECT_EQ(text.find("tenant="), std::string::npos);
+}
+
+TEST_F(TenantEngineTest, TenantsSplitRanksIntoContiguousBlocks) {
+  Build(SmallCaches(), 4, "a:1Mi;b:2Mi:0.5");
+  EXPECT_TRUE(engine_->multi_tenant());
+  const TenantRegistry& reg = engine_->tenant_registry();
+  ASSERT_EQ(reg.count(), 2);
+  EXPECT_EQ(engine_->TenantOf(0), 0);
+  EXPECT_EQ(engine_->TenantOf(1), 0);
+  EXPECT_EQ(engine_->TenantOf(2), 1);
+  EXPECT_EQ(engine_->TenantOf(3), 1);
+  EXPECT_EQ(engine_->TenantLabelOf(0), "a");
+  EXPECT_EQ(engine_->TenantLabelOf(3), "b");
+  EXPECT_EQ(reg.Get(1)->spec.quota_bytes, 2ull << 20);
+  EXPECT_DOUBLE_EQ(reg.Get(1)->spec.weight, 0.5);
+}
+
+TEST_F(TenantEngineTest, UnevenSplitGivesRemainderToEarlierTenants) {
+  Build(SmallCaches(), 5, "a:0;b:0");
+  const TenantRegistry& reg = engine_->tenant_registry();
+  ASSERT_EQ(reg.count(), 2);
+  EXPECT_EQ(reg.Get(0)->num_ranks, 3);
+  EXPECT_EQ(reg.Get(1)->num_ranks, 2);
+  EXPECT_EQ(reg.assigned_ranks(), 5);
+}
+
+TEST_F(TenantEngineTest, ClosedTenantRejectsTrafficNeighborUnaffected) {
+  Build(SmallCaches(), 2, "a:0;b:0");
+  WriteCkpt(0, 0);
+  WriteCkpt(1, 0);
+  ASSERT_TRUE(engine_->CloseTenant(0).ok());
+  auto buf = cluster_->device(0).Allocate(kCkptSize);
+  ASSERT_TRUE(buf.ok());
+  const util::Status ckpt = engine_->Checkpoint(0, 1, *buf, kCkptSize);
+  EXPECT_EQ(ckpt.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(engine_->Restore(0, 0, *buf, kCkptSize).code(),
+            util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(engine_->PrefetchEnqueue(0, 0).code(),
+            util::ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(cluster_->device(0).Free(*buf).ok());
+  // Tenant b's ranks keep full service.
+  WriteCkpt(1, 1);
+  // Double close fails cleanly.
+  EXPECT_EQ(engine_->CloseTenant(0).code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TenantEngineTest, QuotaTenantIsCappedWhileUnlimitedNeighborRuns) {
+  // Tenant a: 2-checkpoint quota. Tenant b: unlimited. Both write a long
+  // series; a's cache residency must never exceed its quota while b keeps
+  // its full working set.
+  EngineOptions opts = SmallCaches();
+  Build(opts, 2, "a:128Ki;b:0");
+  const std::uint64_t quota = 128 << 10;
+  for (Version v = 0; v < 12; ++v) {
+    WriteCkpt(0, v);
+    WriteCkpt(1, v);
+    EXPECT_LE(engine_->TenantCacheUsed(0), quota)
+        << "tenant a over quota after version " << v;
+  }
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  ASSERT_TRUE(engine_->WaitForFlushes(1).ok());
+  EXPECT_LE(engine_->TenantCacheUsed(0), quota);
+  EXPECT_GT(engine_->TenantCacheUsed(1), quota);  // b kept its bigger set
+  const RankMetrics mb = engine_->MetricsSnapshot(1);
+  // Quota pressure never crosses the tenant boundary: b is unlimited, so
+  // its reserve path must not take a single quota wait.
+  EXPECT_EQ(mb.reserve_quota_waits, 0u);
+  // Every checkpoint still round-trips (quota sheds flushed copies, not
+  // durability).
+  for (Version v = 0; v < 12; ++v) {
+    auto buf = cluster_->device(0).Allocate(kCkptSize);
+    ASSERT_TRUE(buf.ok());
+    ASSERT_TRUE(engine_->Restore(0, v, *buf, kCkptSize).ok());
+    EXPECT_TRUE(CheckPattern(0, v, *buf, kCkptSize));
+    ASSERT_TRUE(cluster_->device(0).Free(*buf).ok());
+  }
+}
+
+TEST_F(TenantEngineTest, OpenTenantAfterInitFailsWhenRanksExhausted) {
+  Build(SmallCaches(), 2, "a:0;b:0");
+  EXPECT_FALSE(engine_->OpenTenant(TenantSpec{.name = "c"}, 1).ok());
+}
+
+// --- Satellite: fragment snapshot reuse across stale replans ------------
+
+TEST_F(TenantEngineTest, StaleReplanRoundsReuseTheFragmentSnapshot) {
+  // Force the first two commit attempts stale without touching the table:
+  // the geometry is unchanged, so rounds 1 and 2 must reuse round 0's
+  // snapshot instead of re-copying the fragment list.
+  EngineOptions opts = SmallCaches();
+  opts.test_force_stale_plan = [](int round) { return round < 2; };
+  Build(opts, 1);
+  WriteCkpt(0, 0);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  const RankMetrics m = engine_->MetricsSnapshot(0);
+  // Each reservation (the checkpoint's and any cascade flush's) loses two
+  // rounds to the forced-stale hook; the table never changed in between, so
+  // every stale round must have reused the snapshot rather than rebuilt it.
+  EXPECT_GE(m.reserve_plans_stale, 2u);
+  EXPECT_EQ(m.reserve_snapshot_reuse, m.reserve_plans_stale);
+  EXPECT_GE(m.reserve_rounds, 3u);
+}
+
+TEST_F(TenantEngineTest, VersionChangeBetweenRoundsRebuildsSnapshot) {
+  // Consistency check for the reuse gate: a fresh engine's first write has
+  // no prior snapshot, so a single non-stale reservation never reuses.
+  Build(SmallCaches(), 1);
+  WriteCkpt(0, 0);
+  const RankMetrics m = engine_->MetricsSnapshot(0);
+  EXPECT_EQ(m.reserve_snapshot_reuse, 0u);
+}
+
+// --- Tenant-labeled telemetry -------------------------------------------
+
+TEST_F(TenantEngineTest, TenantLabeledScrapeIsValidOpenMetrics) {
+  Build(SmallCaches(), 2, "a:1Mi;b:0");
+  WriteCkpt(0, 0);
+  WriteCkpt(1, 0);
+  const std::string text = OpenMetricsText(*engine_);
+  const TelemetryCheck check = ValidateOpenMetrics(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_NE(text.find("tenant=\"a\",rank=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"b\",rank=\"1\""), std::string::npos);
+  // The new reserve families are declared and sampled.
+  EXPECT_EQ(check.family_type.at("ckpt_reserve_snapshot_reuse"), "counter");
+  EXPECT_EQ(check.family_type.at("ckpt_reserve_quota_waits"), "counter");
+}
+
+TEST_F(TenantEngineTest, TenantNamesAreEscapedInLabels) {
+  Build(SmallCaches(), 1, "we\"ird:0");
+  const std::string text = OpenMetricsText(*engine_);
+  const TelemetryCheck check = ValidateOpenMetrics(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_NE(text.find("tenant=\"we\\\"ird\""), std::string::npos);
+}
+
+TEST(TenantTelemetryGoldenTest, InvalidTenantLabeledPayloadsAreRejected) {
+  // Golden invalid payloads around the tenant label: the validator must
+  // reject them rather than let a malformed scrape pass --require-label.
+  const struct {
+    const char* text;
+    const char* why;
+  } kCases[] = {
+      {"# HELP m x\n# TYPE m gauge\nm{tenant=\"a} 1\n# EOF\n",
+       "unterminated label value"},
+      {"# HELP m x\n# TYPE m gauge\nm{tenant=\"a\\q\"} 1\n# EOF\n",
+       "illegal escape in label value"},
+      {"# HELP m x\n# TYPE m gauge\nm{2tenant=\"a\"} 1\n# EOF\n",
+       "label name starts with a digit"},
+      {"# HELP m x\n# TYPE m gauge\nm{tenant=\"a\"tenant=\"b\"} 1\n# EOF\n",
+       "missing comma between labels"},
+      {"# HELP m x\n# TYPE m gauge\nm{tenant=a} 1\n# EOF\n",
+       "unquoted label value"},
+  };
+  for (const auto& c : kCases) {
+    const TelemetryCheck check = ValidateOpenMetrics(c.text);
+    EXPECT_FALSE(check.ok) << "should reject: " << c.why;
+  }
+}
+
+TEST_F(TenantEngineTest, MetricsJsonCarriesTenantAttribution) {
+  Build(SmallCaches(), 2, "a:0;b:0");
+  WriteCkpt(0, 0);
+  const std::string json = MetricsSnapshotJson(*engine_);
+  EXPECT_NE(json.find("\"tenant\":\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"reserve_snapshot_reuse\""), std::string::npos);
+  EXPECT_NE(json.find("\"reserve_quota_waits\""), std::string::npos);
+  // Single-tenant JSON stays tenant-free.
+  Build(SmallCaches(), 1);
+  EXPECT_EQ(MetricsSnapshotJson(*engine_).find("\"tenant\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckpt::core

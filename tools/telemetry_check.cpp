@@ -4,6 +4,7 @@
 //
 //   telemetry_check scrape.txt [--require FAMILY ...] [--prev earlier.txt]
 //                              [--expect-zero SAMPLE] [--expect-nonzero SAMPLE]
+//                              [--require-label KEY=VALUE ...]
 //
 // Exits 0 when the payload parses as valid OpenMetrics text (name/label
 // charsets, TYPE-before-samples, counter `_total` convention, escaped label
@@ -13,10 +14,13 @@
 // key (exact "name{labels}" form, or a bare family name to sum all of its
 // samples): CI uses --expect-zero on ckpt_watchdog_stalls_total for healthy
 // runs and --expect-nonzero on it for the forced-stall run.
+// --require-label KEY=VALUE asserts at least one sample carries that exact
+// label pair (multi-tenant CI scrapes require tenant=<name> per tenant).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -27,7 +31,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scrape.txt> [--require FAMILY ...] [--prev FILE]\n"
-               "          [--expect-zero SAMPLE] [--expect-nonzero SAMPLE]\n",
+               "          [--expect-zero SAMPLE] [--expect-nonzero SAMPLE]\n"
+               "          [--require-label KEY=VALUE ...]\n",
                argv0);
   return 2;
 }
@@ -70,6 +75,32 @@ double SumSelected(const ckpt::core::TelemetryCheck& ck,
   return sum;
 }
 
+/// Samples carrying the exact label pair `KEY="VALUE"` (matched at label
+/// boundaries inside the rendered block, never against label values).
+std::size_t CountLabelMatches(const ckpt::core::TelemetryCheck& ck,
+                              const std::string& key,
+                              const std::string& value) {
+  const std::string needle = key + "=\"" + value + "\"";
+  std::size_t matches = 0;
+  for (const auto& [sample, v] : ck.values) {
+    (void)v;
+    const std::size_t brace = sample.find('{');
+    if (brace == std::string::npos) continue;
+    std::size_t pos = sample.find(needle, brace);
+    while (pos != std::string::npos) {
+      const char before = sample[pos - 1];
+      const std::size_t end = pos + needle.size();
+      const char after = end < sample.size() ? sample[end] : '\0';
+      if ((before == '{' || before == ',') && (after == ',' || after == '}')) {
+        ++matches;
+        break;
+      }
+      pos = sample.find(needle, pos + 1);
+    }
+  }
+  return matches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,10 +109,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   std::vector<std::string> expect_zero;
   std::vector<std::string> expect_nonzero;
+  std::vector<std::pair<std::string, std::string>> required_labels;
   std::string prev_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-label") == 0 && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "telemetry_check: --require-label wants KEY=VALUE, got "
+                     "'%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      required_labels.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
     } else if (std::strcmp(argv[i], "--prev") == 0 && i + 1 < argc) {
       prev_path = argv[++i];
     } else if (std::strcmp(argv[i], "--expect-zero") == 0 && i + 1 < argc) {
@@ -124,6 +167,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "telemetry_check: family '%s' has no samples\n",
                    fam.c_str());
       ++failures;
+    }
+  }
+  for (const auto& [lkey, lvalue] : required_labels) {
+    const std::size_t matches = CountLabelMatches(check, lkey, lvalue);
+    if (matches == 0) {
+      std::fprintf(stderr,
+                   "telemetry_check: no sample carries label %s=\"%s\"\n",
+                   lkey.c_str(), lvalue.c_str());
+      ++failures;
+    } else {
+      std::printf("label %s=\"%s\": %zu sample(s)\n", lkey.c_str(),
+                  lvalue.c_str(), matches);
     }
   }
   for (const std::string& raw : expect_zero) {
