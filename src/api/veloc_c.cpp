@@ -16,6 +16,7 @@
 #include "core/trace_sink.hpp"
 #include "storage/file_store.hpp"
 #include "storage/mem_store.hpp"
+#include "storage/remote_store.hpp"
 #include "storage/throttled_store.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
@@ -158,7 +159,7 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
   // gpu_cache/host_cache/terminal_tier keys.
   const sim::Topology& topo = ctx->cluster->topology();
   const auto open_backend =
-      [](std::string_view tier, std::string_view backend)
+      [&topo](std::string_view tier, std::string_view backend)
       -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
     if (backend.empty() || backend == "mem") {
       return std::shared_ptr<storage::ObjectStore>(
@@ -169,9 +170,12 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
       if (!fs.ok()) return fs.status();
       return std::shared_ptr<storage::ObjectStore>(std::move(*fs));
     }
+    if (backend.substr(0, 5) == "s3://") {
+      return storage::OpenRemoteBackend(backend, &topo);
+    }
     return util::InvalidArgument("tier '" + std::string(tier) +
                                  "': unknown backend '" + std::string(backend) +
-                                 "' (want mem or file=<dir>)");
+                                 "' (want mem, file=<dir> or s3://<bucket>)");
   };
   if (cfg.Has("tiers")) {
     const core::TierStoreFactory factory =
@@ -180,6 +184,10 @@ int VELOCX_Init(const char* config_text, int num_ranks) {
         -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
       auto raw = open_backend(tier, backend);
       if (!raw.ok()) return raw.status();
+      // Remote backends model their own fabric charges (per-request latency
+      // plus uplink bandwidth inside RemoteStore) — wrapping them in the
+      // SSD/PFS bandwidth decorators would double-charge the same bytes.
+      if (backend.substr(0, 5) == "s3://") return raw;
       // The first durable tier gets node-local SSD drive bandwidth; every
       // deeper one shares the PFS uplink.
       return ordinal == 0 ? storage::MakeSsdStore(topo, std::move(*raw))

@@ -36,6 +36,11 @@ class CompressedStore final : public storage::ObjectStore {
   [[nodiscard]] std::uint64_t TotalBytes() const override {
     return inner_->TotalBytes();
   }
+  // GetRange deliberately stays the whole-object default: a byte range of
+  // the logical payload is not a byte range of the compressed object.
+  [[nodiscard]] bool CollectStats(storage::StoreStats& out) const override {
+    return inner_->CollectStats(out);
+  }
 
   /// Cumulative logical vs stored bytes (telemetry; ratio = logical/stored).
   [[nodiscard]] std::uint64_t logical_bytes() const noexcept { return logical_; }

@@ -87,6 +87,13 @@ void Engine::Init(int num_ranks) {
   // engine-wide knob; after this every stack_.policy(i) is concrete.
   stack_.ResolveEvictionPolicies(options_.eviction);
 
+  durable_span_names_.reserve(static_cast<std::size_t>(stack_.num_durable_tiers()));
+  for (int d = 0; d < stack_.num_durable_tiers(); ++d) {
+    const auto idx = static_cast<std::size_t>(stack_.durable_index(d));
+    durable_span_names_.push_back(
+        trace::Intern("flush:" + std::string(stack_.name(idx))));
+  }
+
   // Tenant table (DESIGN.md §12), built before any worker can run. Explicit
   // tenants claim contiguous rank blocks in declaration order (even split,
   // remainder to the earlier tenants); legacy callers get one implicit
@@ -743,9 +750,16 @@ Engine::TerminalPutResult Engine::PutTerminal(RankCtx& ctx_, Version v,
   // checkpoint durable.
   for (int d = 0; d <= stack_.terminal_ordinal(); ++d) {
     storage::ObjectStore& store = *stack_.durable_store(d);
+    // Per-tier span ("flush:ssd", "flush:remote", ...) covering the put
+    // including its engine-level retries, so slow terminal tiers show up
+    // attributed in the trace rather than folded into the drain stage.
+    trace::Span span(trace::Kind::kFlush,
+                     durable_span_names_[static_cast<std::size_t>(d)],
+                     ctx_.rank, stack_.durable_index(d), v, size);
     const util::RetryOutcome out = util::RetryWithBackoff(
         options_.flush_retry, rng, [&] { return store.Put(key, src, size); });
     r.retries += out.retries();
+    if (!out.ok()) span.Cancel();
     if (out.ok()) {
       r.ok[static_cast<std::size_t>(d)] = 1;
     } else {

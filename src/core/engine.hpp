@@ -700,6 +700,9 @@ class Engine final : public Runtime {
   sim::Cluster& cluster_;
   TierStack stack_;
   EngineOptions options_;
+  /// Interned "flush:<tier>" span names, one per durable ordinal, so the
+  /// terminal put loop can emit per-tier spans without allocating.
+  std::vector<const char*> durable_span_names_;
   /// Tenant table + rank->tenant mapping; created before the workers spawn.
   std::unique_ptr<TenantRegistry> tenant_registry_;
   /// True when the engine runs in explicit multi-tenant mode: tenant labels

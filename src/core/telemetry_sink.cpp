@@ -20,6 +20,7 @@ namespace ckpt::core {
 namespace {
 
 using util::telemetry::RankSample;
+using util::telemetry::RemoteTierSample;
 using util::telemetry::SamplePtr;
 using util::telemetry::TelemetrySample;
 using util::telemetry::TierSample;
@@ -172,6 +173,27 @@ void AppendRankSampleJson(std::string& out, const RankSample& rs,
   out += "]}";
 }
 
+void AppendRemoteTierJson(std::string& out, const RemoteTierSample& rt) {
+  out += "{\"name\":\"" + util::json::Escape(rt.tier_name) + "\"";
+  AppendF(out,
+          ",\"remote_puts\":%" PRIu64 ",\"remote_gets\":%" PRIu64
+          ",\"remote_parts\":%" PRIu64 ",\"remote_part_retries\":%" PRIu64
+          ",\"remote_put_bytes\":%" PRIu64 ",\"remote_get_bytes\":%" PRIu64
+          ",\"agg_member_puts\":%" PRIu64 ",\"agg_group_puts\":%" PRIu64
+          ",\"agg_group_put_failures\":%" PRIu64 ",\"agg_size_flushes\":%" PRIu64
+          ",\"agg_deadline_flushes\":%" PRIu64
+          ",\"agg_gets_from_pending\":%" PRIu64
+          ",\"agg_group_reclaims\":%" PRIu64
+          ",\"agg_pending_members\":%" PRIu64 ",\"agg_pending_bytes\":%" PRIu64
+          "}",
+          rt.remote_puts, rt.remote_gets, rt.remote_parts,
+          rt.remote_part_retries, rt.remote_put_bytes, rt.remote_get_bytes,
+          rt.agg_member_puts, rt.agg_group_puts, rt.agg_group_put_failures,
+          rt.agg_size_flushes, rt.agg_deadline_flushes,
+          rt.agg_gets_from_pending, rt.agg_group_reclaims,
+          rt.agg_pending_members, rt.agg_pending_bytes);
+}
+
 /// One rank's (or the merged) critical-path entry.
 void AppendCriticalPathEntry(std::string& out, const RankMetrics& m,
                              double wall_s,
@@ -276,7 +298,54 @@ SamplePtr BuildTelemetrySample(const Engine& engine, std::uint64_t seq,
     }
     s->ranks.push_back(std::move(rs));
   }
+  s->remote_tiers = CollectRemoteTiers(engine);
   return s;
+}
+
+std::vector<RemoteTierSample> CollectRemoteTiers(const Engine& engine) {
+  // Store-level counters of remote/aggregating durable tiers. The stores are
+  // engine-wide (shared across ranks), so these ride beside the rank slices;
+  // stacks without such a tier return empty and every downstream exposition
+  // stays byte-identical to the pre-remote format.
+  std::vector<RemoteTierSample> out;
+  const TierStack& stack = engine.tiers();
+  for (int d = 0; d < stack.num_durable_tiers(); ++d) {
+    storage::StoreStats st;
+    const storage::ObjectStore* store = stack.durable_store(d);
+    if (store == nullptr || !store->CollectStats(st)) continue;
+    RemoteTierSample rt;
+    rt.tier = stack.durable_index(d);
+    rt.tier_name = std::string(stack.name(static_cast<std::size_t>(rt.tier)));
+    rt.remote_puts = st.remote_puts;
+    rt.remote_gets = st.remote_gets;
+    rt.remote_parts = st.remote_parts;
+    rt.remote_part_retries = st.remote_part_retries;
+    rt.remote_put_bytes = st.remote_put_bytes;
+    rt.remote_get_bytes = st.remote_get_bytes;
+    rt.agg_member_puts = st.agg_member_puts;
+    rt.agg_group_puts = st.agg_group_puts;
+    rt.agg_group_put_failures = st.agg_group_put_failures;
+    rt.agg_size_flushes = st.agg_size_flushes;
+    rt.agg_deadline_flushes = st.agg_deadline_flushes;
+    rt.agg_gets_from_pending = st.agg_gets_from_pending;
+    rt.agg_group_reclaims = st.agg_group_reclaims;
+    rt.agg_pending_members = st.agg_pending_members;
+    rt.agg_pending_bytes = st.agg_pending_bytes;
+    out.push_back(std::move(rt));
+  }
+  return out;
+}
+
+std::string RemoteTiersJson(const Engine& engine) {
+  const std::vector<RemoteTierSample> tiers = CollectRemoteTiers(engine);
+  if (tiers.empty()) return {};
+  std::string out = "[";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (i) out += ',';
+    AppendRemoteTierJson(out, tiers[i]);
+  }
+  out += ']';
+  return out;
 }
 
 std::string OpenMetricsText(const TelemetrySample& s,
@@ -400,6 +469,65 @@ std::string OpenMetricsText(const TelemetrySample& s,
                   rs.tiers[i].restores);
     }
   }
+  // Remote/aggregating tier families appear only when the stack has a store
+  // that reports them, keeping every other configuration byte-identical.
+  if (!s.remote_tiers.empty()) {
+    struct RemoteCounterSpec {
+      const char* family;
+      const char* help;
+      std::uint64_t RemoteTierSample::* field;
+    };
+    static constexpr RemoteCounterSpec kRemoteCounters[] = {
+        {"ckpt_remote_puts", "Objects landed on the remote store.",
+         &RemoteTierSample::remote_puts},
+        {"ckpt_remote_gets", "Objects fetched from the remote store.",
+         &RemoteTierSample::remote_gets},
+        {"ckpt_remote_parts", "Multipart upload parts completed.",
+         &RemoteTierSample::remote_parts},
+        {"ckpt_remote_part_retries", "Extra per-part upload attempts.",
+         &RemoteTierSample::remote_part_retries},
+        {"ckpt_remote_put_bytes", "Bytes uploaded to the remote store.",
+         &RemoteTierSample::remote_put_bytes},
+        {"ckpt_remote_get_bytes", "Bytes downloaded from the remote store.",
+         &RemoteTierSample::remote_get_bytes},
+        {"ckpt_agg_member_puts", "Member puts accepted by the aggregator.",
+         &RemoteTierSample::agg_member_puts},
+        {"ckpt_agg_group_puts", "Group objects landed by the aggregator.",
+         &RemoteTierSample::agg_group_puts},
+        {"ckpt_agg_group_put_failures", "Group uploads that failed and were requeued.",
+         &RemoteTierSample::agg_group_put_failures},
+        {"ckpt_agg_size_flushes", "Groups sealed by the member/byte threshold.",
+         &RemoteTierSample::agg_size_flushes},
+        {"ckpt_agg_deadline_flushes", "Groups sealed by deadline or explicit flush.",
+         &RemoteTierSample::agg_deadline_flushes},
+        {"ckpt_agg_gets_from_pending", "Member reads served from buffered groups.",
+         &RemoteTierSample::agg_gets_from_pending},
+        {"ckpt_agg_group_reclaims", "Group objects reclaimed after their last member was erased.",
+         &RemoteTierSample::agg_group_reclaims},
+    };
+    const auto remote_label = [&](const RemoteTierSample& rt) {
+      return "tier=\"" + EscapeLabelValue(rt.tier_name) + "\"";
+    };
+    for (const RemoteCounterSpec& c : kRemoteCounters) {
+      x.Counter(c.family, c.help);
+      const std::string sample_name = std::string(c.family) + "_total";
+      for (const RemoteTierSample& rt : s.remote_tiers) {
+        x.SampleU64(sample_name, remote_label(rt), rt.*(c.field));
+      }
+    }
+    x.Gauge("ckpt_agg_pending_members",
+            "Member puts buffered in not-yet-landed groups.");
+    for (const RemoteTierSample& rt : s.remote_tiers) {
+      x.SampleU64("ckpt_agg_pending_members", remote_label(rt),
+                  rt.agg_pending_members);
+    }
+    x.Gauge("ckpt_agg_pending_bytes",
+            "Bytes buffered in not-yet-landed groups.");
+    for (const RemoteTierSample& rt : s.remote_tiers) {
+      x.SampleU64("ckpt_agg_pending_bytes", remote_label(rt),
+                  rt.agg_pending_bytes);
+    }
+  }
   out += "# EOF\n";
   return out;
 }
@@ -425,7 +553,16 @@ std::string TelemetryWindowJson(const util::telemetry::SampleRing& ring,
       if (r) out += ',';
       AppendRankSampleJson(out, s.ranks[r], tier_names);
     }
-    out += "]}";
+    out += ']';
+    if (!s.remote_tiers.empty()) {
+      out += ",\"remote_tiers\":[";
+      for (std::size_t r = 0; r < s.remote_tiers.size(); ++r) {
+        if (r) out += ',';
+        AppendRemoteTierJson(out, s.remote_tiers[r]);
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "]}";
   return out;

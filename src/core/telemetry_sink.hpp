@@ -37,6 +37,16 @@ class Engine;
     const Engine& engine, std::uint64_t seq,
     const util::telemetry::TelemetrySample* prev = nullptr);
 
+/// Store-level counters of `engine`'s remote/aggregating durable tiers
+/// (storage::ObjectStore::CollectStats). Empty when no durable store in the
+/// stack reports stats — i.e. for every pre-remote configuration.
+[[nodiscard]] std::vector<util::telemetry::RemoteTierSample> CollectRemoteTiers(
+    const Engine& engine);
+
+/// JSON array of the same counters ("[]"-less: empty string when no durable
+/// store reports stats), for embedding in metrics snapshots.
+[[nodiscard]] std::string RemoteTiersJson(const Engine& engine);
+
 /// Renders `s` in OpenMetrics text format. `tier_names` labels the per-tier
 /// families; indices beyond the vector fall back to "tierN".
 [[nodiscard]] std::string OpenMetricsText(

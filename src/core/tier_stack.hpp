@@ -178,13 +178,15 @@ using TierStoreFactory =
 ///   entry      := name ":" kind [":" arg [":" policy]]
 ///   kind       := "gpucache" | "cache" | "durable"
 ///   arg        := capacity for cache kinds (util::ParseSize suffixes, e.g.
-///                 "4Mi"); backend for durable kinds ("mem" | "file=<dir>")
+///                 "4Mi"); backend for durable kinds ("mem" | "file=<dir>" |
+///                 "s3://<bucket>[?opts]" — see storage/remote_store.hpp for
+///                 the option grammar, e.g. "s3://ckpts?part=1Mi&group=8")
 ///   policy     := "score" | "lru" | "fifo" | "greedy-gap"  (cache kinds
 ///                 only; omitted = the engine-wide `eviction` default)
 ///
 /// Only the leading separators split fields: after a durable `kind` the
 /// whole remainder is the backend arg, so backends containing ':' or '='
-/// (e.g. "file=C:\scratch", a future "s3://bucket") parse intact. Unknown
+/// ("file=C:\scratch", "s3://bucket?part=2Mi") parse intact. Unknown
 /// policy names are kInvalidArgument, like every other stack violation.
 ///
 /// Example: "gpu:gpucache:4Mi:score,host:cache:32Mi:fifo,ssd:durable"

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/engine.hpp"
+#include "core/telemetry_sink.hpp"
 #include "core/tier_stack.hpp"
 #include "util/json.hpp"
 
@@ -335,6 +336,14 @@ std::string MetricsSnapshotJson(const Engine& engine) {
   }
   out += "],\"merged\":";
   out += MetricsJson(merged, tier_names);
+  // Remote/aggregating durable-tier store counters; absent (not empty) for
+  // stacks without a stats-reporting store, so legacy snapshots are
+  // byte-identical.
+  const std::string remote = RemoteTiersJson(engine);
+  if (!remote.empty()) {
+    out += ",\"remote_tiers\":";
+    out += remote;
+  }
   out += "}";
   return out;
 }

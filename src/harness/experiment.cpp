@@ -8,6 +8,7 @@
 
 #include "core/telemetry_sampler.hpp"
 #include "core/telemetry_sink.hpp"
+#include "storage/remote_store.hpp"
 #include "core/tenant.hpp"
 #include "core/trace_sink.hpp"
 #include "util/clock.hpp"
@@ -68,10 +69,21 @@ util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& cfg) {
           factory = [&cluster, &faulty](std::string_view tier,
                                         std::string_view backend, int ordinal)
               -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+            if (backend.substr(0, 5) == "s3://") {
+              // Remote backends charge the fabric themselves; no bandwidth
+              // decorator. The first durable tier still honors the harness
+              // fault-injection knobs.
+              auto remote =
+                  storage::OpenRemoteBackend(backend, &cluster.topology());
+              if (!remote.ok()) return remote.status();
+              return ordinal == 0 ? faulty(std::move(*remote))
+                                  : std::move(*remote);
+            }
             if (!backend.empty() && backend != "mem") {
               return util::InvalidArgument(
                   "tier '" + std::string(tier) + "': the harness only builds "
-                  "'mem' backends (pass a tier_store_factory for others)");
+                  "'mem' and 's3://' backends (pass a tier_store_factory for "
+                  "others)");
             }
             std::shared_ptr<storage::ObjectStore> raw =
                 std::make_shared<storage::MemStore>();
@@ -203,10 +215,13 @@ util::StatusOr<MultiTenantResult> RunMultiTenantExperiment(
     const core::TierStoreFactory factory =
         [&cluster](std::string_view tier, std::string_view backend, int ordinal)
         -> util::StatusOr<std::shared_ptr<storage::ObjectStore>> {
+      if (backend.substr(0, 5) == "s3://") {
+        return storage::OpenRemoteBackend(backend, &cluster.topology());
+      }
       if (!backend.empty() && backend != "mem") {
         return util::InvalidArgument("tier '" + std::string(tier) +
                                      "': the multi-tenant harness only builds "
-                                     "'mem' backends");
+                                     "'mem' and 's3://' backends");
       }
       std::shared_ptr<storage::ObjectStore> raw =
           std::make_shared<storage::MemStore>();

@@ -1,0 +1,306 @@
+#include "storage/aggregating_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ckpt::storage {
+
+AggregatingStore::AggregatingStore(std::shared_ptr<ObjectStore> inner,
+                                   Options options)
+    : inner_(std::move(inner)), options_(options) {
+  pending_ = std::make_shared<Group>();
+  pending_->id = next_group_id_++;
+  if (options_.deadline.count() > 0) {
+    flusher_ = std::jthread(
+        [this](const std::stop_token& stop) { FlusherLoop(stop); });
+  }
+}
+
+AggregatingStore::~AggregatingStore() {
+  if (flusher_.joinable()) {
+    flusher_.request_stop();
+    cv_.notify_all();
+    flusher_.join();
+  }
+  // Best effort: members were acknowledged, so try to land what is buffered.
+  (void)Flush();
+}
+
+std::shared_ptr<AggregatingStore::Group> AggregatingStore::SealLocked(
+    bool by_deadline) {
+  if (pending_->live_members == 0) return nullptr;
+  std::shared_ptr<Group> sealed = std::move(pending_);
+  pending_ = std::make_shared<Group>();
+  pending_->id = next_group_id_++;
+  for (auto& [key, loc] : index_) {
+    if (!loc.sealed && loc.group_id == sealed->id) loc.sealed = true;
+  }
+  staged_[sealed->id] = sealed;
+  if (by_deadline) {
+    ++stats_.agg_deadline_flushes;
+  } else {
+    ++stats_.agg_size_flushes;
+  }
+  return sealed;
+}
+
+util::Status AggregatingStore::UploadGroup(const std::shared_ptr<Group>& g) {
+  {
+    std::lock_guard lock(mu_);
+    if (g->uploading) return util::OkStatus();  // another thread owns it
+    g->uploading = true;
+    g->needs_retry = false;
+  }
+  util::Status st = inner_->Put(GroupKey(g->id), g->buf.data(), g->buf.size());
+  bool erase_inner = false;
+  {
+    std::lock_guard lock(mu_);
+    g->uploading = false;
+    if (!st.ok()) {
+      ++stats_.agg_group_put_failures;
+      cancelled_.erase(g->id);  // nothing landed, nothing to undo
+      // Stays in staged_; the flusher (or the next Flush) retries it —
+      // unless every member was erased while the upload was failing.
+      if (staged_.count(g->id) > 0) {
+        g->needs_retry = true;
+      }
+      return st;
+    }
+    ++stats_.agg_group_puts;
+    if (cancelled_.erase(g->id) > 0 || staged_.count(g->id) == 0) {
+      // Last member erased mid-upload: the object just landed is garbage.
+      erase_inner = true;
+    } else {
+      staged_.erase(g->id);
+      group_live_[g->id] = g->live_members;
+    }
+  }
+  if (erase_inner) {
+    (void)inner_->Erase(GroupKey(g->id));
+    std::lock_guard lock(mu_);
+    ++stats_.agg_group_reclaims;
+  }
+  return util::OkStatus();
+}
+
+util::Status AggregatingStore::Flush() {
+  std::vector<std::shared_ptr<Group>> work;
+  {
+    std::lock_guard lock(mu_);
+    if (auto sealed = SealLocked(/*by_deadline=*/true)) {
+      work.push_back(std::move(sealed));
+    }
+    for (const auto& [id, g] : staged_) {
+      if (g->needs_retry && !g->uploading) work.push_back(g);
+    }
+  }
+  util::Status first = util::OkStatus();
+  for (const auto& g : work) {
+    if (util::Status st = UploadGroup(g); !st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+void AggregatingStore::FlusherLoop(const std::stop_token& stop) {
+  std::unique_lock lock(mu_);
+  while (!stop.stop_requested()) {
+    const auto deadline_ns =
+        std::chrono::nanoseconds(options_.deadline).count();
+    std::int64_t wait_ns = deadline_ns;
+    if (pending_->live_members > 0) {
+      wait_ns = std::max<std::int64_t>(
+          0, pending_->opened_ns + deadline_ns - util::NowNs());
+    }
+    cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns), [&] {
+      return stop.stop_requested() ||
+             (pending_->live_members > 0 &&
+              util::NowNs() - pending_->opened_ns >= deadline_ns);
+    });
+    if (stop.stop_requested()) return;
+    std::vector<std::shared_ptr<Group>> work;
+    if (pending_->live_members > 0 &&
+        util::NowNs() - pending_->opened_ns >= deadline_ns) {
+      if (auto sealed = SealLocked(/*by_deadline=*/true)) {
+        work.push_back(std::move(sealed));
+      }
+    }
+    for (const auto& [id, g] : staged_) {
+      if (g->needs_retry && !g->uploading) work.push_back(g);
+    }
+    lock.unlock();
+    for (const auto& g : work) (void)UploadGroup(g);
+    lock.lock();
+  }
+}
+
+void AggregatingStore::DropMemberLocked(const ObjectKey& key,
+                                        const MemberLoc& loc,
+                                        std::vector<ObjectKey>* reclaim) {
+  total_bytes_ -= loc.size;
+  if (!loc.sealed) {
+    // Tombstone in the open group: the bytes stay as dead space in the
+    // buffer, only the index entry and the live count go.
+    --pending_->live_members;
+    index_.erase(key);
+    return;
+  }
+  const std::uint64_t gid = loc.group_id;
+  index_.erase(key);
+  if (auto it = group_live_.find(gid); it != group_live_.end()) {
+    if (--it->second == 0) {
+      group_live_.erase(it);
+      ++stats_.agg_group_reclaims;
+      if (reclaim != nullptr) reclaim->push_back(GroupKey(gid));
+    }
+    return;
+  }
+  if (auto it = staged_.find(gid); it != staged_.end()) {
+    if (--it->second->live_members == 0) {
+      if (it->second->uploading) {
+        cancelled_.insert(gid);  // uploader erases the landed object
+      } else {
+        ++stats_.agg_group_reclaims;  // never landed: just drop the buffer
+      }
+      staged_.erase(it);
+    }
+  }
+}
+
+util::Status AggregatingStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
+                                   std::uint64_t size) {
+  if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
+  std::shared_ptr<Group> sealed;
+  {
+    std::lock_guard lock(mu_);
+    if (auto it = index_.find(key); it != index_.end()) {
+      DropMemberLocked(key, it->second, nullptr);  // overwrite semantics
+    }
+    if (pending_->live_members == 0) {
+      pending_->opened_ns = util::NowNs();
+      pending_->buf.clear();  // reclaim tombstone-only dead space
+    }
+    MemberLoc loc;
+    loc.group_id = pending_->id;
+    loc.offset = pending_->buf.size();
+    loc.size = size;
+    pending_->buf.insert(pending_->buf.end(), data, data + size);
+    ++pending_->live_members;
+    index_[key] = loc;
+    total_bytes_ += size;
+    ++stats_.agg_member_puts;
+    const bool by_count = options_.group_members > 0 &&
+                          pending_->live_members >= options_.group_members;
+    const bool by_bytes = options_.group_bytes > 0 &&
+                          pending_->buf.size() >= options_.group_bytes;
+    if (by_count || by_bytes) sealed = SealLocked(/*by_deadline=*/false);
+  }
+  // The member is acknowledged regardless: a failed group upload stays
+  // buffered for retry and must not fail the Put that happened to seal it.
+  if (sealed) (void)UploadGroup(sealed);
+  return util::OkStatus();
+}
+
+util::Status AggregatingStore::GetRange(const ObjectKey& key,
+                                        std::uint64_t offset, sim::BytePtr dst,
+                                        std::uint64_t len) {
+  std::uint64_t group_id = 0;
+  std::uint64_t group_offset = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return util::NotFound("object " + key.ToString());
+    const MemberLoc& loc = it->second;
+    if (offset + len > loc.size || offset + len < offset) {
+      return util::InvalidArgument("GetRange: out of bounds for " +
+                                   key.ToString());
+    }
+    const std::shared_ptr<Group>* buffered = nullptr;
+    if (!loc.sealed) {
+      buffered = &pending_;
+    } else if (auto sit = staged_.find(loc.group_id); sit != staged_.end()) {
+      buffered = &sit->second;
+    }
+    if (buffered != nullptr) {
+      std::memcpy(dst, (*buffered)->buf.data() + loc.offset + offset,
+                  static_cast<std::size_t>(len));
+      ++stats_.agg_gets_from_pending;
+      return util::OkStatus();
+    }
+    group_id = loc.group_id;
+    group_offset = loc.offset;
+  }
+  // Landed group: ranged read of just this member's bytes off the lock.
+  return inner_->GetRange(GroupKey(group_id), group_offset + offset, dst, len);
+}
+
+util::Status AggregatingStore::Get(const ObjectKey& key, sim::BytePtr dst,
+                                   std::uint64_t size) {
+  std::uint64_t member_size = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return util::NotFound("object " + key.ToString());
+    if (size < it->second.size) {
+      return util::InvalidArgument("Get: buffer smaller than object " +
+                                   key.ToString());
+    }
+    member_size = it->second.size;
+  }
+  return GetRange(key, 0, dst, member_size);
+}
+
+util::StatusOr<std::uint64_t> AggregatingStore::Size(
+    const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return util::NotFound("object " + key.ToString());
+  return it->second.size;
+}
+
+bool AggregatingStore::Exists(const ObjectKey& key) const {
+  std::lock_guard lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+util::Status AggregatingStore::Erase(const ObjectKey& key) {
+  std::vector<ObjectKey> reclaim;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return util::NotFound("object " + key.ToString());
+    DropMemberLocked(key, it->second, &reclaim);
+  }
+  for (const ObjectKey& gkey : reclaim) (void)inner_->Erase(gkey);
+  return util::OkStatus();
+}
+
+std::vector<ObjectKey> AggregatingStore::Keys() const {
+  std::lock_guard lock(mu_);
+  std::vector<ObjectKey> keys;
+  keys.reserve(index_.size());
+  for (const auto& [k, loc] : index_) keys.push_back(k);
+  return keys;
+}
+
+std::uint64_t AggregatingStore::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  return total_bytes_;
+}
+
+bool AggregatingStore::CollectStats(StoreStats& out) const {
+  (void)inner_->CollectStats(out);
+  std::lock_guard lock(mu_);
+  out.Merge(stats_);
+  out.agg_pending_members += pending_->live_members;
+  out.agg_pending_bytes += pending_->buf.size();
+  for (const auto& [id, g] : staged_) {
+    out.agg_pending_members += g->live_members;
+    out.agg_pending_bytes += g->buf.size();
+  }
+  return true;
+}
+
+}  // namespace ckpt::storage

@@ -35,6 +35,11 @@ class ChecksumStore final : public ObjectStore {
   [[nodiscard]] std::uint64_t TotalBytes() const override {
     return inner_->TotalBytes();
   }
+  // GetRange deliberately stays the whole-object default: verification needs
+  // the full payload + trailer, so a true ranged read cannot be checked.
+  [[nodiscard]] bool CollectStats(StoreStats& out) const override {
+    return inner_->CollectStats(out);
+  }
 
   /// Objects verified / failures detected (telemetry).
   [[nodiscard]] std::uint64_t verified() const noexcept { return verified_; }

@@ -154,4 +154,23 @@ std::vector<ObjectKey> FaultyStore::Keys() const { return inner_->Keys(); }
 
 std::uint64_t FaultyStore::TotalBytes() const { return inner_->TotalBytes(); }
 
+util::Status FaultyStore::GetRange(const ObjectKey& key, std::uint64_t offset,
+                                   sim::BytePtr dst, std::uint64_t len) {
+  // Ranged reads share the get schedule: same counter, same draws.
+  Decision d;
+  std::uint64_t idx = 0;
+  {
+    std::lock_guard lock(mu_);
+    idx = ++gets_;
+    d = Decide(FaultOp::kGet, idx);
+    if (d.kind != FaultKind::kNone) return Inject(FaultOp::kGet, d.kind, idx);
+  }
+  if (d.stall.count() > 0) std::this_thread::sleep_for(d.stall);
+  return inner_->GetRange(key, offset, dst, len);
+}
+
+bool FaultyStore::CollectStats(StoreStats& out) const {
+  return inner_->CollectStats(out);
+}
+
 }  // namespace ckpt::storage

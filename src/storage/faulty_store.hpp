@@ -81,6 +81,9 @@ class FaultyStore final : public ObjectStore {
   util::Status Erase(const ObjectKey& key) override;
   [[nodiscard]] std::vector<ObjectKey> Keys() const override;
   [[nodiscard]] std::uint64_t TotalBytes() const override;
+  util::Status GetRange(const ObjectKey& key, std::uint64_t offset,
+                        sim::BytePtr dst, std::uint64_t len) override;
+  [[nodiscard]] bool CollectStats(StoreStats& out) const override;
 
  private:
   /// Decides the fault for the op with 1-based index `idx`; advances the

@@ -33,13 +33,28 @@ util::StatusOr<std::unique_ptr<FileStore>> FileStore::Open(const fs::path& root)
     return util::IoError("create_directories(" + root.string() + "): " + ec.message());
   }
   auto store = std::unique_ptr<FileStore>(new FileStore(root));
-  for (const auto& entry : fs::directory_iterator(root, ec)) {
-    if (ec) break;
-    if (!entry.is_regular_file()) continue;
-    ObjectKey key;
-    if (ParseName(entry.path().filename().string(), key)) {
-      store->index_[key] = entry.file_size();
+  // Iterate with the error_code overloads throughout: the range-for form
+  // uses the *throwing* increment (the constructor-time `ec` can never fire
+  // again), and is_regular_file()/file_size() throw when a concurrently
+  // deleted entry vanishes mid-scan. A file that disappears between steps is
+  // simply skipped — it no longer exists, so it does not belong in the index.
+  fs::directory_iterator it(root, ec);
+  if (ec) {
+    return util::IoError("directory_iterator(" + root.string() +
+                         "): " + ec.message());
+  }
+  for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      return util::IoError("scan of " + root.string() + ": " + ec.message());
     }
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    ObjectKey key;
+    if (!ParseName(entry.path().filename().string(), key)) continue;
+    const std::uintmax_t size = entry.file_size(entry_ec);
+    if (entry_ec) continue;
+    store->index_[key] = size;
   }
   return store;
 }
@@ -52,8 +67,14 @@ util::Status FileStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
                             std::uint64_t size) {
   if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
   const fs::path path = PathFor(key);
-  // Write to a temp file then rename, so readers never observe a torn object.
-  const fs::path tmp = path.string() + ".tmp";
+  // Write to a temp file then rename, so readers never observe a torn
+  // object. The temp name must be unique per writer: concurrent Puts of the
+  // same key sharing one "<path>.tmp" would interleave their writes and
+  // rename a torn mix into place, defeating the scheme.
+  const fs::path tmp =
+      path.string() + "." +
+      std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed)) +
+      ".tmp";
   {
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) return util::IoError("fopen(" + tmp.string() + ") failed");
@@ -87,10 +108,50 @@ util::Status FileStore::Get(const ObjectKey& key, sim::BytePtr dst,
   }
   const fs::path path = PathFor(key);
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return util::IoError("fopen(" + path.string() + ") failed");
+  if (f == nullptr) {
+    // The file can legitimately vanish between the index lookup above and
+    // the open: a concurrent Erase won the race. Re-check the index and
+    // report that as NotFound, not IoError.
+    std::lock_guard lock(mu_);
+    if (index_.find(key) == index_.end()) {
+      return util::NotFound("object " + key.ToString());
+    }
+    return util::IoError("fopen(" + path.string() + ") failed");
+  }
   const std::size_t read = object_size ? std::fread(dst, 1, object_size, f) : 0;
   std::fclose(f);
   if (read != object_size) return util::IoError("short read from " + path.string());
+  return util::OkStatus();
+}
+
+util::Status FileStore::GetRange(const ObjectKey& key, std::uint64_t offset,
+                                 sim::BytePtr dst, std::uint64_t len) {
+  std::uint64_t object_size = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return util::NotFound("object " + key.ToString());
+    object_size = it->second;
+  }
+  if (offset + len > object_size || offset + len < offset) {
+    return util::InvalidArgument("GetRange: out of bounds for " +
+                                 key.ToString());
+  }
+  const fs::path path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::lock_guard lock(mu_);
+    if (index_.find(key) == index_.end()) {
+      return util::NotFound("object " + key.ToString());
+    }
+    return util::IoError("fopen(" + path.string() + ") failed");
+  }
+  std::size_t read = 0;
+  if (len > 0 && std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    read = std::fread(dst, 1, len, f);
+  }
+  std::fclose(f);
+  if (read != len) return util::IoError("short read from " + path.string());
   return util::OkStatus();
 }
 

@@ -3,6 +3,7 @@
 // process lifetime matters (examples, the WAIT-mode persistence scenario).
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <mutex>
 #include <unordered_map>
@@ -27,6 +28,8 @@ class FileStore final : public ObjectStore {
   util::Status Erase(const ObjectKey& key) override;
   [[nodiscard]] std::vector<ObjectKey> Keys() const override;
   [[nodiscard]] std::uint64_t TotalBytes() const override;
+  util::Status GetRange(const ObjectKey& key, std::uint64_t offset,
+                        sim::BytePtr dst, std::uint64_t len) override;
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 
@@ -38,6 +41,7 @@ class FileStore final : public ObjectStore {
   std::filesystem::path root_;
   mutable std::mutex mu_;
   std::unordered_map<ObjectKey, std::uint64_t, ObjectKeyHash> index_;  // key -> size
+  std::atomic<std::uint64_t> tmp_seq_{0};  // per-writer unique temp names
 };
 
 }  // namespace ckpt::storage

@@ -52,6 +52,19 @@ std::vector<ObjectKey> MemStore::Keys() const {
   return keys;
 }
 
+util::Status MemStore::GetRange(const ObjectKey& key, std::uint64_t offset,
+                                sim::BytePtr dst, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return util::NotFound("object " + key.ToString());
+  if (offset + len > it->second.size() || offset + len < offset) {
+    return util::InvalidArgument("GetRange: out of bounds for " +
+                                 key.ToString());
+  }
+  std::memcpy(dst, it->second.data() + offset, static_cast<std::size_t>(len));
+  return util::OkStatus();
+}
+
 std::uint64_t MemStore::TotalBytes() const {
   std::lock_guard lock(mu_);
   std::uint64_t total = 0;

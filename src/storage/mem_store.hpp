@@ -23,6 +23,8 @@ class MemStore final : public ObjectStore {
   util::Status Erase(const ObjectKey& key) override;
   [[nodiscard]] std::vector<ObjectKey> Keys() const override;
   [[nodiscard]] std::uint64_t TotalBytes() const override;
+  util::Status GetRange(const ObjectKey& key, std::uint64_t offset,
+                        sim::BytePtr dst, std::uint64_t len) override;
 
  private:
   mutable std::mutex mu_;

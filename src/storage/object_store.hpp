@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,9 +29,63 @@ struct ObjectKey {
 };
 
 struct ObjectKeyHash {
+  /// SplitMix64 finalizer: full-avalanche over 64 bits, so rank and version
+  /// both influence every output bit. (The previous scheme shifted rank into
+  /// bits >= 40, silently colliding keys once versions reached 2^40.)
+  static constexpr std::uint64_t Mix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
   std::size_t operator()(const ObjectKey& k) const noexcept {
-    return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(k.rank) << 40) ^ k.version);
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(k.rank));  // sign-extend negative ranks
+    return static_cast<std::size_t>(Mix(Mix(rank) ^ k.version));
+  }
+};
+
+/// Cumulative counters published by the remote-backend stores
+/// (storage::RemoteStore, storage::AggregatingStore). Decorators forward
+/// CollectStats to their inner store so the stats survive any wrapping
+/// (fault injection, checksums, bandwidth throttling); plain stores report
+/// nothing and the telemetry layer emits no remote families for them.
+struct StoreStats {
+  // RemoteStore: simulated S3 request traffic.
+  std::uint64_t remote_puts = 0;          ///< completed multipart uploads
+  std::uint64_t remote_gets = 0;          ///< whole/range object reads
+  std::uint64_t remote_parts = 0;         ///< part uploads that succeeded
+  std::uint64_t remote_part_retries = 0;  ///< extra part attempts (transients)
+  std::uint64_t remote_put_bytes = 0;     ///< payload bytes uploaded
+  std::uint64_t remote_get_bytes = 0;     ///< payload bytes downloaded
+  // AggregatingStore: group-commit bookkeeping.
+  std::uint64_t agg_member_puts = 0;      ///< per-rank puts accepted
+  std::uint64_t agg_group_puts = 0;       ///< group objects written inward
+  std::uint64_t agg_group_put_failures = 0;  ///< group writes that failed
+  std::uint64_t agg_size_flushes = 0;     ///< groups sealed by size/count
+  std::uint64_t agg_deadline_flushes = 0; ///< groups sealed by the deadline
+  std::uint64_t agg_gets_from_pending = 0;  ///< reads served pre-seal
+  std::uint64_t agg_group_reclaims = 0;   ///< group objects fully erased
+  // Gauges (instantaneous, not monotonic).
+  std::uint64_t agg_pending_members = 0;  ///< members buffered, not yet put
+  std::uint64_t agg_pending_bytes = 0;    ///< bytes buffered, not yet put
+
+  void Merge(const StoreStats& o) noexcept {
+    remote_puts += o.remote_puts;
+    remote_gets += o.remote_gets;
+    remote_parts += o.remote_parts;
+    remote_part_retries += o.remote_part_retries;
+    remote_put_bytes += o.remote_put_bytes;
+    remote_get_bytes += o.remote_get_bytes;
+    agg_member_puts += o.agg_member_puts;
+    agg_group_puts += o.agg_group_puts;
+    agg_group_put_failures += o.agg_group_put_failures;
+    agg_size_flushes += o.agg_size_flushes;
+    agg_deadline_flushes += o.agg_deadline_flushes;
+    agg_gets_from_pending += o.agg_gets_from_pending;
+    agg_group_reclaims += o.agg_group_reclaims;
+    agg_pending_members += o.agg_pending_members;
+    agg_pending_bytes += o.agg_pending_bytes;
   }
 };
 
@@ -57,6 +112,35 @@ class ObjectStore {
 
   /// Total bytes stored.
   [[nodiscard]] virtual std::uint64_t TotalBytes() const = 0;
+
+  /// Reads `len` bytes starting at `offset` of the object into `dst`. The
+  /// default reads the whole object through Get() and slices — correct for
+  /// every store (and for decorators it keeps their Get-side behaviour,
+  /// e.g. checksum verification). Stores with cheap random access
+  /// (MemStore, FileStore, RemoteStore) override it; the aggregation layer
+  /// depends on it to restore one member out of a group object.
+  virtual util::Status GetRange(const ObjectKey& key, std::uint64_t offset,
+                                sim::BytePtr dst, std::uint64_t len) {
+    auto size = Size(key);
+    if (!size.ok()) return size.status();
+    if (offset + len > *size || offset + len < offset) {
+      return util::InvalidArgument("GetRange: [" + std::to_string(offset) +
+                                   ", +" + std::to_string(len) +
+                                   ") outside object " + key.ToString());
+    }
+    std::vector<std::byte> whole(static_cast<std::size_t>(*size));
+    if (util::Status st = Get(key, whole.data(), *size); !st.ok()) return st;
+    std::memcpy(dst, whole.data() + offset, static_cast<std::size_t>(len));
+    return util::OkStatus();
+  }
+
+  /// Fills `out` with the store's remote/aggregation counters, returning
+  /// true when the store (or, for decorators, anything beneath it) has any
+  /// to report. The default — plain local stores — reports nothing.
+  [[nodiscard]] virtual bool CollectStats(StoreStats& out) const {
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace ckpt::storage

@@ -49,6 +49,15 @@ class ThrottledStore final : public ObjectStore {
   [[nodiscard]] std::uint64_t TotalBytes() const override {
     return inner_->TotalBytes();
   }
+  util::Status GetRange(const ObjectKey& key, std::uint64_t offset,
+                        sim::BytePtr dst, std::uint64_t len) override {
+    // Ranged reads pay for exactly the bytes they move, not the whole object.
+    if (on_read_) on_read_(key, len);
+    return inner_->GetRange(key, offset, dst, len);
+  }
+  [[nodiscard]] bool CollectStats(StoreStats& out) const override {
+    return inner_->CollectStats(out);
+  }
 
  private:
   std::shared_ptr<ObjectStore> inner_;

@@ -78,11 +78,37 @@ struct RankSample {
   std::vector<TierSample> tiers;  ///< one entry per stack tier
 };
 
+/// One remote/aggregating durable tier's store-level counters (see
+/// storage::StoreStats). Present only for durable tiers whose store chain
+/// reports stats — stacks without a remote tier leave `remote_tiers` empty
+/// and their exposition byte-identical to before remote backends existed.
+struct RemoteTierSample {
+  int tier = -1;             ///< stack index of the durable tier
+  std::string tier_name;     ///< stack name ("remote", ...)
+  std::uint64_t remote_puts = 0;
+  std::uint64_t remote_gets = 0;
+  std::uint64_t remote_parts = 0;
+  std::uint64_t remote_part_retries = 0;
+  std::uint64_t remote_put_bytes = 0;
+  std::uint64_t remote_get_bytes = 0;
+  std::uint64_t agg_member_puts = 0;
+  std::uint64_t agg_group_puts = 0;
+  std::uint64_t agg_group_put_failures = 0;
+  std::uint64_t agg_size_flushes = 0;
+  std::uint64_t agg_deadline_flushes = 0;
+  std::uint64_t agg_gets_from_pending = 0;
+  std::uint64_t agg_group_reclaims = 0;
+  std::uint64_t agg_pending_members = 0;  ///< gauge
+  std::uint64_t agg_pending_bytes = 0;    ///< gauge
+};
+
 /// One timestamped engine snapshot. Immutable once published to the ring.
 struct TelemetrySample {
   std::int64_t ts_ns = 0;   ///< trace-epoch timestamp (util::trace::Now)
   std::uint64_t seq = 0;    ///< 0-based sample index since sampler start
   std::vector<RankSample> ranks;
+  /// Engine-wide (not per-rank: the store is shared) remote-tier counters.
+  std::vector<RemoteTierSample> remote_tiers;
 };
 
 using SamplePtr = std::shared_ptr<const TelemetrySample>;

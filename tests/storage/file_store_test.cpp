@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 namespace ckpt::storage {
@@ -117,6 +118,114 @@ TEST_F(FileStoreTest, TotalBytesAndKeys) {
   }
   EXPECT_EQ((*store)->Keys().size(), 5u);
   EXPECT_EQ((*store)->TotalBytes(), 5u * 128);
+}
+
+TEST_F(FileStoreTest, GetRangeReadsSlice) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto blob = Blob(4096, 6);
+  ASSERT_TRUE((*store)->Put({0, 1}, blob.data(), blob.size()).ok());
+  std::vector<std::byte> out(100);
+  ASSERT_TRUE((*store)->GetRange({0, 1}, 1000, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), blob.data() + 1000, out.size()), 0);
+  EXPECT_EQ((*store)->GetRange({0, 1}, 4090, out.data(), 10).code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*store)->GetRange({9, 9}, 0, out.data(), 1).code(),
+            util::ErrorCode::kNotFound);
+}
+
+// Regression: concurrent Put of the SAME key used to share one "<path>.tmp"
+// staging file — two writers interleaving fwrite into it could publish a
+// torn object via rename. With per-writer temp names every published object
+// must be exactly one writer's payload.
+TEST_F(FileStoreTest, ConcurrentSameKeyPutsNeverTearObjects) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 30;
+  constexpr std::size_t kSize = 8192;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kWriters; ++t) {
+      threads.emplace_back([&, t] {
+        // Each writer's payload is one repeated byte, so a torn mix of two
+        // writers is detectable from any two positions.
+        std::vector<std::byte> blob(kSize, static_cast<std::byte>(t + 1));
+        for (int i = 0; i < kRounds; ++i) {
+          ASSERT_TRUE((*store)->Put({0, 0}, blob.data(), blob.size()).ok());
+        }
+      });
+    }
+  }
+  std::vector<std::byte> out(kSize);
+  ASSERT_TRUE((*store)->Get({0, 0}, out.data(), out.size()).ok());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], out[0]) << "torn object at byte " << i;
+  }
+  // No stray temp files either.
+  for (const auto& e : fs::directory_iterator(root_)) {
+    EXPECT_EQ(e.path().extension(), ".ckpt");
+  }
+}
+
+// Regression: Get racing Erase of the same key used to surface kIoError
+// (fopen of the unlinked file) instead of kNotFound.
+TEST_F(FileStoreTest, GetRacingEraseReportsNotFoundNotIoError) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  constexpr int kRounds = 200;
+  const auto blob = Blob(512, 9);
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE((*store)->Put({0, 7}, blob.data(), blob.size()).ok());
+    std::jthread eraser([&] { (void)(*store)->Erase({0, 7}); });
+    std::vector<std::byte> out(blob.size());
+    const util::Status st = (*store)->Get({0, 7}, out.data(), out.size());
+    if (!st.ok()) {
+      ASSERT_EQ(st.code(), util::ErrorCode::kNotFound) << st;
+    }
+  }
+}
+
+TEST_F(FileStoreTest, ConcurrentPutGetEraseStormAcrossKeys) {
+  auto store = FileStore::Open(root_);
+  ASSERT_TRUE(store.ok());
+  constexpr int kThreads = 8;
+  constexpr int kIters = 30;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          const auto blob = Blob(1024, static_cast<std::uint8_t>(t));
+          const ObjectKey key{t, static_cast<std::uint64_t>(i % 5)};
+          ASSERT_TRUE((*store)->Put(key, blob.data(), blob.size()).ok());
+          std::vector<std::byte> out(blob.size());
+          const util::Status st = (*store)->Get(key, out.data(), out.size());
+          // Another thread may have erased or be rewriting the key; the only
+          // acceptable failure is a clean NotFound.
+          if (!st.ok()) {
+            ASSERT_EQ(st.code(), util::ErrorCode::kNotFound) << st;
+          }
+          if (i % 7 == 3) (void)(*store)->Erase(key);
+        }
+      });
+    }
+  }
+}
+
+// Regression: the old ObjectKeyHash folded the rank into bits >= 40, so any
+// two keys whose (rank << 40) ^ version matched collided — e.g. {1, 0} and
+// {0, 1 << 40}. The mixed hash must separate such pairs.
+TEST(ObjectKeyHashTest, RankAndLargeVersionsDoNotAliasByConstruction) {
+  const ObjectKeyHash h;
+  EXPECT_NE(h(ObjectKey{1, 0}), h(ObjectKey{0, 1ull << 40}));
+  EXPECT_NE(h(ObjectKey{2, 0}), h(ObjectKey{0, 2ull << 40}));
+  EXPECT_NE(h(ObjectKey{1, 1ull << 40}), h(ObjectKey{0, 0}));
+  // Versions differing only above bit 40 must not collide for a fixed rank.
+  EXPECT_NE(h(ObjectKey{3, 1ull << 41}), h(ObjectKey{3, 1ull << 42}));
+  // Negative (synthetic) ranks hash distinctly from non-negative ones.
+  EXPECT_NE(h(ObjectKey{-1, 5}), h(ObjectKey{0, 5}));
+  EXPECT_NE(h(ObjectKey{-1, 5}), h(ObjectKey{1, 5}));
 }
 
 }  // namespace

@@ -62,6 +62,25 @@ def summarize_run_report(report):
                 "reserve_rounds": _agg(ranks, "reserve_rounds"),
                 "reserve_plans_stale": _agg(ranks, "reserve_plans_stale"),
             }
+        # Remote/aggregating terminal tiers (PR 9): per-tier store counters.
+        # The aggregation factor a PR gates on is member_puts / remote_puts.
+        remote = row.get("metrics", {}).get("remote_tiers", [])
+        if remote:
+            entry["remote"] = [
+                {
+                    "tier": t.get("name"),
+                    "remote_puts": t.get("remote_puts"),
+                    "remote_parts": t.get("remote_parts"),
+                    "remote_part_retries": t.get("remote_part_retries"),
+                    "remote_put_bytes": t.get("remote_put_bytes"),
+                    "agg_member_puts": t.get("agg_member_puts"),
+                    "agg_group_puts": t.get("agg_group_puts"),
+                    "agg_size_flushes": t.get("agg_size_flushes"),
+                    "agg_deadline_flushes": t.get("agg_deadline_flushes"),
+                    "agg_gets_from_pending": t.get("agg_gets_from_pending"),
+                }
+                for t in remote
+            ]
         rows.append(entry)
     return rows
 
