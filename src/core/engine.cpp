@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 
 #include "simgpu/copy.hpp"
 #include "util/clock.hpp"
+#include "util/flow_id.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -31,6 +33,18 @@ storage::ObjectKey KeyOf(sim::Rank rank, Version v) {
 
 /// Lifecycle span name per FSM state. Static literals: event name pointers
 /// must outlive the engine (dumps typically happen after teardown).
+/// CKPT_LINEAGE=1|on|true|yes enables lineage tracking without touching the
+/// EngineOptions (mirrors CKPT_TRACE's truthy parse).
+bool LineageEnvOn() {
+  const char* v = std::getenv("CKPT_LINEAGE");
+  if (v == nullptr) return false;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  return s == "1" || s == "on" || s == "true" || s == "yes";
+}
+
 constexpr const char* StateSpanName(CkptState s) noexcept {
   switch (s) {
     case CkptState::kInit: return "state:INIT";
@@ -94,6 +108,26 @@ void Engine::Init(int num_ranks) {
         trace::Intern("flush:" + std::string(stack_.name(idx))));
   }
 
+  // Lineage tracking (DESIGN.md §14): options flag or CKPT_LINEAGE. The
+  // global flow-emission gate follows the newest engine's setting so the
+  // stores (which have no engine reference) can self-gate their flow steps.
+  lineage_ = options_.lineage || LineageEnvOn();
+  trace::EnableFlows(lineage_);
+  if (lineage_) {
+    flow_hop_names_.reserve(stack_.size());
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      flow_hop_names_.push_back(
+          trace::Intern("hop:" + std::string(stack_.name(i))));
+    }
+    flow_ack_names_.reserve(
+        static_cast<std::size_t>(stack_.num_durable_tiers()));
+    for (int d = 0; d < stack_.num_durable_tiers(); ++d) {
+      const auto idx = static_cast<std::size_t>(stack_.durable_index(d));
+      flow_ack_names_.push_back(
+          trace::Intern("ack:" + std::string(stack_.name(idx))));
+    }
+  }
+
   // Tenant table (DESIGN.md §12), built before any worker can run. Explicit
   // tenants claim contiguous rank blocks in declaration order (even split,
   // remainder to the earlier tenants); legacy callers get one implicit
@@ -150,6 +184,10 @@ void Engine::Init(int num_ranks) {
     c->metrics.evicted_bytes_from_tier.resize(stack_.size(), 0);
     c->metrics.flush_stage_hist.resize(static_cast<std::size_t>(ncache));
     c->tier_probe = std::make_unique<TierProbeCells[]>(stack_.size());
+    if (lineage_) {
+      c->metrics.durable_lag_hist.resize(stack_.size());
+      c->lineage_journal = std::make_unique<LineageCell[]>(kLineageJournalCap);
+    }
 
     c->tiers.resize(static_cast<std::size_t>(ncache));
     for (int i = 0; i < ncache; ++i) {
@@ -449,6 +487,11 @@ util::Status Engine::EvictVictims(RankCtx& ctx_, TierIndex tier,
     ctx_.metrics.evicted_bytes_from_tier[static_cast<std::size_t>(tier)] +=
         rec.size;
     rec.res[static_cast<std::size_t>(tier)].Clear();
+    if (lineage_) {
+      QueueFlow(ctx_, trace::Kind::kEviction, "evict:drop", rec.flow_id,
+                trace::FlowPhase::kStep, static_cast<int>(tier), rec.version,
+                rec.size);
+    }
   }
   return util::OkStatus();
 }
@@ -724,6 +767,17 @@ void Engine::FinishFlush(RankCtx& ctx_, Record& rec) {
     rec.flush_done = true;
     --ctx_.inflight_flushes;
   }
+  // Every FinishFlush caller arrives with the record either degraded or
+  // durable at some tier; both are lineage terminals.
+  if (lineage_) {
+    if (rec.degraded) {
+      LineageTerminal(ctx_, rec, LineageOutcome::kDegraded, "flow:degraded",
+                      rec.first_durable_tier);
+    } else if (rec.AnyDurable()) {
+      LineageTerminal(ctx_, rec, LineageOutcome::kDurable, "flow:durable",
+                      stack_.terminal());
+    }
+  }
   if (rec.state == CkptState::kWriteInProgress) {
     Advance(ctx_, rec, CkptState::kWriteComplete);
     if (!rec.restore_waiting && !rec.prefetch_claimed) {
@@ -793,6 +847,7 @@ void Engine::ApplyFlushResult(RankCtx& ctx_, Record& rec,
           static_cast<std::size_t>(stack_.durable_index(static_cast<int>(d)));
       ctx_.metrics.flush_bytes_to_tier[idx] += rec.size;
       ProbeAdd(ctx_.tier_probe[idx].flush_bytes, rec.size);
+      LineageDurableAck(ctx_, rec, d);
     }
   }
   // A fresh durable copy makes every cached copy of this record SafeBelow,
@@ -874,10 +929,12 @@ void Engine::MarkFlushFailed(RankCtx& ctx_, Record& rec) {
         << ": flush permanently failed; checkpoint lost";
     QueueInstant(ctx_, trace::Kind::kRetry, "ckpt:lost", /*tier=*/-1,
                  rec.version, rec.size);
+    LineageTerminal(ctx_, rec, LineageOutcome::kLost, "flow:lost");
     Advance(ctx_, rec, CkptState::kFlushFailed);  // notifies waiters
   } else {
     // The data already reached the application (restore overtook the flush);
     // nothing durable remains but nothing is owed either.
+    LineageTerminal(ctx_, rec, LineageOutcome::kErased, "flow:erased");
     NotifyState(ctx_);
   }
 }
@@ -1002,6 +1059,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   Record& rec = (c.records[v] = NewRecord(c, v, size));
   ProbeEnterState(c, CkptState::kInit);
   Advance(c, rec, CkptState::kWriteInProgress);
+  LineageAdmit(c, rec);
   ++c.inflight_flushes;
   // T_PF may be parked on a hint for this (until now unwritten) version.
   NotifyPrefetch(c);
@@ -1009,6 +1067,9 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
   auto cleanup_failure = [&](const util::Status& st) {
     --c.inflight_flushes;
     ProbeLeaveState(c, rec.state);
+    // Admission is already on the books; the record leaving the table is a
+    // terminal, not an orphan.
+    LineageTerminal(c, rec, LineageOutcome::kErased, "flow:erased");
     c.records.erase(v);
     NotifyState(c);       // WaitForFlushes
     NotifyPrefetch(c);    // a parked hint for v will never be served
@@ -1094,6 +1155,7 @@ util::Status Engine::Checkpoint(sim::Rank rank, Version v, sim::ConstBytePtr src
             static_cast<std::size_t>(stack_.durable_index(static_cast<int>(d)));
         c.metrics.flush_bytes_to_tier[idx] += size;
         ProbeAdd(c.tier_probe[idx].flush_bytes, size);
+        LineageDurableAck(c, rec, d);
       }
     }
     if (!any) {
@@ -1205,6 +1267,10 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     }
     ++c.metrics.restores_from_tier[static_cast<std::size_t>(src_tier)];
     ProbeAdd(c.tier_probe[static_cast<std::size_t>(src_tier)].restores);
+    if (lineage_ && st.ok()) {
+      QueueFlow(c, trace::Kind::kApp, "restore:serve", rec.flow_id,
+                trace::FlowPhase::kStep, src_tier, v, rec.size);
+    }
   } else if (rec.AnyDurable()) {
     const std::vector<unsigned char> durable = rec.durable;
     const std::uint64_t size = rec.size;
@@ -1247,6 +1313,10 @@ util::Status Engine::Restore(sim::Rank rank, Version v, sim::BytePtr dst,
     if (st.ok() && served >= 0) {
       ++c.metrics.restores_from_tier[static_cast<std::size_t>(served)];
       ProbeAdd(c.tier_probe[static_cast<std::size_t>(served)].restores);
+      if (lineage_) {
+        QueueFlow(c, trace::Kind::kApp, "restore:serve", rec.flow_id,
+                  trace::FlowPhase::kStep, served, v, size);
+      }
     }
   } else {
     rec.restore_waiting = false;
@@ -1378,6 +1448,11 @@ Engine::RankProbe Engine::Probe(sim::Rank rank) const {
   p.bytes_checkpointed = c.probe.bytes_checkpointed.load(relax);
   p.bytes_restored = c.probe.bytes_restored.load(relax);
   p.watchdog_stalls = c.probe.watchdog_stalls.load(relax);
+  p.objects_admitted = c.probe.objects_admitted.load(relax);
+  p.objects_durable = c.probe.objects_durable.load(relax);
+  p.objects_degraded = c.probe.objects_degraded.load(relax);
+  p.objects_lost = c.probe.objects_lost.load(relax);
+  p.objects_erased = c.probe.objects_erased.load(relax);
   p.tiers.resize(stack_.size());
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     TierProbe& tp = p.tiers[i];
@@ -1385,6 +1460,14 @@ Engine::RankProbe Engine::Probe(sim::Rank rank) const {
     tp.flush_queue_depth = cells.flush_queue_depth.load(relax);
     tp.flush_bytes = cells.flush_bytes.load(relax);
     tp.restores = cells.restores.load(relax);
+    if (lineage_ && stack_.is_durable(static_cast<TierIndex>(i))) {
+      tp.lag_buckets.resize(util::telemetry::kDurabilityLagBuckets, 0);
+      for (std::size_t b = 0; b < tp.lag_buckets.size(); ++b) {
+        tp.lag_buckets[b] = cells.lag_buckets[b].load(relax);
+      }
+      tp.lag_count = cells.lag_count.load(relax);
+      tp.lag_sum_ns = cells.lag_sum_ns.load(relax);
+    }
     const auto ti = static_cast<TierIndex>(i);
     if (stack_.is_cache(ti)) {
       tp.bytes_used = CacheUsed(rank, ti);
@@ -1478,6 +1561,163 @@ void Engine::PublishQueuedTraceLocked(
   lock.unlock();
   for (const trace::Event& e : batch) trace::detail::EmitEvent(e);
   lock.lock();
+}
+
+// ---------------------------------------------------------------------------
+// Per-checkpoint lineage (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Engine::QueueFlow(RankCtx& ctx_, trace::Kind kind, const char* name,
+                       std::uint64_t flow_id, trace::FlowPhase phase,
+                       int tier, Version v, std::uint64_t bytes) {
+  if (!trace::flows_enabled() || flow_id == 0) return;
+  CKPT_ASSERT_HELD(ctx_.mu);
+  trace::Event e;
+  e.ts_ns = trace::Now();
+  e.dur_ns = -1;
+  e.name = name;
+  e.kind = kind;
+  e.flow = phase;
+  e.rank = static_cast<std::int16_t>(ctx_.rank);
+  e.tier = static_cast<std::int16_t>(tier);
+  e.version = v;
+  e.bytes = bytes;
+  e.flow_id = flow_id;
+  ctx_.pending_trace.push_back(e);
+}
+
+void Engine::LineageAdmit(RankCtx& ctx_, Record& rec) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  if (!lineage_) return;
+  rec.admit_ns = util::NowNs();
+  rec.flow_id = trace::FlowIdOf(ctx_.rank, rec.version);
+  ++ctx_.metrics.objects_admitted;
+  ProbeAdd(ctx_.probe.objects_admitted);
+  QueueFlow(ctx_, trace::Kind::kLifecycle, "ckpt:admit", rec.flow_id,
+            trace::FlowPhase::kStart, /*tier=*/-1, rec.version, rec.size);
+}
+
+void Engine::LineageTerminal(RankCtx& ctx_, Record& rec, LineageOutcome outcome,
+                             const char* flow_name, int tier) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  // First disposition wins: a degraded record later discarded, or a lost
+  // record whose erase site also fires, must not terminate twice — that is
+  // exactly the double-termination the auditor flags.
+  if (!lineage_ || rec.lineage_done || rec.flow_id == 0) return;
+  rec.lineage_done = true;
+  switch (outcome) {
+    case LineageOutcome::kDurable:
+      ++ctx_.metrics.objects_durable;
+      ProbeAdd(ctx_.probe.objects_durable);
+      break;
+    case LineageOutcome::kDegraded:
+      ++ctx_.metrics.objects_degraded;
+      ProbeAdd(ctx_.probe.objects_degraded);
+      break;
+    case LineageOutcome::kLost:
+      ++ctx_.metrics.objects_lost;
+      ProbeAdd(ctx_.probe.objects_lost);
+      break;
+    case LineageOutcome::kErased:
+      ++ctx_.metrics.objects_erased;
+      ProbeAdd(ctx_.probe.objects_erased);
+      break;
+  }
+#ifndef CKPT_TELEMETRY_DISABLED
+  if (ctx_.lineage_journal != nullptr) {
+    constexpr auto relax = std::memory_order_relaxed;
+    const std::uint64_t h = ctx_.lineage_head.load(relax);
+    LineageCell& cell = ctx_.lineage_journal[h % kLineageJournalCap];
+    const std::uint64_t s = cell.stamp.load(relax);
+    cell.stamp.store(s + 1, std::memory_order_release);  // odd: mid-write
+    cell.version.store(rec.version, relax);
+    cell.flow_id.store(rec.flow_id, relax);
+    cell.admit_ns.store(rec.admit_ns, relax);
+    cell.durable_ns.store(rec.first_durable_ns, relax);
+    cell.terminal_ns.store(util::NowNs(), relax);
+    cell.durable_tier.store(rec.first_durable_tier, relax);
+    cell.outcome.store(static_cast<std::uint8_t>(outcome), relax);
+    cell.stamp.store(s + 2, std::memory_order_release);  // even: stable
+    ctx_.lineage_head.store(h + 1, std::memory_order_release);
+  }
+#endif
+  QueueFlow(ctx_, trace::Kind::kLifecycle, flow_name, rec.flow_id,
+            trace::FlowPhase::kEnd, tier, rec.version, rec.size);
+}
+
+void Engine::LineageDurableAck(RankCtx& ctx_, Record& rec, std::size_t d) {
+  CKPT_ASSERT_HELD(ctx_.mu);
+  if (!lineage_ || rec.flow_id == 0 || rec.admit_ns <= 0) return;
+  const auto idx =
+      static_cast<std::size_t>(stack_.durable_index(static_cast<int>(d)));
+  const std::int64_t now = util::NowNs();
+  if (rec.first_durable_ns == 0) {
+    rec.first_durable_ns = now;
+    rec.first_durable_tier = static_cast<std::int16_t>(idx);
+  }
+  const std::int64_t lag_ns = now > rec.admit_ns ? now - rec.admit_ns : 0;
+  const double lag_s = static_cast<double>(lag_ns) / 1e9;
+  if (idx < ctx_.metrics.durable_lag_hist.size()) {
+    ctx_.metrics.durable_lag_hist[idx].Add(lag_s);
+  }
+#ifndef CKPT_TELEMETRY_DISABLED
+  {
+    constexpr auto relax = std::memory_order_relaxed;
+    TierProbeCells& cells = ctx_.tier_probe[idx];
+    // First bucket whose upper edge covers the sample (`le` convention).
+    constexpr std::size_t n_edges = util::telemetry::kDurabilityLagBuckets - 1;
+    std::size_t b = 0;
+    while (b < n_edges && lag_s > util::telemetry::kDurabilityLagEdgesS[b]) {
+      ++b;
+    }
+    cells.lag_buckets[b].fetch_add(1, relax);
+    cells.lag_count.fetch_add(1, relax);
+    cells.lag_sum_ns.fetch_add(static_cast<std::uint64_t>(lag_ns), relax);
+  }
+#endif
+  QueueFlow(ctx_, trace::Kind::kFlush, flow_ack_names_[d], rec.flow_id,
+            trace::FlowPhase::kStep, static_cast<int>(idx), rec.version,
+            rec.size);
+}
+
+Engine::LineageSnapshot Engine::Lineage(sim::Rank rank) const {
+  constexpr auto relax = std::memory_order_relaxed;
+  const RankCtx& c = ctx(rank);
+  LineageSnapshot s;
+  s.admitted = c.probe.objects_admitted.load(relax);
+  s.durable = c.probe.objects_durable.load(relax);
+  s.degraded = c.probe.objects_degraded.load(relax);
+  s.lost = c.probe.objects_lost.load(relax);
+  s.erased = c.probe.objects_erased.load(relax);
+  if (c.lineage_journal == nullptr) return s;
+  const std::uint64_t head = c.lineage_head.load(std::memory_order_acquire);
+  s.journal_total = head;
+  const std::uint64_t n = head < kLineageJournalCap ? head : kLineageJournalCap;
+  s.journal.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const LineageCell& cell = c.lineage_journal[i % kLineageJournalCap];
+    // Seqlock read: a slot caught mid-write (odd stamp) or overwritten
+    // between the two stamp reads is retried a few times, then skipped —
+    // a sampler must never spin against the hot path.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t s1 = cell.stamp.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;
+      if (s1 == 0) break;  // never written
+      LineageEntry e;
+      e.version = cell.version.load(relax);
+      e.flow_id = cell.flow_id.load(relax);
+      e.admit_ns = cell.admit_ns.load(relax);
+      e.durable_ns = cell.durable_ns.load(relax);
+      e.terminal_ns = cell.terminal_ns.load(relax);
+      e.durable_tier = static_cast<int>(cell.durable_tier.load(relax));
+      e.outcome = static_cast<LineageOutcome>(cell.outcome.load(relax));
+      if (cell.stamp.load(std::memory_order_acquire) == s1) {
+        s.journal.push_back(e);
+        break;
+      }
+    }
+  }
+  return s;
 }
 
 util::StatusOr<CkptState> Engine::StateOf(sim::Rank rank, Version v) const {
@@ -1638,19 +1878,20 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     Record& rec = it->second;
     Residency& mine = rec.res[static_cast<std::size_t>(tier)];
 
-    auto cancel = [&] {
+    auto cancel = [&](LineageOutcome outcome, const char* flow_name) {
       t.backlog_bytes -= rec.size;
       ++c.metrics.flushes_cancelled;
       if (!rec.flush_done) {
         rec.flush_done = true;
         --c.inflight_flushes;
       }
+      LineageTerminal(c, rec, outcome, flow_name, tier);
       NotifyState(c);  // WaitForFlushes watches inflight_flushes
     };
 
     // Condition (5): consumed + discardable checkpoints skip pending flushes.
     if (options_.discard_after_restore && rec.state == CkptState::kConsumed) {
-      cancel();
+      cancel(LineageOutcome::kErased, "flow:erased:discarded");
       continue;
     }
     if (!mine.valid) {
@@ -1741,7 +1982,8 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
     }
     if (target < 0 && tier + 1 < ncache &&
         reserve_st.code() != util::ErrorCode::kCapacityExceeded) {
-      cancel();  // shutdown or condition-(5) abort mid-reservation
+      // Shutdown or condition-(5) abort mid-reservation.
+      cancel(LineageOutcome::kErased, "flow:erased:cancelled");
       continue;
     }
 
@@ -1793,11 +2035,17 @@ void Engine::FlushStageLoop(RankCtx& c, TierIndex tier) {
       NotifyReserve(c, tier);    // read_refs dropped
       NotifyReserve(c, target);  // reservation released
       CKPT_LOG(kError, "flush") << "flush stage copy failed: " << st.ToString();
-      cancel();
+      // The source-tier copy survives the failed hop, so the object ends
+      // short of the terminal tier rather than lost.
+      cancel(LineageOutcome::kDegraded, "flow:degraded:flush-cancelled");
       continue;
     }
     QueueSpanSince(c, trace::Kind::kFlush, stage_span, t0, target, v,
                    rec.size);
+    if (lineage_) {
+      QueueFlow(c, trace::Kind::kFlush, flow_hop_names_[target], rec.flow_id,
+                trace::FlowPhase::kStep, target, v, rec.size);
+    }
     c.metrics.flush_stage_hist[static_cast<std::size_t>(tier)].Add(
         static_cast<double>(util::NowNs() - t0) / 1e9);
     next.valid = true;
@@ -2007,6 +2255,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
       ++c.metrics.prefetch_promotions;
       QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
                      0, v, rec.size);
+      if (lineage_) {
+        QueueFlow(c, trace::Kind::kPrefetch, "prefetch:promote", rec.flow_id,
+                  trace::FlowPhase::kStep, 0, v, rec.size);
+      }
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       continue;  // Advance() above already woke the state channel
@@ -2059,6 +2311,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
       ++c.metrics.prefetch_promotions;
       QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
                      0, v, rec.size);
+      if (lineage_) {
+        QueueFlow(c, trace::Kind::kPrefetch, "prefetch:promote", rec.flow_id,
+                  trace::FlowPhase::kStep, 0, v, rec.size);
+      }
       c.metrics.promotion_hist.Add(
           static_cast<double>(util::NowNs() - promo_begin) / 1e9);
       continue;  // Advance() above already woke the state channel
@@ -2142,6 +2398,10 @@ void Engine::PrefetchLoop(RankCtx& c) {
     ++c.metrics.prefetch_promotions;
     QueueSpanSince(c, trace::Kind::kPrefetch, "prefetch:promote", promo_begin,
                    0, v, rec.size);
+    if (lineage_) {
+      QueueFlow(c, trace::Kind::kPrefetch, "prefetch:promote", rec.flow_id,
+                trace::FlowPhase::kStep, 0, v, rec.size);
+    }
     c.metrics.promotion_hist.Add(
         static_cast<double>(util::NowNs() - promo_begin) / 1e9);
   }

@@ -48,6 +48,7 @@
 #include "util/clock.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/retry.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace ckpt::core {
@@ -141,6 +142,14 @@ struct EngineOptions {
   /// spans every rank and the hot path is byte-identical to a pre-tenant
   /// engine.
   std::vector<TenantSpec> tenants;
+
+  /// Per-object lineage tracking (DESIGN.md §14): derives a stable flow id
+  /// per checkpoint, stamps Chrome-trace flow events on every causal hop,
+  /// keeps the per-rank lineage journal, and populates the objects_* /
+  /// durability-lag metrics. Also enabled by CKPT_LINEAGE=1 in the
+  /// environment. Off by default so legacy trace, metrics-JSON and
+  /// OpenMetrics output stays byte-identical.
+  bool lineage = false;
 
   /// Test hook: when set, a commit-ready eviction plan in round `round`
   /// (0-based per ReserveOn call) is treated as stale even though the table
@@ -271,6 +280,12 @@ class Engine final : public Runtime {
     std::uint64_t flush_queue_depth = 0;  ///< queued + in-flight flush work
     std::uint64_t flush_bytes = 0;        ///< cumulative bytes landed here
     std::uint64_t restores = 0;           ///< restores served from this tier
+    /// Durability-lag histogram cells (DESIGN.md §14): counts per
+    /// util::telemetry::kDurabilityLagEdgesS bucket (+Inf last). Empty for
+    /// cache tiers or when lineage tracking is off.
+    std::vector<std::uint64_t> lag_buckets;
+    std::uint64_t lag_count = 0;
+    std::uint64_t lag_sum_ns = 0;
   };
   /// Point-in-time reading of one rank's probe cells. Produced WITHOUT the
   /// rank lock: each field is one relaxed atomic read, so the fields are
@@ -294,6 +309,12 @@ class Engine final : public Runtime {
     std::uint64_t bytes_checkpointed = 0;
     std::uint64_t bytes_restored = 0;
     std::uint64_t watchdog_stalls = 0;
+    // Lineage outcome counters (DESIGN.md §14); zero when lineage is off.
+    std::uint64_t objects_admitted = 0;
+    std::uint64_t objects_durable = 0;
+    std::uint64_t objects_degraded = 0;
+    std::uint64_t objects_lost = 0;
+    std::uint64_t objects_erased = 0;
     std::vector<TierProbe> tiers;  ///< by stack index
   };
   /// Samples the rank's probe cells without acquiring the rank lock. Safe
@@ -311,6 +332,56 @@ class Engine final : public Runtime {
   /// Charges a watchdog-detected stall to the rank's metrics and probe
   /// cells. Takes the rank lock — trip path only, never the sample path.
   void NoteStall(sim::Rank rank, StallKind kind);
+
+  // --- Per-checkpoint lineage (DESIGN.md §14) ---
+  /// Terminal disposition of one admitted checkpoint object. Every object
+  /// admitted by Checkpoint() ends in exactly one of these (the
+  /// conservation invariant the lineage auditor checks).
+  enum class LineageOutcome : std::uint8_t {
+    kDurable = 0,  ///< reached the configured terminal tier
+    kDegraded,     ///< durable at a shallower tier (terminal tier failed)
+    kLost,         ///< entered FLUSH_FAILED with no surviving copy
+    kErased,       ///< record dropped before a durability outcome (admit
+                   ///< rollback, condition-(5) discard, shutdown abort)
+  };
+  /// One terminal record in the rank's lineage journal.
+  struct LineageEntry {
+    Version version = 0;
+    std::uint64_t flow_id = 0;
+    std::int64_t admit_ns = 0;
+    std::int64_t durable_ns = 0;  ///< first durable ack; 0 = never durable
+    std::int64_t terminal_ns = 0;
+    int durable_tier = -1;        ///< stack index of the first durable ack
+    LineageOutcome outcome = LineageOutcome::kDurable;
+  };
+  /// Lock-free snapshot of one rank's lineage ledger: outcome counters plus
+  /// the newest journal entries (oldest first). Counters and journal read
+  /// all-zero / empty when the telemetry subsystem is compiled out
+  /// (CKPT_TELEMETRY_DISABLED) — use MetricsSnapshot() for the always-on
+  /// metrics-side ledger.
+  struct LineageSnapshot {
+    std::uint64_t admitted = 0;
+    std::uint64_t durable = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t erased = 0;
+    std::uint64_t journal_total = 0;  ///< terminals ever journaled
+    std::vector<LineageEntry> journal;
+
+    [[nodiscard]] std::uint64_t terminated() const noexcept {
+      return durable + degraded + lost + erased;
+    }
+    [[nodiscard]] std::uint64_t inflight() const noexcept {
+      const std::uint64_t t = terminated();
+      return admitted >= t ? admitted - t : 0;
+    }
+  };
+  /// Samples the rank's lineage cells and journal without the rank lock
+  /// (seqlock-stamped journal cells; torn entries are skipped).
+  [[nodiscard]] LineageSnapshot Lineage(sim::Rank rank) const;
+  /// True when lineage tracking is on (EngineOptions::lineage or
+  /// CKPT_LINEAGE=1).
+  [[nodiscard]] bool lineage() const noexcept { return lineage_; }
 
  private:
   struct Residency {
@@ -348,6 +419,16 @@ class Engine final : public Runtime {
     /// transition recorded with tracing on); Advance() emits the dwell time
     /// of the outgoing state as a lifecycle span.
     std::int64_t state_since_ns = 0;
+
+    // Lineage fields (DESIGN.md §14), stamped at Checkpoint() admission.
+    // Imported records (FindOrImport) keep flow_id 0 and lineage_done true:
+    // their admission predates this engine, so they sit outside the
+    // conservation ledger and emit no flow events.
+    std::int64_t admit_ns = 0;          ///< NowNs() at admission
+    std::uint64_t flow_id = 0;          ///< util::trace::FlowIdOf(rank, v)
+    std::int64_t first_durable_ns = 0;  ///< first durable ack (0 = none)
+    std::int16_t first_durable_tier = -1;  ///< stack index of that ack
+    bool lineage_done = false;          ///< terminal outcome recorded
 
     [[nodiscard]] bool AnyDurable() const noexcept {
       for (unsigned char d : durable) {
@@ -403,6 +484,15 @@ class Engine final : public Runtime {
     std::atomic<std::uint64_t> flush_queue_depth{0};  ///< queued + in-flight
     std::atomic<std::uint64_t> flush_bytes{0};
     std::atomic<std::uint64_t> restores{0};
+    /// Durability-lag histogram cells (DESIGN.md §14): per-bucket counts
+    /// over util::telemetry::kDurabilityLagEdgesS plus the +Inf bucket.
+    /// Bumped at each durable ack on durable-tier positions only; cache
+    /// positions stay zero.
+    std::array<std::atomic<std::uint64_t>,
+               util::telemetry::kDurabilityLagBuckets>
+        lag_buckets{};
+    std::atomic<std::uint64_t> lag_count{0};
+    std::atomic<std::uint64_t> lag_sum_ns{0};
   };
   struct ProbeCells {
     std::array<std::atomic<std::uint64_t>, kCkptStateCount> state_occupancy{};
@@ -426,7 +516,33 @@ class Engine final : public Runtime {
     std::atomic<std::uint64_t> bytes_checkpointed{0};
     std::atomic<std::uint64_t> bytes_restored{0};
     std::atomic<std::uint64_t> watchdog_stalls{0};
+    // Lineage outcome counters (DESIGN.md §14); bumped only with lineage on.
+    std::atomic<std::uint64_t> objects_admitted{0};
+    std::atomic<std::uint64_t> objects_durable{0};
+    std::atomic<std::uint64_t> objects_degraded{0};
+    std::atomic<std::uint64_t> objects_lost{0};
+    std::atomic<std::uint64_t> objects_erased{0};
   };
+
+  /// One slot of the per-rank lineage journal (DESIGN.md §14): a
+  /// seqlock-stamped terminal record. The writer (any thread holding
+  /// ctx.mu) bumps `stamp` to odd, stores the fields, bumps to even; the
+  /// lock-free reader retries/skips slots it catches mid-write. Fields are
+  /// individually relaxed atomics so concurrent reads stay data-race-free
+  /// under TSan; the stamp protocol supplies whole-record consistency.
+  struct LineageCell {
+    std::atomic<std::uint64_t> stamp{0};  ///< odd while a write is in flight
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> flow_id{0};
+    std::atomic<std::int64_t> admit_ns{0};
+    std::atomic<std::int64_t> durable_ns{0};
+    std::atomic<std::int64_t> terminal_ns{0};
+    std::atomic<std::int32_t> durable_tier{-1};
+    std::atomic<std::uint8_t> outcome{0};
+  };
+  /// Journal capacity per rank: newest kLineageJournalCap terminals are
+  /// retained; the monotone head counter records how many were ever logged.
+  static constexpr std::size_t kLineageJournalCap = 1024;
 
   struct RankCtx {
     sim::Rank rank = 0;
@@ -463,6 +579,13 @@ class Engine final : public Runtime {
     ProbeCells probe;
     /// One cell block per stack tier (cache AND durable), sized at Init.
     std::unique_ptr<TierProbeCells[]> tier_probe;
+
+    /// Lineage journal ring (DESIGN.md §14), allocated at Init only when
+    /// lineage tracking is on. lineage_head counts terminals ever journaled
+    /// (slot = index % kLineageJournalCap); writers append under mu, the
+    /// Lineage() reader walks the ring lock-free.
+    std::unique_ptr<LineageCell[]> lineage_journal;
+    std::atomic<std::uint64_t> lineage_head{0};
 
     /// Trace events recorded inside the rank-lock critical section, queued
     /// for emission after the lock is released (the per-thread trace buffer
@@ -575,6 +698,30 @@ class Engine final : public Runtime {
    private:
     RankCtx& ctx_;
   };
+  // --- Lineage helpers (DESIGN.md §14); all require ctx.mu held ---
+  /// Queues a flow event (ph "s"/"t"/"f" keyed by `flow_id`) on the
+  /// object's causal chain. No-op unless flow emission is on
+  /// (util::trace::flows_enabled()) and `flow_id` is nonzero, so legacy
+  /// traces stay byte-identical.
+  static void QueueFlow(RankCtx& ctx, util::trace::Kind kind,
+                        const char* name, std::uint64_t flow_id,
+                        util::trace::FlowPhase phase, int tier = -1,
+                        Version v = 0, std::uint64_t bytes = 0);
+  /// Records `rec`'s admission into the lineage ledger: counters, metrics,
+  /// and the flow-start event. Checkpoint() admission only.
+  void LineageAdmit(RankCtx& ctx, Record& rec);
+  /// Records `rec`'s terminal outcome exactly once: outcome counters and
+  /// metrics, the journal entry, and the terminating flow event
+  /// (`flow_name`, ph "f"). Later calls for the same record are no-ops, so
+  /// every terminal/erase site may call it unconditionally — the first
+  /// disposition wins, which is what conservation needs.
+  void LineageTerminal(RankCtx& ctx, Record& rec, LineageOutcome outcome,
+                       const char* flow_name, int tier = -1);
+  /// Charges the put -> durable-ack lag of `rec` for durable ordinal `d`:
+  /// the metrics histogram and probe lag cells at the tier's stack index,
+  /// plus the per-tier ack flow step. First ack stamps first_durable_*.
+  void LineageDurableAck(RankCtx& ctx, Record& rec, std::size_t d);
+
   /// Drops the victims' residencies on `tier`. Requires EvictableNow.
   util::Status EvictVictims(RankCtx& ctx, TierIndex tier,
                             const std::vector<EntryId>& victims);
@@ -703,6 +850,13 @@ class Engine final : public Runtime {
   /// Interned "flush:<tier>" span names, one per durable ordinal, so the
   /// terminal put loop can emit per-tier spans without allocating.
   std::vector<const char*> durable_span_names_;
+  /// Interned flow-step names (DESIGN.md §14): "hop:<tier>" per stack index
+  /// (flush-stage landings) and "ack:<tier>" per durable ordinal (durable
+  /// acks). Empty unless lineage tracking is on.
+  std::vector<const char*> flow_hop_names_;
+  std::vector<const char*> flow_ack_names_;
+  /// Lineage tracking on (EngineOptions::lineage or CKPT_LINEAGE=1).
+  bool lineage_ = false;
   /// Tenant table + rank->tenant mapping; created before the workers spawn.
   std::unique_ptr<TenantRegistry> tenant_registry_;
   /// True when the engine runs in explicit multi-tenant mode: tenant labels

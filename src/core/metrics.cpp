@@ -32,6 +32,17 @@ void RankMetrics::Merge(const RankMetrics& other) {
   for (std::size_t i = 0; i < other.flush_stage_hist.size(); ++i) {
     flush_stage_hist[i].Merge(other.flush_stage_hist[i]);
   }
+  if (durable_lag_hist.size() < other.durable_lag_hist.size()) {
+    durable_lag_hist.resize(other.durable_lag_hist.size());
+  }
+  for (std::size_t i = 0; i < other.durable_lag_hist.size(); ++i) {
+    durable_lag_hist[i].Merge(other.durable_lag_hist[i]);
+  }
+  objects_admitted += other.objects_admitted;
+  objects_durable += other.objects_durable;
+  objects_degraded += other.objects_degraded;
+  objects_lost += other.objects_lost;
+  objects_erased += other.objects_erased;
   reserve_wait_write_s += other.reserve_wait_write_s;
   reserve_wait_prefetch_s += other.reserve_wait_prefetch_s;
   reserve_rounds += other.reserve_rounds;

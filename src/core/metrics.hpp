@@ -99,6 +99,21 @@ struct RankMetrics {
   // (sized by the engine alongside the per-tier counter vectors).
   std::vector<util::LogHistogram> flush_stage_hist;
 
+  // Lineage accounting (DESIGN.md §14): per-object terminal outcomes and
+  // the put -> durable-ack window. Only populated when lineage tracking is
+  // on (EngineOptions::lineage / CKPT_LINEAGE), so legacy metrics JSON
+  // stays byte-identical without it.
+  std::uint64_t objects_admitted = 0;   // records created by Checkpoint()
+  std::uint64_t objects_durable = 0;    // reached the configured terminal tier
+  std::uint64_t objects_degraded = 0;   // durable short of the terminal tier
+  std::uint64_t objects_lost = 0;       // entered FLUSH_FAILED with no copy
+  std::uint64_t objects_erased = 0;     // record erased before any outcome
+  // Durability lag (seconds, put -> per-tier durable ack), indexed by
+  // TierStack position; cache positions stay empty. Never-durable objects
+  // (lost/erased) charge nothing — the family measures ack latency, not
+  // failure rate (those have their own counters above).
+  std::vector<util::LogHistogram> durable_lag_hist;
+
   // Engine init cost (slow pinned host-cache allocation, §5.4.2).
   double init_s = 0.0;
 

@@ -51,7 +51,18 @@ void AppendEventJson(std::string& out, const TrackEvent& te) {
   out += R"(","cat":")";
   out += to_string(e.kind);
   out += "\",";
-  if (e.is_span()) {
+  if (e.is_flow()) {
+    // Lineage flow events: Perfetto draws arrows between same-id events.
+    // Both the legacy `id` and the modern `bind_id` carry the flow id; the
+    // terminating `f` binds at the enclosing slice ("bp":"e").
+    switch (e.flow) {
+      case util::trace::FlowPhase::kStart: out += R"("ph":"s",)"; break;
+      case util::trace::FlowPhase::kStep: out += R"("ph":"t",)"; break;
+      default: out += R"("ph":"f","bp":"e",)"; break;
+    }
+    AppendF(out, "\"id\":\"0x%" PRIx64 "\",\"bind_id\":\"0x%" PRIx64 "\",",
+            e.flow_id, e.flow_id);
+  } else if (e.is_span()) {
     out += R"("ph":"X",)";
   } else {
     out += R"("ph":"i","s":"t",)";
@@ -65,6 +76,9 @@ void AppendEventJson(std::string& out, const TrackEvent& te) {
   AppendF(out, ",\"args\":{\"tier\":%d,\"version\":%" PRIu64
                ",\"bytes\":%" PRIu64,
           static_cast<int>(e.tier), e.version, e.bytes);
+  if (e.is_flow()) {
+    AppendF(out, ",\"rank\":%d", static_cast<int>(e.rank));
+  }
   if (e.a != 0.0 || e.b != 0.0) {
     out += ",\"a\":";
     AppendNum(out, e.a);
@@ -139,6 +153,33 @@ std::string ChromeTraceJson(const util::trace::TraceSnapshot& snap) {
   // rank, but nothing requires it; the pid comes from each event.
   std::vector<TrackEvent> rows;
   rows.reserve(snap.total_events());
+  // Ring wrap left a thread's oldest events overwritten: synthesize one
+  // "trace:wrap" instant per affected thread, stamped at its oldest
+  // *surviving* event and carrying the drop count in `a`, so flow-aware
+  // consumers (ckpt_lineage) can downgrade objects whose start may have
+  // been dropped to "unauditable" instead of miscounting them as orphans.
+  std::vector<Event> wrap_events;
+  wrap_events.reserve(snap.threads.size());
+  for (const auto& t : snap.threads) {
+    if (t.dropped == 0 || t.events.empty()) continue;
+    Event w;
+    w.ts_ns = t.events.front().ts_ns;
+    w.dur_ns = -1;
+    w.name = "trace:wrap";
+    w.kind = Kind::kHealth;
+    w.rank = t.events.front().rank;
+    w.a = static_cast<double>(t.dropped);
+    wrap_events.push_back(w);
+  }
+  {
+    std::size_t wi = 0;
+    for (const auto& t : snap.threads) {
+      if (t.dropped == 0 || t.events.empty()) continue;
+      rows.push_back(TrackEvent{PidOf(wrap_events[wi]), t.buffer_id,
+                                &wrap_events[wi]});
+      ++wi;
+    }
+  }
   for (const auto& t : snap.threads) {
     for (const Event& e : t.events) {
       rows.push_back(TrackEvent{PidOf(e), t.buffer_id, &e});
@@ -289,7 +330,33 @@ std::string MetricsJson(const RankMetrics& m,
     AppendHistJson(scratch, "h", m.flush_stage_hist[i]);
     out += scratch.substr(scratch.find(':') + 1);
   }
-  out += "},\"restore_series\":[";
+  out += "}";
+  // Lineage accounting (DESIGN.md §14): emitted only when lineage tracking
+  // recorded something, so lineage-off output stays byte-identical.
+  if (m.objects_admitted > 0) {
+    AppendF(out,
+            ",\"lineage\":{\"admitted\":%" PRIu64 ",\"durable\":%" PRIu64
+            ",\"degraded\":%" PRIu64 ",\"lost\":%" PRIu64
+            ",\"erased\":%" PRIu64 "}",
+            m.objects_admitted, m.objects_durable, m.objects_degraded,
+            m.objects_lost, m.objects_erased);
+    out += ",\"durability_lag_s\":{";
+    bool first_tier = true;
+    for (std::size_t i = 0; i < m.durable_lag_hist.size(); ++i) {
+      if (m.durable_lag_hist[i].total() == 0) continue;
+      if (!first_tier) out += ",";
+      first_tier = false;
+      const std::string label = i < tier_names.size()
+                                    ? tier_names[i]
+                                    : "tier" + std::to_string(i);
+      out += "\"" + util::json::Escape(label) + "\":";
+      std::string scratch;
+      AppendHistJson(scratch, "h", m.durable_lag_hist[i]);
+      out += scratch.substr(scratch.find(':') + 1);
+    }
+    out += "}";
+  }
+  out += ",\"restore_series\":[";
   for (std::size_t i = 0; i < m.restore_series.size(); ++i) {
     const RestorePoint& p = m.restore_series[i];
     if (i) out += ",";
@@ -374,6 +441,16 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
   // Per-track last-seen begin timestamp for the monotonicity check.
   std::map<std::pair<int, std::uint64_t>, double> last_ts;
   std::set<std::pair<int, std::uint64_t>> tracks;
+  // Per-flow-id bookkeeping: flow events cross tracks, so binding is
+  // checked in a post-pass over these rollups rather than in file order.
+  struct FlowStats {
+    std::size_t starts = 0;
+    std::size_t steps = 0;
+    std::size_t finishes = 0;
+    double first_start_ts = 0.0;
+    double last_finish_ts = 0.0;
+  };
+  std::map<std::string, FlowStats> flows;
   // Per-track rollups for --summary; names come from thread_name metadata,
   // kept separate so metadata-only tracks don't show up in the stats.
   std::map<std::pair<int, std::uint64_t>, TraceCheck::TrackStats> stats;
@@ -443,7 +520,57 @@ TraceCheck ValidateChromeTrace(std::string_view json_text) {
       track.max_dur_us = std::max(track.max_dur_us, dur->as_number());
     } else if (ph->as_string() == "i") {
       ++check.instants;
+      if (name->as_string() == "trace:wrap") ++check.wraps;
+    } else if (ph->as_string() == "s" || ph->as_string() == "t" ||
+               ph->as_string() == "f") {
+      const util::json::Value* id = ev.Find("id");
+      if (id == nullptr || !id->is_string() || id->as_string().empty()) {
+        check.error =
+            "flow event '" + name->as_string() + "' missing string id";
+        return check;
+      }
+      FlowStats& fs = flows[id->as_string()];
+      ++check.flows_per_category[cat];
+      if (ph->as_string() == "s") {
+        ++check.flow_starts;
+        if (fs.starts == 0 || ts->as_number() < fs.first_start_ts) {
+          fs.first_start_ts = ts->as_number();
+        }
+        ++fs.starts;
+      } else if (ph->as_string() == "t") {
+        ++check.flow_steps;
+        ++fs.steps;
+      } else {
+        ++check.flow_finishes;
+        fs.last_finish_ts = std::max(fs.last_finish_ts, ts->as_number());
+        ++fs.finishes;
+      }
     }
+  }
+  // Flow binding post-pass: every termination must bind to a start of the
+  // same id that happened at or before it, and one incarnation terminates
+  // at most once (re-admitted objects reuse their id, so starts and
+  // finishes pair up 1:1 per incarnation). A ring wrap can legitimately
+  // drop a flow's start while its finish survives — those ids are counted
+  // as unbound instead of failing the trace, but only when a trace:wrap
+  // marker proves events were dropped.
+  check.flows = flows.size();
+  for (const auto& [id, fs] : flows) {
+    if (fs.finishes > fs.starts) {
+      if (check.wraps == 0) {
+        check.error = fs.starts == 0
+                          ? "flow " + id + " terminates without a start"
+                          : "flow " + id + " has duplicate terminations";
+        return check;
+      }
+      ++check.flows_unbound;
+      continue;
+    }
+    if (fs.finishes > 0 && fs.last_finish_ts < fs.first_start_ts) {
+      check.error = "flow " + id + " terminates before its start";
+      return check;
+    }
+    if (fs.starts > fs.finishes) ++check.flows_dangling;
   }
   check.tracks = tracks.size();
   check.track_stats.reserve(stats.size());

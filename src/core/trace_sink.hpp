@@ -55,6 +55,17 @@ struct TraceCheck {
   /// Complete-span count per category ("lifecycle", "flush", ...).
   std::map<std::string, std::size_t> spans_per_category;
 
+  // Lineage flow events (ph "s"/"t"/"f" bound by id).
+  std::size_t flow_starts = 0;       ///< ph "s" events
+  std::size_t flow_steps = 0;        ///< ph "t" events
+  std::size_t flow_finishes = 0;     ///< ph "f" events
+  std::size_t flows = 0;             ///< distinct flow ids
+  std::size_t flows_dangling = 0;    ///< ids started but never finished
+  std::size_t flows_unbound = 0;     ///< "f" without a prior "s" (wraps only)
+  std::size_t wraps = 0;             ///< per-thread trace:wrap drop markers
+  /// Flow-event count per category ("lifecycle", "flush", ...).
+  std::map<std::string, std::size_t> flows_per_category;
+
   /// Per-track rollup backing `trace_check --summary`.
   struct TrackStats {
     int pid = 0;
@@ -71,6 +82,10 @@ struct TraceCheck {
   [[nodiscard]] std::size_t spans_in(std::string_view cat) const {
     auto it = spans_per_category.find(std::string(cat));
     return it == spans_per_category.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::size_t flows_in(std::string_view cat) const {
+    auto it = flows_per_category.find(std::string(cat));
+    return it == flows_per_category.end() ? 0 : it->second;
   }
 };
 

@@ -4,9 +4,19 @@
 #include <cstring>
 
 #include "util/clock.hpp"
+#include "util/flow_id.hpp"
 #include "util/status.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::storage {
+
+namespace {
+/// Lineage id of a group object: the synthetic group rank keeps it disjoint
+/// from every member id (util/flow_id.hpp).
+constexpr std::uint64_t GroupFlowId(std::uint64_t group_id) noexcept {
+  return util::trace::FlowIdOf(AggregatingStore::kGroupRank, group_id);
+}
+}  // namespace
 
 AggregatingStore::AggregatingStore(std::shared_ptr<ObjectStore> inner,
                                    Options options)
@@ -36,8 +46,19 @@ std::shared_ptr<AggregatingStore::Group> AggregatingStore::SealLocked(
   pending_ = std::make_shared<Group>();
   pending_->id = next_group_id_++;
   for (auto& [key, loc] : index_) {
-    if (!loc.sealed && loc.group_id == sealed->id) loc.sealed = true;
+    if (!loc.sealed && loc.group_id == sealed->id) {
+      loc.sealed = true;
+      // Each member's lineage steps through the seal, so Perfetto draws the
+      // member -> group join at the moment the buffer freezes.
+      util::trace::Flow(util::trace::Kind::kFlush, "agg:seal",
+                        util::trace::FlowIdOf(key.rank, key.version),
+                        util::trace::FlowPhase::kStep, key.rank, /*tier=*/-1,
+                        key.version, loc.size);
+    }
   }
+  util::trace::Flow(util::trace::Kind::kFlush, "agg:seal",
+                    GroupFlowId(sealed->id), util::trace::FlowPhase::kStep,
+                    kGroupRank, /*tier=*/-1, sealed->id, sealed->buf.size());
   staged_[sealed->id] = sealed;
   if (by_deadline) {
     ++stats_.agg_deadline_flushes;
@@ -54,6 +75,9 @@ util::Status AggregatingStore::UploadGroup(const std::shared_ptr<Group>& g) {
     g->uploading = true;
     g->needs_retry = false;
   }
+  util::trace::Flow(util::trace::Kind::kFlush, "agg:upload",
+                    GroupFlowId(g->id), util::trace::FlowPhase::kStep,
+                    kGroupRank, /*tier=*/-1, g->id, g->buf.size());
   util::Status st = inner_->Put(GroupKey(g->id), g->buf.data(), g->buf.size());
   bool erase_inner = false;
   {
@@ -66,6 +90,10 @@ util::Status AggregatingStore::UploadGroup(const std::shared_ptr<Group>& g) {
       // unless every member was erased while the upload was failing.
       if (staged_.count(g->id) > 0) {
         g->needs_retry = true;
+      } else {
+        util::trace::Flow(util::trace::Kind::kFlush, "agg:reclaimed",
+                          GroupFlowId(g->id), util::trace::FlowPhase::kEnd,
+                          kGroupRank, /*tier=*/-1, g->id, g->buf.size());
       }
       return st;
     }
@@ -73,9 +101,15 @@ util::Status AggregatingStore::UploadGroup(const std::shared_ptr<Group>& g) {
     if (cancelled_.erase(g->id) > 0 || staged_.count(g->id) == 0) {
       // Last member erased mid-upload: the object just landed is garbage.
       erase_inner = true;
+      util::trace::Flow(util::trace::Kind::kFlush, "agg:reclaimed",
+                        GroupFlowId(g->id), util::trace::FlowPhase::kEnd,
+                        kGroupRank, /*tier=*/-1, g->id, g->buf.size());
     } else {
       staged_.erase(g->id);
       group_live_[g->id] = g->live_members;
+      util::trace::Flow(util::trace::Kind::kFlush, "agg:landed",
+                        GroupFlowId(g->id), util::trace::FlowPhase::kEnd,
+                        kGroupRank, /*tier=*/-1, g->id, g->buf.size());
     }
   }
   if (erase_inner) {
@@ -154,6 +188,10 @@ void AggregatingStore::DropMemberLocked(const ObjectKey& key,
       group_live_.erase(it);
       ++stats_.agg_group_reclaims;
       if (reclaim != nullptr) reclaim->push_back(GroupKey(gid));
+      // The group flow already terminated at agg:landed; the late reclaim is
+      // a plain instant so no flow gets a second termination.
+      util::trace::Instant(util::trace::Kind::kFlush, "agg:reclaim",
+                           kGroupRank, /*tier=*/-1, gid);
     }
     return;
   }
@@ -163,6 +201,9 @@ void AggregatingStore::DropMemberLocked(const ObjectKey& key,
         cancelled_.insert(gid);  // uploader erases the landed object
       } else {
         ++stats_.agg_group_reclaims;  // never landed: just drop the buffer
+        util::trace::Flow(util::trace::Kind::kFlush, "agg:reclaimed",
+                          GroupFlowId(gid), util::trace::FlowPhase::kEnd,
+                          kGroupRank, /*tier=*/-1, gid);
       }
       staged_.erase(it);
     }
@@ -191,6 +232,21 @@ util::Status AggregatingStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
     index_[key] = loc;
     total_bytes_ += size;
     ++stats_.agg_member_puts;
+    if (pending_->live_members == 1) {
+      // This member opened the group: start the group object's own lineage
+      // (a step, not a second start, if the group was drained and re-opened).
+      util::trace::Flow(util::trace::Kind::kFlush, "agg:open",
+                        GroupFlowId(pending_->id),
+                        pending_->flow_started
+                            ? util::trace::FlowPhase::kStep
+                            : util::trace::FlowPhase::kStart,
+                        kGroupRank, /*tier=*/-1, pending_->id, size);
+      pending_->flow_started = true;
+    }
+    util::trace::Flow(util::trace::Kind::kFlush, "agg:member",
+                      util::trace::FlowIdOf(key.rank, key.version),
+                      util::trace::FlowPhase::kStep, key.rank, /*tier=*/-1,
+                      key.version, size);
     const bool by_count = options_.group_members > 0 &&
                           pending_->live_members >= options_.group_members;
     const bool by_bytes = options_.group_bytes > 0 &&

@@ -86,6 +86,10 @@ class AggregatingStore final : public ObjectStore {
     std::int64_t opened_ns = 0;  ///< NowNs() of the first member
     bool uploading = false;
     bool needs_retry = false;
+    /// The group's lineage flow has emitted its start event. An open group
+    /// whose members all get erased keeps its id and may be re-opened by a
+    /// later Put; the re-open is a flow step, never a second start.
+    bool flow_started = false;
   };
   struct MemberLoc {
     std::uint64_t group_id = 0;

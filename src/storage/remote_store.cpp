@@ -6,6 +6,7 @@
 
 #include "storage/aggregating_store.hpp"
 #include "util/config.hpp"
+#include "util/flow_id.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
 
@@ -151,6 +152,11 @@ util::Status RemoteStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
   if (data == nullptr && size > 0) return util::InvalidArgument("Put: null data");
   trace::Span span(trace::Kind::kFlush, "remote:put", key.rank, -1,
                    key.version, size);
+  // Lineage hop: the object (or aggregated group: kGroupRank keys derive the
+  // group's flow id) enters its multipart upload.
+  trace::Flow(trace::Kind::kFlush, "remote:put",
+              trace::FlowIdOf(key.rank, key.version), trace::FlowPhase::kStep,
+              key.rank, /*tier=*/-1, key.version, size);
   // Multipart upload: parts stream concurrently (bounded by max_inflight)
   // into a staging buffer; "completing" the upload publishes it atomically.
   std::vector<std::byte> staged(static_cast<std::size_t>(size));
@@ -207,6 +213,11 @@ util::Status RemoteStore::Put(const ObjectKey& key, sim::ConstBytePtr data,
     std::lock_guard lock(mu_);
     objects_[key] = std::move(staged);
   }
+  // Lineage hop: complete-multipart published the staged parts atomically;
+  // only now is the object readable (and durable) at the remote tier.
+  trace::Flow(trace::Kind::kFlush, "remote:publish",
+              trace::FlowIdOf(key.rank, key.version), trace::FlowPhase::kStep,
+              key.rank, /*tier=*/-1, key.version, size);
   puts_.fetch_add(1, std::memory_order_relaxed);
   put_bytes_.fetch_add(size, std::memory_order_relaxed);
   return util::OkStatus();

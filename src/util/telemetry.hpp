@@ -39,6 +39,18 @@
 
 namespace ckpt::util::telemetry {
 
+/// Upper bucket edges (seconds) of the `ckpt_durability_lag_seconds`
+/// histogram family (put -> durable-ack window, DESIGN.md §14). Roughly
+/// half-decade log spacing from 100 µs to 100 s; the final +Inf bucket is
+/// implied. Shared between the engine's probe cells and the OpenMetrics
+/// renderer so `le` labels always match the counted edges.
+inline constexpr double kDurabilityLagEdgesS[] = {
+    0.0001, 0.000316, 0.001, 0.00316, 0.01, 0.0316,
+    0.1,    0.316,    1.0,   3.16,    10.0, 31.6,   100.0};
+/// Bucket count including the trailing +Inf bucket.
+inline constexpr std::size_t kDurabilityLagBuckets =
+    sizeof(kDurabilityLagEdgesS) / sizeof(double) + 1;
+
 /// Per-tier gauges/counters inside one rank's sample. For cache tiers all
 /// fields are live; durable tiers report only the flush byte counter.
 struct TierSample {
@@ -48,6 +60,15 @@ struct TierSample {
   std::uint64_t flush_bytes = 0;      ///< cumulative bytes landed (counter)
   std::uint64_t restores = 0;         ///< cumulative restores served (counter)
   double flush_Bps = 0.0;             ///< derived from the previous sample
+  /// Durability-lag histogram cells for durable tiers when lineage tracking
+  /// is on (DESIGN.md §14): per-bucket (non-cumulative) counts over
+  /// kDurabilityLagEdgesS plus the +Inf bucket, with the classic _count and
+  /// _sum. Empty vector = lineage off or cache tier; the renderer emits the
+  /// family only when at least one tier carries cells, so legacy exposition
+  /// is byte-identical.
+  std::vector<std::uint64_t> lag_buckets;
+  std::uint64_t lag_count = 0;
+  std::uint64_t lag_sum_ns = 0;
 };
 
 /// One rank's slice of a sample. Counter fields are cumulative since engine
@@ -74,6 +95,13 @@ struct RankSample {
   std::uint64_t bytes_checkpointed = 0;
   std::uint64_t bytes_restored = 0;
   std::uint64_t watchdog_stalls = 0;
+  // Lineage outcome counters (DESIGN.md §14), all zero when lineage
+  // tracking is off. objects_inflight = admitted - terminated, clamped.
+  std::uint64_t objects_admitted = 0;
+  std::uint64_t objects_durable = 0;
+  std::uint64_t objects_degraded = 0;
+  std::uint64_t objects_lost = 0;
+  std::uint64_t objects_erased = 0;
   double restore_Bps = 0.0;  ///< derived from the previous sample
   std::vector<TierSample> tiers;  ///< one entry per stack tier
 };
@@ -106,6 +134,9 @@ struct RemoteTierSample {
 struct TelemetrySample {
   std::int64_t ts_ns = 0;   ///< trace-epoch timestamp (util::trace::Now)
   std::uint64_t seq = 0;    ///< 0-based sample index since sampler start
+  /// True when the sampled engine runs with lineage tracking on; gates the
+  /// lineage families in exposition (legacy output stays byte-identical).
+  bool lineage = false;
   std::vector<RankSample> ranks;
   /// Engine-wide (not per-rank: the store is shared) remote-tier counters.
   std::vector<RemoteTierSample> remote_tiers;

@@ -58,6 +58,18 @@ enum class Kind : std::uint8_t {
   return "?";
 }
 
+/// Causal-flow phase of an event. kNone marks ordinary spans/instants;
+/// the others render as Chrome flow events (ph "s"/"t"/"f") bound across
+/// threads by Event::flow_id, so Perfetto draws arrows along one
+/// checkpoint's lineage (put -> flush stages -> group seal -> remote put
+/// -> durable / erased / lost).
+enum class FlowPhase : std::uint8_t {
+  kNone = 0,  ///< not a flow event
+  kStart,     ///< flow begins (ph "s"): object admitted / group opened
+  kStep,      ///< intermediate hop (ph "t")
+  kEnd,       ///< flow terminates (ph "f"): exactly one per incarnation
+};
+
 /// One trace event. `name` must point at storage that outlives the registry:
 /// a string literal or an Intern()ed string.
 struct Event {
@@ -65,25 +77,42 @@ struct Event {
   std::int64_t dur_ns = -1;  ///< span duration; < 0 marks an instant event
   const char* name = "";
   Kind kind = Kind::kApp;
+  FlowPhase flow = FlowPhase::kNone;  ///< lineage phase (flow events only)
   std::int16_t rank = -1;    ///< emitting rank, -1 when rank-less
   std::int16_t tier = -1;    ///< stack tier index the event refers to
   std::uint64_t version = 0; ///< checkpoint version
   std::uint64_t bytes = 0;
+  std::uint64_t flow_id = 0; ///< lineage binding id; 0 = not a flow event
   double a = 0.0;            ///< kind-specific (e.g. eviction p_score)
   double b = 0.0;            ///< kind-specific (e.g. eviction s_score)
 
   [[nodiscard]] bool is_span() const noexcept { return dur_ns >= 0; }
+  [[nodiscard]] bool is_flow() const noexcept {
+    return flow != FlowPhase::kNone && flow_id != 0;
+  }
 };
 
 #ifdef CKPT_TRACE_DISABLED
 [[nodiscard]] constexpr bool enabled() noexcept { return false; }
+[[nodiscard]] constexpr bool flows_enabled() noexcept { return false; }
+inline void EnableFlows(bool) noexcept {}
 #else
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_flows;
 }  // namespace detail
 /// True when tracing is recording. One relaxed load; safe from any thread.
 [[nodiscard]] inline bool enabled() noexcept {
   return detail::g_enabled.load(std::memory_order_relaxed);
+}
+/// True when lineage flow events are being recorded (requires tracing on).
+/// Seeded from CKPT_LINEAGE; the engine also flips it via EngineOptions so
+/// stores — which have no engine pointer — self-gate through Flow().
+[[nodiscard]] inline bool flows_enabled() noexcept {
+  return enabled() && detail::g_flows.load(std::memory_order_relaxed);
+}
+inline void EnableFlows(bool on) noexcept {
+  detail::g_flows.store(on, std::memory_order_relaxed);
 }
 #endif
 
@@ -152,6 +181,27 @@ inline void SpanSince(Kind kind, const char* name, std::int64_t begin_ns,
   e.bytes = bytes;
   e.a = a;
   e.b = b;
+  detail::EmitEvent(e);
+}
+
+/// Records a causal-flow event (Chrome ph "s"/"t"/"f" keyed by `flow_id`).
+/// No-op unless lineage flows are enabled (CKPT_LINEAGE / EnableFlows) on
+/// top of tracing itself, so legacy traces stay byte-identical.
+inline void Flow(Kind kind, const char* name, std::uint64_t flow_id,
+                 FlowPhase phase, int rank, int tier = -1,
+                 std::uint64_t version = 0, std::uint64_t bytes = 0) {
+  if (!flows_enabled() || flow_id == 0 || phase == FlowPhase::kNone) return;
+  Event e;
+  e.ts_ns = Now();
+  e.dur_ns = -1;
+  e.name = name;
+  e.kind = kind;
+  e.flow = phase;
+  e.rank = static_cast<std::int16_t>(rank);
+  e.tier = static_cast<std::int16_t>(tier);
+  e.version = version;
+  e.bytes = bytes;
+  e.flow_id = flow_id;
   detail::EmitEvent(e);
 }
 

@@ -1,0 +1,434 @@
+// Per-checkpoint lineage tests (DESIGN.md §14): the conservation invariant
+// (every admitted object terminates in exactly one of durable / degraded /
+// lost / erased) under quiet and concurrent-storm conditions, durability-lag
+// accounting (and its exclusion of never-durable objects), flow-event
+// emission and validation, the lineage journal, and the OpenMetrics gating
+// that keeps legacy exposition untouched when lineage is off.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/telemetry_sink.hpp"
+#include "core/trace_sink.hpp"
+#include "rtm/workload.hpp"
+#include "storage/faulty_store.hpp"
+#include "storage/mem_store.hpp"
+#include "util/trace.hpp"
+
+namespace ckpt::core {
+namespace {
+
+using rtm::FillPattern;
+using storage::FaultyStore;
+
+#ifdef CKPT_TELEMETRY_DISABLED
+#define SKIP_IF_TELEMETRY_COMPILED_OUT() \
+  GTEST_SKIP() << "built with CKPT_TELEMETRY_DISABLED"
+#else
+#define SKIP_IF_TELEMETRY_COMPILED_OUT() (void)0
+#endif
+
+#ifdef CKPT_TRACE_DISABLED
+#define SKIP_IF_TRACE_COMPILED_OUT() \
+  GTEST_SKIP() << "built with CKPT_TRACE_DISABLED"
+#else
+#define SKIP_IF_TRACE_COMPILED_OUT() (void)0
+#endif
+
+class LineageTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kCkptSize = 64 << 10;
+
+  void SetUp() override {
+    util::trace::Disable();
+    util::trace::ResetBuffers();
+  }
+  void TearDown() override {
+    engine_.reset();  // before the cluster; also re-disables flows
+    util::trace::Disable();
+    util::trace::EnableFlows(false);
+    util::trace::ResetBuffers();
+  }
+
+  void Build(int ranks = 1, bool faulty_durable = false) {
+    engine_.reset();
+    cluster_ = std::make_unique<sim::Cluster>(sim::TopologyConfig::Testing());
+    EngineOptions opts;
+    opts.lineage = true;
+    opts.gpu_cache_bytes = 4 * kCkptSize;
+    opts.host_cache_bytes = 16 * kCkptSize;
+    opts.flush_retry.initial_backoff = std::chrono::microseconds(50);
+    opts.flush_retry.max_backoff = std::chrono::microseconds(200);
+    opts.fetch_retry.initial_backoff = std::chrono::microseconds(50);
+    opts.fetch_retry.max_backoff = std::chrono::microseconds(200);
+    auto mem = std::make_shared<storage::MemStore>();
+    std::shared_ptr<storage::ObjectStore> ssd = mem;
+    if (faulty_durable) {
+      faulty_ = std::make_shared<FaultyStore>(mem, FaultyStore::Options{});
+      ssd = faulty_;
+    }
+    engine_ = std::make_unique<Engine>(*cluster_, ssd,
+                                       std::make_shared<storage::MemStore>(),
+                                       opts, ranks);
+  }
+
+  void WriteCkpt(sim::Rank rank, Version v) {
+    auto buf = cluster_->device(rank).Allocate(kCkptSize);
+    ASSERT_TRUE(buf.ok()) << buf.status();
+    FillPattern(rank, v, *buf, kCkptSize);
+    ASSERT_TRUE(engine_->Checkpoint(rank, v, *buf, kCkptSize).ok());
+    ASSERT_TRUE(cluster_->device(rank).Free(*buf).ok());
+  }
+
+  static std::uint64_t Terminated(const RankMetrics& m) {
+    return m.objects_durable + m.objects_degraded + m.objects_lost +
+           m.objects_erased;
+  }
+
+  static std::uint64_t LagTotal(const RankMetrics& m) {
+    std::uint64_t n = 0;
+    for (const auto& h : m.durable_lag_hist) n += h.total();
+    return n;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::shared_ptr<FaultyStore> faulty_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- Conservation ---------------------------------------------------------
+
+TEST_F(LineageTest, EveryAdmittedObjectTerminatesDurable) {
+  Build();
+  constexpr Version kN = 8;
+  for (Version v = 0; v < kN; ++v) WriteCkpt(0, v);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+
+  const RankMetrics m = engine_->MetricsSnapshot(0);
+  EXPECT_EQ(m.objects_admitted, kN);
+  EXPECT_EQ(m.objects_durable, kN);
+  EXPECT_EQ(m.objects_degraded, 0u);
+  EXPECT_EQ(m.objects_lost, 0u);
+  EXPECT_EQ(m.objects_erased, 0u);
+  EXPECT_EQ(Terminated(m), m.objects_admitted);
+  // Every durable object contributed exactly one durability-lag sample.
+  EXPECT_EQ(LagTotal(m), kN);
+}
+
+TEST_F(LineageTest, ConservationHoldsUnderConcurrentCkptRestoreStorm) {
+  // TSan target: writers admit versions while readers restore and the
+  // flush/evict pipeline retires them; afterwards the ledger must balance
+  // exactly — no object unaccounted, none double-counted.
+  Build(/*ranks=*/2);
+  constexpr Version kN = 32;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (sim::Rank rank = 0; rank < 2; ++rank) {
+    threads.emplace_back([&, rank] {
+      for (Version v = 0; v < kN; ++v) {
+        auto buf = cluster_->device(rank).Allocate(kCkptSize);
+        EXPECT_TRUE(buf.ok()) << buf.status();
+        if (!buf.ok()) return;
+        FillPattern(rank, v, *buf, kCkptSize);
+        EXPECT_TRUE(engine_->Checkpoint(rank, v, *buf, kCkptSize).ok());
+        EXPECT_TRUE(cluster_->device(rank).Free(*buf).ok());
+      }
+    });
+    threads.emplace_back([&, rank] {
+      // Restores race the writers; failures (not-yet-written or already
+      // superseded versions) are expected and irrelevant to conservation.
+      Version v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto buf = cluster_->device(rank).Allocate(kCkptSize);
+        if (!buf.ok()) continue;
+        (void)engine_->Restore(rank, v % kN, *buf, kCkptSize);
+        (void)cluster_->device(rank).Free(*buf);
+        v += 7;
+      }
+    });
+  }
+  threads[0].join();
+  threads[2].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[1].join();
+  threads[3].join();
+
+  for (sim::Rank rank = 0; rank < 2; ++rank) {
+    ASSERT_TRUE(engine_->WaitForFlushes(rank).ok());
+    const RankMetrics m = engine_->MetricsSnapshot(rank);
+    EXPECT_EQ(m.objects_admitted, kN) << "rank " << rank;
+    EXPECT_EQ(Terminated(m), m.objects_admitted) << "rank " << rank;
+    EXPECT_EQ(m.objects_lost, 0u) << "rank " << rank;
+    // Lag samples come only from objects that reached a durable tier: at
+    // least every durable object, never more than one per terminated one.
+    EXPECT_GE(LagTotal(m), m.objects_durable) << "rank " << rank;
+    EXPECT_LE(LagTotal(m), Terminated(m)) << "rank " << rank;
+#ifndef CKPT_TELEMETRY_DISABLED
+    const Engine::LineageSnapshot ls = engine_->Lineage(rank);
+    EXPECT_EQ(ls.admitted, m.objects_admitted);
+    EXPECT_EQ(ls.terminated(), Terminated(m));
+    EXPECT_EQ(ls.inflight(), 0u);
+    EXPECT_EQ(ls.journal_total, Terminated(m));
+    for (const auto& e : ls.journal) {
+      EXPECT_NE(e.flow_id, 0u);
+      EXPECT_GT(e.admit_ns, 0);
+      EXPECT_GE(e.terminal_ns, e.admit_ns);
+      if (e.outcome == Engine::LineageOutcome::kDurable) {
+        EXPECT_GE(e.durable_ns, e.admit_ns);
+        EXPECT_GE(e.durable_tier, 0);
+      }
+    }
+#endif
+  }
+}
+
+// --- Fault-injected durability outcomes -----------------------------------
+
+TEST_F(LineageTest, FailedDurablePutsDegradeAndSkipLagHistogram) {
+  // Dead durable backend: flushes exhaust retries, objects stay durable
+  // only in cache (degraded). Never-durable objects must not contribute a
+  // durability-lag sample — the histogram measures time-to-durable, and
+  // these never got there.
+  Build(/*ranks=*/1, /*faulty_durable=*/true);
+  faulty_->SetDown(true);
+  constexpr Version kN = 6;
+  for (Version v = 0; v < kN; ++v) WriteCkpt(0, v);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+
+  const RankMetrics m = engine_->MetricsSnapshot(0);
+  EXPECT_EQ(m.objects_admitted, kN);
+  EXPECT_EQ(m.objects_degraded, kN);
+  EXPECT_EQ(m.objects_durable, 0u);
+  EXPECT_EQ(Terminated(m), m.objects_admitted);
+  EXPECT_EQ(LagTotal(m), 0u);
+
+#ifndef CKPT_TELEMETRY_DISABLED
+  const Engine::LineageSnapshot ls = engine_->Lineage(0);
+  EXPECT_EQ(ls.degraded, kN);
+  for (const auto& e : ls.journal) {
+    EXPECT_EQ(e.outcome, Engine::LineageOutcome::kDegraded);
+    EXPECT_EQ(e.durable_ns, 0);  // never durable-acked
+    EXPECT_EQ(e.durable_tier, -1);
+  }
+#endif
+}
+
+TEST_F(LineageTest, RecoveredBackendRecordsLagOnlyForDurableObjects) {
+  Build(/*ranks=*/1, /*faulty_durable=*/true);
+  faulty_->SetDown(true);
+  WriteCkpt(0, 0);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  faulty_->SetDown(false);
+  WriteCkpt(0, 1);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+
+  const RankMetrics m = engine_->MetricsSnapshot(0);
+  EXPECT_EQ(m.objects_admitted, 2u);
+  EXPECT_EQ(m.objects_degraded, 1u);
+  EXPECT_EQ(m.objects_durable, 1u);
+  EXPECT_EQ(LagTotal(m), 1u);  // only the object that became durable
+}
+
+// --- Flow events ----------------------------------------------------------
+
+TEST_F(LineageTest, FlowEventsStitchAdmitToTerminal) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  util::trace::Enable();
+  Build();  // lineage on => Engine enables flow emission
+  constexpr Version kN = 6;
+  for (Version v = 0; v < kN; ++v) WriteCkpt(0, v);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  engine_.reset();  // drain deferred trace queues
+
+  const std::string json = ChromeTraceJson();
+  const TraceCheck check = ValidateChromeTrace(json);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GE(check.flows, static_cast<std::size_t>(kN));
+  EXPECT_GE(check.flow_starts, static_cast<std::size_t>(kN));
+  EXPECT_GE(check.flow_finishes, static_cast<std::size_t>(kN));
+  EXPECT_EQ(check.flows_dangling, 0u);
+  EXPECT_EQ(check.flows_unbound, 0u);
+  EXPECT_GT(check.flows_in("lifecycle"), 0u);
+  EXPECT_GT(check.flows_in("flush"), 0u);
+  EXPECT_NE(json.find("ckpt:admit"), std::string::npos);
+  EXPECT_NE(json.find("flow:durable"), std::string::npos);
+  EXPECT_NE(json.find("hop:"), std::string::npos);
+  EXPECT_NE(json.find("ack:"), std::string::npos);
+}
+
+TEST_F(LineageTest, NoFlowEventsWhenLineageOff) {
+  SKIP_IF_TRACE_COMPILED_OUT();
+  util::trace::Enable();
+  engine_.reset();
+  cluster_ = std::make_unique<sim::Cluster>(sim::TopologyConfig::Testing());
+  EngineOptions opts;  // lineage stays off
+  opts.gpu_cache_bytes = 4 * kCkptSize;
+  opts.host_cache_bytes = 16 * kCkptSize;
+  engine_ = std::make_unique<Engine>(*cluster_,
+                                     std::make_shared<storage::MemStore>(),
+                                     std::make_shared<storage::MemStore>(),
+                                     opts, 1);
+  WriteCkpt(0, 0);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+  engine_.reset();
+
+  const std::string json = ChromeTraceJson();
+  const TraceCheck check = ValidateChromeTrace(json);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.flows, 0u);
+  EXPECT_EQ(json.find("ckpt:admit"), std::string::npos);
+}
+
+// --- Flow validation (ValidateChromeTrace) --------------------------------
+
+std::string WrapTrace(const std::string& events) {
+  return R"({"traceEvents":[)" + events + "]}";
+}
+
+TEST(FlowValidationTest, FinishWithoutStartIsAnError) {
+  const TraceCheck check = ValidateChromeTrace(WrapTrace(
+      R"({"name":"flow:durable","cat":"lifecycle","ph":"f","bp":"e","id":"0xabc","bind_id":"0xabc","pid":0,"tid":1,"ts":10,"args":{}})"));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("terminates without a start"), std::string::npos)
+      << check.error;
+}
+
+TEST(FlowValidationTest, DuplicateTerminationIsAnError) {
+  const TraceCheck check = ValidateChromeTrace(WrapTrace(
+      R"({"name":"ckpt:admit","cat":"lifecycle","ph":"s","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":1,"args":{}},)"
+      R"({"name":"flow:durable","cat":"lifecycle","ph":"f","bp":"e","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":2,"args":{}},)"
+      R"({"name":"flow:erased","cat":"lifecycle","ph":"f","bp":"e","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":3,"args":{}})"));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("duplicate terminations"), std::string::npos)
+      << check.error;
+}
+
+TEST(FlowValidationTest, FinishBeforeStartTimestampIsAnError) {
+  const TraceCheck check = ValidateChromeTrace(WrapTrace(
+      R"({"name":"flow:durable","cat":"lifecycle","ph":"f","bp":"e","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":1,"args":{}},)"
+      R"({"name":"ckpt:admit","cat":"lifecycle","ph":"s","id":"0x1","bind_id":"0x1","pid":0,"tid":2,"ts":5,"args":{}})"));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("terminates before its start"), std::string::npos)
+      << check.error;
+}
+
+TEST(FlowValidationTest, WrapMarkerDowngradesUnboundFinishes) {
+  // A ring wrap can drop a flow's start while its finish survives; with a
+  // trace:wrap marker present that is evidence loss, not a leak.
+  const TraceCheck check = ValidateChromeTrace(WrapTrace(
+      R"({"name":"trace:wrap","cat":"health","ph":"i","s":"t","pid":0,"tid":1,"ts":0,"args":{"a":12}},)"
+      R"({"name":"flow:durable","cat":"lifecycle","ph":"f","bp":"e","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":10,"args":{}})"));
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.wraps, 1u);
+  EXPECT_EQ(check.flows_unbound, 1u);
+  EXPECT_EQ(check.flows_dangling, 0u);
+}
+
+TEST(FlowValidationTest, DanglingFlowsAreCountedNotFatal) {
+  const TraceCheck check = ValidateChromeTrace(WrapTrace(
+      R"({"name":"ckpt:admit","cat":"lifecycle","ph":"s","id":"0x1","bind_id":"0x1","pid":0,"tid":1,"ts":1,"args":{}})"));
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.flows, 1u);
+  EXPECT_EQ(check.flows_dangling, 1u);
+}
+
+// --- OpenMetrics exposition gating ----------------------------------------
+
+TEST_F(LineageTest, LineageOffKeepsExpositionFreeOfLineageFamilies) {
+  engine_.reset();
+  cluster_ = std::make_unique<sim::Cluster>(sim::TopologyConfig::Testing());
+  EngineOptions opts;  // lineage off
+  opts.gpu_cache_bytes = 4 * kCkptSize;
+  opts.host_cache_bytes = 16 * kCkptSize;
+  engine_ = std::make_unique<Engine>(*cluster_,
+                                     std::make_shared<storage::MemStore>(),
+                                     std::make_shared<storage::MemStore>(),
+                                     opts, 1);
+  WriteCkpt(0, 0);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+
+  const std::string text = OpenMetricsText(*engine_);
+  const TelemetryCheck check = ValidateOpenMetrics(text);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(text.find("ckpt_objects"), std::string::npos);
+  EXPECT_EQ(text.find("ckpt_durability_lag_seconds"), std::string::npos);
+}
+
+TEST_F(LineageTest, LineageOnExposesObjectsAndDurabilityLagFamilies) {
+  SKIP_IF_TELEMETRY_COMPILED_OUT();
+  Build();
+  constexpr Version kN = 5;
+  for (Version v = 0; v < kN; ++v) WriteCkpt(0, v);
+  ASSERT_TRUE(engine_->WaitForFlushes(0).ok());
+
+  const std::string text = OpenMetricsText(*engine_);
+  const TelemetryCheck check = ValidateOpenMetrics(text);
+  ASSERT_TRUE(check.ok) << check.error;
+  ASSERT_TRUE(check.family_type.count("ckpt_objects"));
+  ASSERT_TRUE(check.family_type.count("ckpt_objects_inflight"));
+  ASSERT_TRUE(check.family_type.count("ckpt_durability_lag_seconds"));
+  EXPECT_EQ(check.family_type.at("ckpt_durability_lag_seconds"), "histogram");
+
+  double admitted = 0, durable = 0, lag_count = 0, inflight = 0;
+  double inf_bucket = 0;
+  for (const auto& [key, v] : check.values) {
+    if (key.rfind("ckpt_objects_total{outcome=\"admitted\"", 0) == 0)
+      admitted += v;
+    if (key.rfind("ckpt_objects_total{outcome=\"durable\"", 0) == 0)
+      durable += v;
+    if (key.rfind("ckpt_durability_lag_seconds_count", 0) == 0) lag_count += v;
+    if (key.rfind("ckpt_objects_inflight", 0) == 0) inflight += v;
+    if (key.rfind("ckpt_durability_lag_seconds_bucket", 0) == 0 &&
+        key.find("le=\"+Inf\"") != std::string::npos) {
+      inf_bucket += v;
+    }
+  }
+  EXPECT_EQ(admitted, static_cast<double>(kN));
+  EXPECT_EQ(durable, static_cast<double>(kN));
+  EXPECT_EQ(lag_count, static_cast<double>(kN));
+  EXPECT_EQ(inflight, 0.0);
+  // Cumulative histogram: the +Inf bucket equals the count.
+  EXPECT_EQ(inf_bucket, lag_count);
+}
+
+// --- OpenMetrics histogram validation (pure format) -----------------------
+
+TEST(OpenMetricsHistogramTest, SuffixedSamplesResolveToTheFamily) {
+  const TelemetryCheck check = ValidateOpenMetrics(
+      "# HELP my_lag how long\n"
+      "# TYPE my_lag histogram\n"
+      "my_lag_bucket{le=\"0.1\"} 1\n"
+      "my_lag_bucket{le=\"+Inf\"} 2\n"
+      "my_lag_sum 0.35\n"
+      "my_lag_count 2\n"
+      "# EOF\n");
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.family_type.at("my_lag"), "histogram");
+  EXPECT_EQ(check.value_or("my_lag_count"), 2.0);
+}
+
+TEST(OpenMetricsHistogramTest, BareSampleOfHistogramFamilyIsAnError) {
+  const TelemetryCheck check = ValidateOpenMetrics(
+      "# TYPE my_lag histogram\n"
+      "my_lag 2\n"
+      "# EOF\n");
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(OpenMetricsHistogramTest, UndeclaredBucketSampleIsAnError) {
+  const TelemetryCheck check = ValidateOpenMetrics(
+      "# TYPE my_lag histogram\n"
+      "other_bucket{le=\"1\"} 1\n"
+      "# EOF\n");
+  EXPECT_FALSE(check.ok);
+}
+
+}  // namespace
+}  // namespace ckpt::core

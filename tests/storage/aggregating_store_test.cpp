@@ -8,8 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/trace_sink.hpp"
 #include "storage/faulty_store.hpp"
 #include "storage/mem_store.hpp"
+#include "util/trace.hpp"
 
 namespace ckpt::storage {
 namespace {
@@ -279,6 +281,56 @@ TEST(AggregatingStoreTest, ConcurrentPutGetEraseStorm) {
   }
   EXPECT_EQ(live, static_cast<std::size_t>(kThreads) * (kIters - kIters / 4));
 }
+
+#ifndef CKPT_TRACE_DISABLED
+TEST(AggregatingStoreTest, GroupFlowTerminatesOnEraseToZeroReclaim) {
+  // Lineage flow accounting (DESIGN.md §14): a group flow must end exactly
+  // once whichever way the group dies. A staged group whose members are all
+  // erased before its upload lands finishes with "agg:reclaimed"; a landed
+  // group reclaimed later has already finished at "agg:landed", so the
+  // reclaim is a plain "agg:reclaim" instant, never a second termination.
+  util::trace::Enable();
+  util::trace::EnableFlows(true);
+  util::trace::ResetBuffers();
+
+  {
+    auto mem = std::make_shared<MemStore>();
+    auto faulty = std::make_shared<FaultyStore>(mem, FaultyStore::Options{});
+    AggregatingStore store(faulty, NoDeadline(2));
+    const auto blob = Blob(256, 7);
+
+    // Staged-then-erased-to-zero: the sealing upload fails, both members go.
+    faulty->FailNext(FaultOp::kPut, FaultKind::kTransient, 1);
+    ASSERT_TRUE(store.Put({0, 0}, blob.data(), blob.size()).ok());
+    ASSERT_TRUE(store.Put({1, 0}, blob.data(), blob.size()).ok());
+    ASSERT_TRUE(store.Erase({0, 0}).ok());
+    ASSERT_TRUE(store.Erase({1, 0}).ok());
+    ASSERT_TRUE(store.Flush().ok());  // nothing left to upload
+    EXPECT_EQ(GroupObjects(*mem), 0u);
+
+    // Landed-then-reclaimed: the group uploads, then empties.
+    ASSERT_TRUE(store.Put({2, 0}, blob.data(), blob.size()).ok());
+    ASSERT_TRUE(store.Put({3, 0}, blob.data(), blob.size()).ok());
+    EXPECT_EQ(GroupObjects(*mem), 1u);
+    ASSERT_TRUE(store.Erase({2, 0}).ok());
+    ASSERT_TRUE(store.Erase({3, 0}).ok());
+    EXPECT_EQ(GroupObjects(*mem), 0u);
+  }
+
+  const std::string json = core::ChromeTraceJson();
+  const core::TraceCheck check = core::ValidateChromeTrace(json);
+  ASSERT_TRUE(check.ok) << check.error;
+  // Both group flows terminated: no dangling ids in the dump.
+  EXPECT_EQ(check.flows_dangling, 0u);
+  EXPECT_NE(json.find("agg:reclaimed"), std::string::npos);
+  EXPECT_NE(json.find("agg:landed"), std::string::npos);
+  EXPECT_NE(json.find("\"agg:reclaim\""), std::string::npos);
+
+  util::trace::Disable();
+  util::trace::EnableFlows(false);
+  util::trace::ResetBuffers();
+}
+#endif  // CKPT_TRACE_DISABLED
 
 }  // namespace
 }  // namespace ckpt::storage

@@ -62,6 +62,23 @@ def summarize_run_report(report):
                 "reserve_rounds": _agg(ranks, "reserve_rounds"),
                 "reserve_plans_stale": _agg(ranks, "reserve_plans_stale"),
             }
+        # Lineage ledger (PR 10): conservation counters plus per-durable-tier
+        # durability-lag percentiles (put -> first durable ack, seconds).
+        merged = row.get("metrics", {}).get("merged", {})
+        lineage = merged.get("lineage")
+        if lineage:
+            entry["lineage"] = lineage
+            lag = merged.get("durability_lag_s", {})
+            if lag:
+                entry["durability_lag_s"] = {
+                    tier: {
+                        "total": h.get("total"),
+                        "p50": h.get("p50"),
+                        "p95": h.get("p95"),
+                        "max": h.get("max"),
+                    }
+                    for tier, h in lag.items()
+                }
         # Remote/aggregating terminal tiers (PR 9): per-tier store counters.
         # The aggregation factor a PR gates on is member_puts / remote_puts.
         remote = row.get("metrics", {}).get("remote_tiers", [])

@@ -47,12 +47,16 @@ bool ReadFile(const std::string& path, std::string& out) {
 }
 
 /// Resolves a selector the way a human writes it: a counter family name
-/// selects its `_total` samples, anything else selects itself.
+/// selects its `_total` samples, a histogram family its `_count` samples,
+/// anything else selects itself.
 std::string ResolveSelector(const ckpt::core::TelemetryCheck& ck,
                             const std::string& sel) {
   const auto it = ck.family_type.find(sel);
   if (it != ck.family_type.end() && it->second == "counter") {
     return sel + "_total";
+  }
+  if (it != ck.family_type.end() && it->second == "histogram") {
+    return sel + "_count";
   }
   return sel;
 }
@@ -160,9 +164,7 @@ int main(int argc, char** argv) {
       continue;
     }
     std::size_t matches = 0;
-    const std::string sample_name =
-        check.family_type.at(fam) == "counter" ? fam + "_total" : fam;
-    (void)SumSelected(check, sample_name, matches);
+    (void)SumSelected(check, ResolveSelector(check, fam), matches);
     if (matches == 0) {
       std::fprintf(stderr, "telemetry_check: family '%s' has no samples\n",
                    fam.c_str());

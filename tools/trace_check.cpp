@@ -1,12 +1,16 @@
 // trace_check: structural validator for emitted Chrome trace-event JSON.
 // Used by CI after a traced bench run and handy for eyeballing a dump:
 //
-//   trace_check trace.json [--require CAT ...] [--summary]
+//   trace_check trace.json [--require CAT ...] [--require-flow CAT ...]
+//                          [--summary]
 //
 // Exits 0 when the trace is well-formed, non-empty, per-track monotonic,
-// and contains at least one complete span for every --require'd category
+// every flow finish binds to a prior start of the same id (ring wraps
+// excepted), and contains at least one complete span for every --require'd
+// category and at least one flow event for every --require-flow'd category
 // (lifecycle, flush, prefetch, eviction, retry, app, health). Prints the
-// per-category span counts either way; --summary adds a per-track table
+// per-category span counts either way; --summary adds flow totals
+// (starts/steps/finishes, dangling ids, wrap markers) and a per-track table
 // (events, spans, total/max span duration) so a dump's thread balance is
 // visible without loading Perfetto.
 #include <cstdio>
@@ -23,7 +27,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <trace.json> [--require CAT ...] [--summary]\n"
+      "usage: %s <trace.json> [--require CAT ...] [--require-flow CAT ...]\n"
+      "          [--summary]\n"
       "  CAT: lifecycle | flush | prefetch | eviction | retry | app | health\n",
       argv0);
   return 2;
@@ -35,10 +40,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string path = argv[1];
   std::vector<std::string> required;
+  std::vector<std::string> required_flows;
   bool summary = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-flow") == 0 && i + 1 < argc) {
+      required_flows.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       summary = true;
     } else {
@@ -63,6 +71,14 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %zu spans\n", cat.c_str(), n);
   }
   if (summary) {
+    std::printf(
+        "flows: %zu ids (%zu starts, %zu steps, %zu finishes), "
+        "%zu dangling, %zu unbound, %zu wraps\n",
+        check.flows, check.flow_starts, check.flow_steps, check.flow_finishes,
+        check.flows_dangling, check.flows_unbound, check.wraps);
+    for (const auto& [cat, n] : check.flows_per_category) {
+      std::printf("  flow %-10s %zu events\n", cat.c_str(), n);
+    }
     std::printf("per-track summary:\n");
     std::printf("  %-28s %8s %8s %14s %12s\n", "track", "events", "spans",
                 "total_dur_ms", "max_dur_ms");
@@ -83,6 +99,13 @@ int main(int argc, char** argv) {
   for (const std::string& cat : required) {
     if (check.spans_in(cat) == 0) {
       std::fprintf(stderr, "trace_check: no '%s' spans in trace\n",
+                   cat.c_str());
+      ++missing;
+    }
+  }
+  for (const std::string& cat : required_flows) {
+    if (check.flows_in(cat) == 0) {
+      std::fprintf(stderr, "trace_check: no '%s' flow events in trace\n",
                    cat.c_str());
       ++missing;
     }
